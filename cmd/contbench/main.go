@@ -1,0 +1,78 @@
+// Command contbench runs the reproduction experiments of DESIGN.md §4
+// and prints the tables EXPERIMENTS.md quotes.
+//
+// Usage:
+//
+//	contbench [-run E1,E5,...|all] [-procs N] [-duration D] [-seed S] [-quick]
+//
+// Each experiment prints its paper claim followed by the measured
+// table; a non-zero exit status means a correctness experiment
+// (E1/E2/E3/E8/E11) observed a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment ids (e.g. E1,E5) or 'all'")
+		procs    = flag.Int("procs", 0, "max process count for scaling experiments (0 = auto)")
+		duration = flag.Duration("duration", 0, "measuring window per data point (0 = default)")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		quick    = flag.Bool("quick", false, "shrink all budgets (smoke test)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Procs:    *procs,
+		Duration: *duration,
+		Quick:    *quick,
+		Seed:     *seed,
+	}
+
+	var selected []bench.Experiment
+	if *run == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "contbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("paper claim: %s\n\n", e.Claim)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "\n%s FAILED: %v\n", e.ID, err)
+			failed++
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "contbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

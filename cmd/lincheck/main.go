@@ -1,0 +1,72 @@
+// Command lincheck records concurrent histories of the stack and
+// queue implementations and checks them for linearizability (the
+// paper's safety condition, §1.1) against sequential models.
+//
+// Usage:
+//
+//	lincheck [-impl all|stack/sensitive|...] [-procs N] [-rounds R] [-ops K] [-seeds S]
+//
+// Histories are recorded in bursts with quiescent joins so the
+// segmented Wing&Gong checker stays exact. Exit status 1 means a
+// violation was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		impl   = flag.String("impl", "all", "implementation name (see -listimpls) or 'all'")
+		procs  = flag.Int("procs", 4, "recording processes")
+		rounds = flag.Int("rounds", 60, "bursts per seed")
+		ops    = flag.Int("ops", 4, "operations per process per burst")
+		seeds  = flag.Int("seeds", 4, "independent seeded runs per implementation")
+		listI  = flag.Bool("listimpls", false, "list implementations and exit")
+	)
+	flag.Parse()
+
+	targets := bench.LinTargets()
+	if *listI {
+		for _, t := range targets {
+			fmt.Println(t.Name)
+		}
+		return
+	}
+
+	violations := 0
+	tb := metrics.NewTable("implementation", "seed", "ops checked", "aborts dropped", "states", "verdict")
+	for _, tgt := range targets {
+		if *impl != "all" && *impl != tgt.Name {
+			continue
+		}
+		for seed := 1; seed <= *seeds; seed++ {
+			n, aborts, res := bench.RunLin(tgt, *procs, *rounds, *ops, uint64(seed)*0x9e37)
+			verdict := "linearizable"
+			switch {
+			case res.Exhausted:
+				verdict = "UNDECIDED (budget)"
+			case !res.Ok:
+				verdict = "VIOLATION"
+				violations++
+			}
+			tb.AddRow(tgt.Name, seed, n, aborts, res.States, verdict)
+			if !res.Ok && !res.Exhausted {
+				fmt.Fprintf(os.Stderr, "violation in %s (seed %d); offending segment:\n", tgt.Name, seed)
+				for _, op := range res.FailedSegment {
+					fmt.Fprintf(os.Stderr, "  %v\n", op)
+				}
+			}
+		}
+	}
+	fmt.Print(tb.String())
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "lincheck: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+// Fairness: the §4.4 lock transformation in action. Eight goroutines
+// hammer critical sections guarded by (a) a raw test-and-set lock
+// (deadlock-free only) and (b) the same lock wrapped in the paper's
+// FLAG/TURN round-robin (starvation-free). The per-process completion
+// counts and Jain's fairness index show what the transformation buys.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/metrics"
+)
+
+func measure(name string, lk lock.PidLock, procs int, d time.Duration) {
+	counts := make([]uint64, procs)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for !stop.Load() {
+				lk.Acquire(pid)
+				counts[pid]++
+				lk.Release(pid)
+			}
+		}(p)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	min, max := metrics.MinMax(counts)
+	fmt.Printf("%-22s total=%-9d min/proc=%-8d max/proc=%-8d jain=%.3f\n",
+		name, metrics.Sum(counts), min, max, metrics.JainIndex(counts))
+}
+
+func main() {
+	const procs = 8
+	const d = 500 * time.Millisecond
+
+	fmt.Printf("%d goroutines competing for %v per lock:\n\n", procs, d)
+	measure("TAS (deadlock-free)", lock.IgnorePid(lock.NewTAS()), procs, d)
+	measure("RR(TAS) [paper §4.4]", lock.NewRoundRobin(lock.NewTAS(), procs), procs, d)
+	measure("Ticket (reference)", lock.IgnorePid(lock.NewTicket()), procs, d)
+
+	fmt.Println("\nthe round-robin transformation trades raw throughput for a")
+	fmt.Println("starvation-freedom guarantee: the min/proc column stops collapsing.")
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Procs is the maximum process (goroutine) count used by scaling
+	// experiments; 0 means min(2*GOMAXPROCS, 16).
+	Procs int
+	// Duration is the measuring window per data point; 0 means 200ms
+	// (or 10ms under Quick).
+	Duration time.Duration
+	// Quick shrinks all budgets for use in unit tests.
+	Quick bool
+	// Seed seeds the deterministic workload generators.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs == 0 {
+		c.Procs = 2 * runtime.GOMAXPROCS(0)
+		if c.Procs > 16 {
+			c.Procs = 16
+		}
+		if c.Procs < 4 {
+			c.Procs = 4
+		}
+	}
+	if c.Duration == 0 {
+		if c.Quick {
+			c.Duration = 10 * time.Millisecond
+		} else {
+			c.Duration = 200 * time.Millisecond
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Experiment is one reproduction experiment.
+type Experiment struct {
+	// ID is the experiment identifier used by DESIGN.md §4 ("E1"...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim restates what the paper claims (the expected shape).
+	Claim string
+	// Run executes the experiment and writes its table(s) to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in id order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < E11 (numeric, not lexicographic).
+		return expNum(out[i].ID) < expNum(out[j].ID)
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// stackImpl is a uniform handle on one stack implementation for the
+// comparative experiments.
+type stackImpl struct {
+	name string
+	// build returns pid-aware push/pop closures over a fresh instance
+	// of capacity k for procs processes.
+	build func(k, procs int) (push func(pid int, v uint64) error, pop func(pid int) (uint64, error))
+}
+
+// stackImpls returns the comparison set of E5/E6: the traditional
+// lock-based baselines, the lock-free baselines, and the paper's
+// constructions.
+func stackImpls() []stackImpl {
+	return []stackImpl{
+		{
+			name: "lock(mutex)",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewLockBased[uint64](k)
+				return s.Push, s.Pop
+			},
+		},
+		{
+			name: "lock(ticket)",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewLockBasedWith[uint64](k, lock.IgnorePid(lock.NewTicket()))
+				return s.Push, s.Pop
+			},
+		},
+		{
+			name: "lock(tas)",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewLockBasedWith[uint64](k, lock.IgnorePid(lock.NewTAS()))
+				return s.Push, s.Pop
+			},
+		},
+		{
+			name: "treiber",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewTreiber[uint64]()
+				return func(_ int, v uint64) error { return s.Push(v) },
+					func(_ int) (uint64, error) { return s.Pop() }
+			},
+		},
+		{
+			name: "elimination",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewElimination[uint64](0)
+				return func(_ int, v uint64) error { return s.Push(v) },
+					func(_ int) (uint64, error) { return s.Pop() }
+			},
+		},
+		{
+			name: "non-blocking",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewNonBlocking[uint64](k)
+				return func(_ int, v uint64) error { return s.Push(v) },
+					func(_ int) (uint64, error) { return s.Pop() }
+			},
+		},
+		{
+			name: "cont-sensitive",
+			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+				s := stack.NewSensitive[uint64](k, procs)
+				return s.Push, s.Pop
+			},
+		},
+	}
+}
+
+// hammer drives procs goroutines of mixed push/pop against one stack
+// instance for the duration and returns per-process completed-op
+// counts. Values conserve the workload encoding so failures surface in
+// other experiments; here only counts matter.
+func hammer(procs int, d time.Duration, seed uint64,
+	push func(pid int, v uint64) error, pop func(pid int) (uint64, error)) []uint64 {
+	var stop atomic.Bool
+	counts := make([]uint64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := workload.NewRNG(seed + uint64(pid))
+			n := uint64(0)
+			i := 0
+			for !stop.Load() {
+				if workload.Balanced.NextIsPush(rng) {
+					_ = push(pid, workload.Value(pid, i))
+					i++
+				} else {
+					_, _ = pop(pid)
+				}
+				n++
+			}
+			counts[pid] = n
+		}(p)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return counts
+}
+
+// opsPerSec converts a count over a window into a rate.
+func opsPerSec(total uint64, d time.Duration) float64 {
+	return float64(total) / d.Seconds()
+}
+
+// procSteps returns the proc counts a scaling experiment sweeps:
+// 1, 2, 4, ... up to max.
+func procSteps(max int) []int {
+	var steps []int
+	for p := 1; p <= max; p *= 2 {
+		steps = append(steps, p)
+	}
+	if len(steps) == 0 || steps[len(steps)-1] != max {
+		steps = append(steps, max)
+	}
+	return steps
+}
+
+// fprintf writes formatted output, propagating the error.
+func fprintf(w io.Writer, format string, args ...interface{}) error {
+	_, err := fmt.Fprintf(w, format, args...)
+	return err
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Procs: 4} }
+
+func TestAllExperimentsRegisteredInOrder(t *testing.T) {
+	all := All()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incompletely described", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("E5 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 found")
+	}
+}
+
+// runQuick executes one experiment in Quick mode and returns its
+// output, failing the test on error.
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(quickCfg(), &buf); err != nil {
+		t.Fatalf("%s failed: %v\noutput:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestE1CountsMatchTheorem(t *testing.T) {
+	out := runQuick(t, "E1")
+	if !strings.Contains(out, "strong_push") || !strings.Contains(out, "verdict: measured == paper") {
+		t.Fatalf("E1 output incomplete:\n%s", out)
+	}
+}
+
+func TestE2NoSoloAborts(t *testing.T) {
+	out := runQuick(t, "E2")
+	if !strings.Contains(out, "model-checked") || strings.Contains(out, "FAIL") {
+		t.Fatalf("E2 output unexpected:\n%s", out)
+	}
+}
+
+func TestE3GlobalProgress(t *testing.T) {
+	out := runQuick(t, "E3")
+	if !strings.Contains(out, "aborts/op") {
+		t.Fatalf("E3 output unexpected:\n%s", out)
+	}
+}
+
+func TestE4Fairness(t *testing.T) {
+	out := runQuick(t, "E4")
+	if !strings.Contains(out, "sensitive RR(TAS) [paper]") || !strings.Contains(out, "jain") {
+		t.Fatalf("E4 output unexpected:\n%s", out)
+	}
+}
+
+func TestE5Throughput(t *testing.T) {
+	out := runQuick(t, "E5")
+	for _, impl := range []string{"lock(mutex)", "treiber", "non-blocking", "cont-sensitive"} {
+		if !strings.Contains(out, impl) {
+			t.Fatalf("E5 missing %s:\n%s", impl, out)
+		}
+	}
+}
+
+func TestE6Phases(t *testing.T) {
+	out := runQuick(t, "E6")
+	for _, phase := range []string{"solo-warm", "storm", "solo-cool"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("E6 missing phase %s:\n%s", phase, out)
+		}
+	}
+}
+
+func TestE7Managers(t *testing.T) {
+	out := runQuick(t, "E7")
+	for _, m := range []string{"none", "yield", "spin", "backoff", "priority"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("E7 missing manager %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestE8ABA(t *testing.T) {
+	out := runQuick(t, "E8")
+	if !strings.Contains(out, "reproduces §2.2") || !strings.Contains(out, "tags prevent ABA") {
+		t.Fatalf("E8 output unexpected:\n%s", out)
+	}
+}
+
+func TestE9Queue(t *testing.T) {
+	out := runQuick(t, "E9")
+	if !strings.Contains(out, "michael-scott") || !strings.Contains(out, "disjoint ends") {
+		t.Fatalf("E9 output unexpected:\n%s", out)
+	}
+}
+
+func TestE10Locks(t *testing.T) {
+	out := runQuick(t, "E10")
+	if !strings.Contains(out, "RR(TAS) [§4.4]") || !strings.Contains(out, "starvation-free") {
+		t.Fatalf("E10 output unexpected:\n%s", out)
+	}
+}
+
+func TestE11Linearizability(t *testing.T) {
+	out := runQuick(t, "E11")
+	if strings.Contains(out, "VIOLATION") {
+		t.Fatalf("E11 found a violation:\n%s", out)
+	}
+	for _, impl := range []string{"stack/abortable", "stack/elimination", "queue/michael-scott"} {
+		if !strings.Contains(out, impl) {
+			t.Fatalf("E11 missing %s:\n%s", impl, out)
+		}
+	}
+}
+
+func TestE12FastMutex(t *testing.T) {
+	out := runQuick(t, "E12")
+	if !strings.Contains(out, "entry+exit") || strings.Contains(out, "FAIL") {
+		t.Fatalf("E12 output unexpected:\n%s", out)
+	}
+}
+
+func TestE13CrashTolerance(t *testing.T) {
+	out := runQuick(t, "E13")
+	if !strings.Contains(out, "survivor consistent") || strings.Contains(out, "FAIL") {
+		t.Fatalf("E13 output unexpected:\n%s", out)
+	}
+}
+
+func TestE14Deque(t *testing.T) {
+	out := runQuick(t, "E14")
+	if !strings.Contains(out, "cross-end abort rate") || strings.Contains(out, "VIOLATION") {
+		t.Fatalf("E14 output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "deque/sensitive") {
+		t.Fatalf("E14 missing lin check:\n%s", out)
+	}
+}
+
+func TestProcSteps(t *testing.T) {
+	got := procSteps(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("procSteps(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("procSteps(8) = %v, want %v", got, want)
+		}
+	}
+	got = procSteps(6)
+	if got[len(got)-1] != 6 {
+		t.Fatalf("procSteps(6) = %v, must end at 6", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Procs < 4 || c.Duration == 0 || c.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Duration >= c.Duration {
+		t.Fatal("Quick did not shrink the duration")
+	}
+}

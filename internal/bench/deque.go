@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deque"
+	lin "repro/internal/linearizability"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "obstruction-free deque family (reference [8]) under the paper's constructions",
+		Claim: "the HLM array deque — the object obstruction-freedom was defined for — becomes abortable with single attempts, non-blocking under Figure 2, and starvation-free under Figure 3; opposite ends interfere only when the deque is nearly empty",
+		Run:   runE14,
+	})
+}
+
+func runE14(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+
+	// Part 1: throughput of the tower under both-end traffic.
+	type impl struct {
+		name string
+		mk   func(procs int) (push func(pid int, right bool, v uint32) error, pop func(pid int, right bool) (uint32, error))
+	}
+	impls := []impl{
+		{"non-blocking", func(procs int) (func(int, bool, uint32) error, func(int, bool) (uint32, error)) {
+			d := deque.NewNonBlocking(1024)
+			return func(_ int, right bool, v uint32) error {
+					if right {
+						return d.PushRight(v)
+					}
+					return d.PushLeft(v)
+				}, func(_ int, right bool) (uint32, error) {
+					if right {
+						return d.PopRight()
+					}
+					return d.PopLeft()
+				}
+		}},
+		{"cont-sensitive", func(procs int) (func(int, bool, uint32) error, func(int, bool) (uint32, error)) {
+			d := deque.NewSensitive(1024, procs)
+			return func(pid int, right bool, v uint32) error {
+					if right {
+						return d.PushRight(pid, v)
+					}
+					return d.PushLeft(pid, v)
+				}, func(pid int, right bool) (uint32, error) {
+					if right {
+						return d.PopRight(pid)
+					}
+					return d.PopLeft(pid)
+				}
+		}},
+	}
+	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	for _, im := range impls {
+		row := []interface{}{im.name}
+		for _, procs := range procSteps(cfg.Procs) {
+			push, pop := im.mk(procs)
+			var stop atomic.Bool
+			counts := make([]uint64, procs)
+			var wg sync.WaitGroup
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					rng := workload.NewRNG(cfg.Seed + uint64(pid))
+					i := 0
+					for !stop.Load() {
+						right := rng.Intn(2) == 0
+						if workload.Balanced.NextIsPush(rng) {
+							_ = push(pid, right, uint32(pid)<<24|uint32(i))
+							i++
+						} else {
+							_, _ = pop(pid, right)
+						}
+						counts[pid]++
+					}
+				}(p)
+			}
+			time.Sleep(cfg.Duration)
+			stop.Store(true)
+			wg.Wait()
+			row = append(row, int64(opsPerSec(metrics.Sum(counts), cfg.Duration)))
+		}
+		tb.AddRow(row...)
+	}
+	if err := fprintf(w, "deque throughput (ops/s), both-end balanced mix, capacity 1024\n%s\n", tb.String()); err != nil {
+		return err
+	}
+
+	// Part 2: opposite-end non-interference (HLM's claim, §1.1's
+	// theme): one side works each end of a half-full deque.
+	d := deque.NewAbortable(1024)
+	for i := uint32(0); i < 256; i++ {
+		if err := d.TryPushRight(i); err != nil {
+			return err
+		}
+	}
+	side := 100000
+	if cfg.Quick {
+		side = 5000
+	}
+	var aborts atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		done := 0
+		for done < side {
+			if err := d.TryPushRight(1); errors.Is(err, deque.ErrAborted) {
+				aborts.Add(1)
+				continue
+			}
+			done++
+			for {
+				if _, err := d.TryPopRight(); !errors.Is(err, deque.ErrAborted) {
+					break
+				}
+				aborts.Add(1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		done := 0
+		for done < side {
+			v, err := d.TryPopLeft()
+			if errors.Is(err, deque.ErrAborted) {
+				aborts.Add(1)
+				continue
+			}
+			if err != nil {
+				continue
+			}
+			done++
+			for {
+				if err := d.TryPushLeft(v); !errors.Is(err, deque.ErrAborted) {
+					break
+				}
+				aborts.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	tb2 := metrics.NewTable("pattern", "ops/side", "cross-end abort rate")
+	tb2.AddRow("left vs right on half-full deque", side, float64(aborts.Load())/float64(2*side))
+	if err := fprintf(w, "%s\n", tb2.String()); err != nil {
+		return err
+	}
+
+	// Part 3: linearizability of the strong deque's histories.
+	rounds := 40
+	if cfg.Quick {
+		rounds = 10
+	}
+	const procs, perRound = 4, 4
+	sd := deque.NewSensitive(6, procs)
+	rec := lin.NewRecorder(procs)
+	var next atomic.Uint64
+	kinds := []string{"pushl", "pushr", "popl", "popr"}
+	for round := 0; round < rounds; round++ {
+		var rwg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			rwg.Add(1)
+			go func(pid, round int) {
+				defer rwg.Done()
+				rng := workload.NewRNG(cfg.Seed + uint64(round*procs+pid))
+				for i := 0; i < perRound; i++ {
+					kind := kinds[rng.Intn(4)]
+					switch kind {
+					case "pushl", "pushr":
+						v := next.Add(1)
+						pend := rec.Invoke(pid, kind, v)
+						var err error
+						if kind == "pushl" {
+							err = sd.PushLeft(pid, uint32(v))
+						} else {
+							err = sd.PushRight(pid, uint32(v))
+						}
+						out := lin.OutcomeOK
+						if errors.Is(err, deque.ErrFull) {
+							out = lin.OutcomeFull
+						}
+						rec.Return(pend, 0, out)
+					default:
+						pend := rec.Invoke(pid, kind, 0)
+						var v uint32
+						var err error
+						if kind == "popl" {
+							v, err = sd.PopLeft(pid)
+						} else {
+							v, err = sd.PopRight(pid)
+						}
+						out := lin.OutcomeOK
+						if errors.Is(err, deque.ErrEmpty) {
+							out = lin.OutcomeEmpty
+						}
+						rec.Return(pend, uint64(v), out)
+					}
+				}
+			}(p, round)
+		}
+		rwg.Wait()
+	}
+	h := rec.History()
+	res := lin.CheckSegmented(lin.DequeModel(6), h, 0, 0)
+	verdict := "linearizable"
+	if res.Exhausted {
+		verdict = "UNDECIDED (budget)"
+	} else if !res.Ok {
+		verdict = "VIOLATION"
+	}
+	tb3 := metrics.NewTable("implementation", "ops checked", "search states", "verdict")
+	tb3.AddRow("deque/sensitive", len(h), res.States, verdict)
+	if err := fprintf(w, "%s", tb3.String()); err != nil {
+		return err
+	}
+	if !res.Ok && !res.Exhausted {
+		return fmt.Errorf("E14: strong deque produced a non-linearizable history")
+	}
+	return nil
+}

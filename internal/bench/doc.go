@@ -1,0 +1,7 @@
+// Package bench is the experiment harness: it reproduces every
+// analytical claim of the paper as a measured experiment (the paper
+// has no empirical tables; DESIGN.md §4 maps its claims to the
+// experiment ids used here). cmd/contbench is the CLI front end, the
+// repository-root benchmarks drive the same code under testing.B, and
+// EXPERIMENTS.md quotes the tables these experiments print.
+package bench

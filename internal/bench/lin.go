@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	lin "repro/internal/linearizability"
+	"repro/internal/metrics"
+	"repro/internal/queue"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "linearizability of recorded histories (§3 linearization points, Theorem 1)",
+		Claim: "every implementation's concurrent histories admit a legal linearization; aborted weak operations take no effect",
+		Run:   runE11,
+	})
+}
+
+// LinTarget is one implementation checked by E11 and by cmd/lincheck:
+// a named builder that returns a uniform do(pid, push, v) driver for a
+// fresh instance plus that implementation's sentinel errors.
+type LinTarget struct {
+	Name  string
+	Kind  string // "stack" or "queue"
+	K     int    // model capacity (0 = unbounded)
+	Build func(procs int) (do func(pid int, push bool, v uint64) (uint64, error), full, empty, aborted error)
+}
+
+// LinTargets returns the implementations the linearizability
+// experiments cover.
+func LinTargets() []LinTarget {
+	return []LinTarget{
+		{"stack/abortable", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewAbortable[uint64](6)
+			return func(_ int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.TryPush(v)
+				}
+				return s.TryPop()
+			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
+		}},
+		{"stack/packed", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewPacked(6)
+			return func(_ int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.TryPush(uint32(v))
+				}
+				got, err := s.TryPop()
+				return uint64(got), err
+			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
+		}},
+		{"stack/non-blocking", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewNonBlocking[uint64](6)
+			return func(_ int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(v)
+				}
+				return s.Pop()
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
+		{"stack/sensitive", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewSensitive[uint64](6, procs)
+			return func(pid int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(pid, v)
+				}
+				return s.Pop(pid)
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
+		{"stack/treiber", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewTreiber[uint64]()
+			return func(_ int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(v)
+				}
+				return s.Pop()
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
+		{"stack/elimination", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewElimination[uint64](0)
+			return func(_ int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(v)
+				}
+				return s.Pop()
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
+		{"queue/abortable", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewAbortable[uint64](5)
+			return func(_ int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.TryEnqueue(v)
+				}
+				return q.TryDequeue()
+			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
+		}},
+		{"queue/packed", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewPacked(5)
+			return func(_ int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.TryEnqueue(uint32(v))
+				}
+				got, err := q.TryDequeue()
+				return uint64(got), err
+			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
+		}},
+		{"queue/sensitive", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewSensitive[uint64](5, procs)
+			return func(pid int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.Enqueue(pid, v)
+				}
+				return q.Dequeue(pid)
+			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+		{"queue/michael-scott", "queue", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewMichaelScott[uint64]()
+			return func(_ int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					q.Enqueue(v)
+					return 0, nil
+				}
+				return q.Dequeue()
+			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+	}
+}
+
+// RunLin records concurrent histories of one target (rounds bursts of
+// perRound ops by each of procs processes, with quiescent joins
+// between bursts) and checks them against the sequential model. It
+// returns the number of checked (non-aborted) ops, the number of
+// dropped aborted ops, and the checker result. Shared by E11 and
+// cmd/lincheck.
+func RunLin(tgt LinTarget, procs, rounds, perRound int, seed uint64) (ops, aborts int, res lin.Result) {
+	do, full, empty, aborted := tgt.Build(procs)
+	rec := lin.NewRecorder(procs)
+	var next atomic64
+	pushKind, popKind := "push", "pop"
+	var model lin.Model = lin.StackModel(tgt.K)
+	if tgt.Kind == "queue" {
+		pushKind, popKind = "enq", "deq"
+		model = lin.QueueModel(tgt.K)
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid, round int) {
+				defer wg.Done()
+				rng := workload.NewRNG(seed + uint64(round*procs+pid))
+				for i := 0; i < perRound; i++ {
+					if workload.Balanced.NextIsPush(rng) {
+						v := next.inc()
+						pend := rec.Invoke(pid, pushKind, v)
+						_, err := do(pid, true, v)
+						rec.Return(pend, 0, outcomeFor(err, full, empty, aborted))
+					} else {
+						pend := rec.Invoke(pid, popKind, 0)
+						v, err := do(pid, false, 0)
+						rec.Return(pend, v, outcomeFor(err, full, empty, aborted))
+					}
+				}
+			}(p, round)
+		}
+		wg.Wait()
+	}
+	h := rec.History()
+	return len(h), rec.Aborts(), lin.CheckSegmented(model, h, 0, 0)
+}
+
+func runE11(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	rounds, perRound, procs := 60, 4, 4
+	if cfg.Quick {
+		rounds = 15
+	}
+	tb := metrics.NewTable("implementation", "ops checked", "aborts dropped", "search states", "verdict")
+	for _, tgt := range LinTargets() {
+		ops, aborts, res := RunLin(tgt, procs, rounds, perRound, cfg.Seed)
+		verdict := "linearizable"
+		if res.Exhausted {
+			verdict = "UNDECIDED (budget)"
+		} else if !res.Ok {
+			verdict = "VIOLATION"
+		}
+		tb.AddRow(tgt.Name, ops, aborts, res.States, verdict)
+		if !res.Ok && !res.Exhausted {
+			fprintf(w, "%s", tb.String())
+			return fmt.Errorf("E11: %s produced a non-linearizable history", tgt.Name)
+		}
+	}
+	return fprintf(w, "%s", tb.String())
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) inc() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v++
+	return a.v
+}
+
+func outcomeFor(err, full, empty, aborted error) string {
+	switch {
+	case err == nil:
+		return lin.OutcomeOK
+	case full != nil && errors.Is(err, full):
+		return lin.OutcomeFull
+	case empty != nil && errors.Is(err, empty):
+		return lin.OutcomeEmpty
+	case aborted != nil && errors.Is(err, aborted):
+		return lin.OutcomeAborted
+	default:
+		panic(err)
+	}
+}

@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cmanager"
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/queue"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "non-blocking global progress under maximal contention (Figure 2)",
+		Claim: "whatever the contention pattern, at least one operation terminates: every window completes ops; abort rate grows with processes but throughput never reaches zero",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "throughput vs processes across implementations",
+		Claim: "contention-sensitive ≈ lock-free solo; under contention it degrades gracefully toward the lock-based cost instead of collapsing",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "phased solo/storm/solo workload: latency and accesses per op (contention-sensitivity)",
+		Claim: "in solo phases the sensitive stack pays the 6-access lock-free cost; only the storm phase pays for locking",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "contention-manager ablation on the retry loop (§5)",
+		Claim: "pacing retries (yield/backoff) cuts aborts per operation at equal or better throughput than the bare loop",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Title: "queue family: throughput and enq/deq non-interference (§1.1)",
+		Claim: "enqueue and dequeue on a non-empty, non-full queue do not interfere: disjoint-end abort rates stay near zero while same-end contention behaves like the stack",
+		Run:   runE9,
+	})
+}
+
+func runE3(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("procs", "ops/s", "aborts/op", "min window ops", "windows")
+	for _, procs := range procSteps(cfg.Procs) {
+		s := stack.NewNonBlocking[uint64](4) // tiny stack maximizes interference
+		var stop atomic.Bool
+		var totalOps, totalAborts atomic.Uint64
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := workload.NewRNG(cfg.Seed + uint64(pid))
+				i := 0
+				for !stop.Load() {
+					var aborts int
+					if workload.Balanced.NextIsPush(rng) {
+						_, aborts = s.PushCounted(workload.Value(pid, i))
+						i++
+					} else {
+						_, _, aborts = s.PopCounted()
+					}
+					totalOps.Add(1)
+					totalAborts.Add(uint64(aborts))
+				}
+			}(p)
+		}
+		// Sample completed ops per window: global progress means every
+		// window sees a positive delta.
+		windows := 10
+		window := cfg.Duration / time.Duration(windows)
+		if window <= 0 {
+			window = time.Millisecond
+		}
+		minWindow := uint64(1<<63 - 1)
+		last := uint64(0)
+		for i := 0; i < windows; i++ {
+			time.Sleep(window)
+			cur := totalOps.Load()
+			if delta := cur - last; delta < minWindow {
+				minWindow = delta
+			}
+			last = cur
+		}
+		stop.Store(true)
+		wg.Wait()
+		ops := totalOps.Load()
+		abortsPerOp := float64(totalAborts.Load()) / float64(max64(ops, 1))
+		tb.AddRow(procs, int64(opsPerSec(ops, cfg.Duration)), abortsPerOp, minWindow, windows)
+		if minWindow == 0 {
+			fprintf(w, "%s", tb.String())
+			return errors.New("E3: a window with zero completed operations (global progress violated)")
+		}
+	}
+	return fprintf(w, "%s", tb.String())
+}
+
+func runE5(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const k = 1024
+	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	for _, impl := range stackImpls() {
+		row := []interface{}{impl.name}
+		for _, procs := range procSteps(cfg.Procs) {
+			push, pop := impl.build(k, procs)
+			counts := hammer(procs, cfg.Duration, cfg.Seed, push, pop)
+			row = append(row, int64(opsPerSec(metrics.Sum(counts), cfg.Duration)))
+		}
+		tb.AddRow(row...)
+	}
+	if err := fprintf(w, "throughput (ops/s), stack capacity %d, balanced push/pop mix\n", k); err != nil {
+		return err
+	}
+	return fprintf(w, "%s", tb.String())
+}
+
+func procLabels(steps []int) []string {
+	out := make([]string, len(steps))
+	for i, p := range steps {
+		out[i] = "p=" + itoa(p)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func max64(a uint64, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// phasedImpl is one measured configuration of E6: an instrumented
+// stack and its per-phase driver.
+func runE6(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	opsPerPhase := 200000
+	if cfg.Quick {
+		opsPerPhase = 5000
+	}
+	phases := workload.SoloThenStorm(cfg.Procs, opsPerPhase)
+	tb := metrics.NewTable("impl", "phase", "procs", "accesses/op", "mean latency", "p99")
+
+	type cfgRow struct {
+		name  string
+		stats *memory.Stats
+		push  func(pid int, v uint64) error
+		pop   func(pid int) (uint64, error)
+		slow  func() uint64 // slow-path entries so far (sensitive only)
+	}
+	mk := func(name string) cfgRow {
+		var st memory.Stats
+		switch name {
+		case "cont-sensitive":
+			s := stack.NewSensitiveObserved[uint64](1024, cfg.Procs, &st)
+			return cfgRow{name: name, stats: &st, push: s.Push, pop: s.Pop,
+				slow: func() uint64 { return s.Guard().Stats().Slow }}
+		case "non-blocking":
+			weak := stack.NewAbortableObserved[uint64](1024, &st)
+			s := stack.NewNonBlockingFrom[uint64](weak, nil)
+			return cfgRow{name: name, stats: &st,
+				push: func(_ int, v uint64) error { return s.Push(v) },
+				pop:  func(_ int) (uint64, error) { return s.Pop() }}
+		default:
+			panic("unknown impl")
+		}
+	}
+
+	for _, name := range []string{"cont-sensitive", "non-blocking"} {
+		row := mk(name)
+		for pi, ph := range phases {
+			before := row.stats.Snapshot()
+			var hist metrics.Histogram
+			var wg sync.WaitGroup
+			for p := 0; p < ph.Procs; p++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					rng := workload.NewRNG(cfg.Seed + uint64(pid*31+pi))
+					for i := 0; i < ph.Ops; i++ {
+						start := time.Now()
+						if workload.Balanced.NextIsPush(rng) {
+							_ = row.push(pid, workload.Value(pid, i))
+						} else {
+							_, _ = row.pop(pid)
+						}
+						hist.Record(time.Since(start))
+					}
+				}(p)
+			}
+			wg.Wait()
+			delta := row.stats.Snapshot().Sub(before)
+			totalOps := uint64(ph.Procs * ph.Ops)
+			tb.AddRow(row.name, phaseName(pi), ph.Procs,
+				float64(delta.Total())/float64(totalOps),
+				hist.Mean().String(), hist.Percentile(99).String())
+		}
+	}
+	if err := fprintf(w, "%s", tb.String()); err != nil {
+		return err
+	}
+	return fprintf(w, "note: solo-phase accesses/op ≈ 6 for cont-sensitive (Theorem 1); storm pays retries/locking\n")
+}
+
+func phaseName(i int) string {
+	switch i {
+	case 0:
+		return "solo-warm"
+	case 1:
+		return "storm"
+	default:
+		return "solo-cool"
+	}
+}
+
+func runE7(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	tb := metrics.NewTable("manager", "procs", "ops/s", "aborts/op")
+	procs := cfg.Procs
+
+	// measure drives procs goroutines, each retrying weak ops through
+	// its own manager instance from mk (shared managers just return
+	// the same one).
+	measure := func(name string, mk func(pid int) core.Manager) {
+		weak := stack.NewAbortable[uint64](4)
+		var stop atomic.Bool
+		var totalOps, totalAborts atomic.Uint64
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				s := stack.NewNonBlockingFrom[uint64](weak, mk(pid))
+				rng := workload.NewRNG(cfg.Seed + uint64(pid))
+				i := 0
+				for !stop.Load() {
+					var aborts int
+					if workload.Balanced.NextIsPush(rng) {
+						_, aborts = s.PushCounted(workload.Value(pid, i))
+						i++
+					} else {
+						_, _, aborts = s.PopCounted()
+					}
+					totalOps.Add(1)
+					totalAborts.Add(uint64(aborts))
+				}
+			}(p)
+		}
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+		wg.Wait()
+		ops := totalOps.Load()
+		tb.AddRow(name, procs, int64(opsPerSec(ops, cfg.Duration)),
+			float64(totalAborts.Load())/float64(max64(ops, 1)))
+	}
+
+	for _, name := range cmanager.Names() {
+		m := cmanager.ByName(name)
+		measure(name, func(int) core.Manager { return m })
+	}
+	// The §5 boosting extension: per-process handles of one shared
+	// priority token.
+	prio := cmanager.NewPriority(0)
+	measure("priority", func(int) core.Manager { return prio.ForProc() })
+	return fprintf(w, "%s", tb.String())
+}
+
+func runE9(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const k = 1024
+
+	// Part 1: throughput scaling, mirroring E5.
+	type qImpl struct {
+		name  string
+		build func(k, procs int) (func(pid int, v uint64) error, func(pid int) (uint64, error))
+	}
+	impls := []qImpl{
+		{"lock(mutex)", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+			q := queue.NewLockBased[uint64](k)
+			return q.Enqueue, q.Dequeue
+		}},
+		{"michael-scott", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+			q := queue.NewMichaelScott[uint64]()
+			return func(_ int, v uint64) error { q.Enqueue(v); return nil },
+				func(_ int) (uint64, error) { return q.Dequeue() }
+		}},
+		{"non-blocking", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+			q := queue.NewNonBlocking[uint64](k)
+			return func(_ int, v uint64) error { return q.Enqueue(v) },
+				func(_ int) (uint64, error) { return q.Dequeue() }
+		}},
+		{"cont-sensitive", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
+			q := queue.NewSensitive[uint64](k, procs)
+			return q.Enqueue, q.Dequeue
+		}},
+	}
+	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	for _, impl := range impls {
+		row := []interface{}{impl.name}
+		for _, procs := range procSteps(cfg.Procs) {
+			enq, deq := impl.build(k, procs)
+			counts := hammer(procs, cfg.Duration, cfg.Seed, enq, deq)
+			row = append(row, int64(opsPerSec(metrics.Sum(counts), cfg.Duration)))
+		}
+		tb.AddRow(row...)
+	}
+	if err := fprintf(w, "queue throughput (ops/s), capacity %d, balanced enq/deq mix\n%s", k, tb.String()); err != nil {
+		return err
+	}
+
+	// Part 2: non-interference of disjoint ends. One enqueuer and one
+	// dequeuer paced to stay in disjoint ring regions; then the
+	// same-end control (two enqueuers).
+	q := queue.NewAbortable[uint64](k)
+	for i := uint64(0); i < k/2; i++ {
+		if err := q.TryEnqueue(i); err != nil {
+			return err
+		}
+	}
+	side := 200000
+	if cfg.Quick {
+		side = 10000
+	}
+	var enqAborts, deqAborts atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		done := 0
+		for done < side {
+			if q.Len() > k*7/8 {
+				continue
+			}
+			if err := q.TryEnqueue(uint64(done)); errors.Is(err, queue.ErrAborted) {
+				enqAborts.Add(1)
+			} else {
+				done++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		done := 0
+		for done < side {
+			if q.Len() < k/8 {
+				continue
+			}
+			if _, err := q.TryDequeue(); errors.Is(err, queue.ErrAborted) {
+				deqAborts.Add(1)
+			} else {
+				done++
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Same-end control: two enqueuers on one queue.
+	q2 := queue.NewAbortable[uint64](k)
+	var sameEndAborts atomic.Uint64
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			defer wg.Done()
+			done := 0
+			for done < side/2 {
+				err := q2.TryEnqueue(uint64(done))
+				switch {
+				case errors.Is(err, queue.ErrAborted):
+					sameEndAborts.Add(1)
+				case errors.Is(err, queue.ErrFull):
+					if _, err := q2.TryDequeue(); err == nil {
+						// drain to keep going; not counted
+					}
+				default:
+					done++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	tb2 := metrics.NewTable("pattern", "ops/side", "abort rate")
+	tb2.AddRow("enq vs deq (disjoint ends)", side,
+		float64(enqAborts.Load()+deqAborts.Load())/float64(2*side))
+	tb2.AddRow("enq vs enq (same end)", side,
+		float64(sameEndAborts.Load())/float64(side))
+	if err := fprintf(w, "\nnon-interference (§1.1): disjoint ends should not conflict\n%s", tb2.String()); err != nil {
+		return err
+	}
+	return nil
+}

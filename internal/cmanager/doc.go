@@ -1,0 +1,16 @@
+// Package cmanager provides contention managers: policies that decide
+// how a process behaves between failed attempts of a weak (abortable)
+// operation. The paper points to contention management (§5) as the
+// standard way to boost obstruction-free and non-blocking algorithms
+// toward stronger liveness; the Figure 2 retry loop takes any of these
+// via core.Manager, and experiment E7 ablates them against each other:
+//
+//   - None — the paper's bare retry loop;
+//   - Yield — surrender the processor after every abort;
+//   - Spin — burn a fixed number of iterations before retrying;
+//   - Backoff — exponential backoff with deterministic jitter, the
+//     classic choice for CAS-contended structures.
+//
+// All managers are safe for concurrent use by any number of
+// goroutines.
+package cmanager

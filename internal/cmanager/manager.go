@@ -1,0 +1,130 @@
+package cmanager
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// None is the paper's bare retry loop: retry immediately after every
+// abort. Equivalent to passing a nil manager, provided for explicit
+// configuration tables.
+type None struct{}
+
+// OnAbort implements core.Manager (it does nothing).
+func (None) OnAbort(int) {}
+
+// OnSuccess implements core.Manager (it does nothing).
+func (None) OnSuccess() {}
+
+// Yield cedes the processor after every abort, letting the interfering
+// operation finish — the cheapest useful manager on an oversubscribed
+// machine.
+type Yield struct{}
+
+// OnAbort implements core.Manager by yielding once.
+func (Yield) OnAbort(int) { runtime.Gosched() }
+
+// OnSuccess implements core.Manager (it does nothing).
+func (Yield) OnSuccess() {}
+
+// Spin busy-waits a fixed number of iterations after every abort,
+// trading CPU for latency when the interfering operation is short.
+type Spin struct {
+	// Iterations is the number of busy iterations per abort (default
+	// 64 when zero).
+	Iterations int
+}
+
+var spinSink atomic.Uint64
+
+// OnAbort implements core.Manager by busy-waiting.
+func (s Spin) OnAbort(int) {
+	n := s.Iterations
+	if n == 0 {
+		n = 64
+	}
+	acc := uint64(0)
+	for i := 0; i < n; i++ {
+		acc += uint64(i)
+	}
+	spinSink.Store(acc) // defeat dead-code elimination
+}
+
+// OnSuccess implements core.Manager (it does nothing).
+func (Spin) OnSuccess() {}
+
+// Backoff yields an exponentially growing, jittered number of times
+// after consecutive aborts: 2^attempt capped at MaxYields, with up to
+// 50% deterministic jitter to break lock-step retry convoys.
+type Backoff struct {
+	// MaxYields caps the backoff (default 256 when zero).
+	MaxYields int
+
+	seed atomic.Uint64
+}
+
+// NewBackoff returns a Backoff manager with the given cap and a fixed
+// jitter seed (deterministic across runs).
+func NewBackoff(maxYields int) *Backoff {
+	b := &Backoff{MaxYields: maxYields}
+	b.seed.Store(0x9e3779b97f4a7c15)
+	return b
+}
+
+// OnAbort implements core.Manager with capped exponential backoff.
+func (b *Backoff) OnAbort(attempt int) {
+	max := b.MaxYields
+	if max == 0 {
+		max = 256
+	}
+	n := 1
+	if attempt < 30 {
+		n = 1 << attempt
+	} else {
+		n = max
+	}
+	if n > max {
+		n = max
+	}
+	// Deterministic jitter in [n/2, n].
+	s := b.seed.Add(0x9e3779b97f4a7c15)
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	n = n/2 + int(s%uint64(n/2+1))
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// OnSuccess implements core.Manager (the per-operation attempt counter
+// is maintained by the retry loop, so there is nothing to reset).
+func (b *Backoff) OnSuccess() {}
+
+// ByName returns the named manager, used by the experiment CLI:
+// "none", "yield", "spin", "backoff". Unknown names return nil (the
+// bare loop).
+func ByName(name string) core.Manager {
+	switch name {
+	case "none":
+		return None{}
+	case "yield":
+		return Yield{}
+	case "spin":
+		return Spin{}
+	case "backoff":
+		return NewBackoff(0)
+	default:
+		return nil
+	}
+}
+
+// Names lists the managers ByName understands, in ablation order.
+func Names() []string { return []string{"none", "yield", "spin", "backoff"} }
+
+var (
+	_ core.Manager = None{}
+	_ core.Manager = Yield{}
+	_ core.Manager = Spin{}
+	_ core.Manager = (*Backoff)(nil)
+)

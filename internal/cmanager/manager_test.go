@@ -1,0 +1,72 @@
+package cmanager
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestManagersDriveRetryToCompletion(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := ByName(name)
+			remaining := 10
+			got := core.Retry(m, func() (int, bool) {
+				if remaining > 0 {
+					remaining--
+					return 0, false
+				}
+				return 7, true
+			})
+			if got != 7 {
+				t.Fatalf("Retry = %d, want 7", got)
+			}
+		})
+	}
+}
+
+func TestByNameUnknownIsNil(t *testing.T) {
+	if ByName("bogus") != nil {
+		t.Fatal("unknown manager name did not return nil")
+	}
+}
+
+func TestNamesMatchesByName(t *testing.T) {
+	for _, name := range Names() {
+		if ByName(name) == nil {
+			t.Fatalf("Names lists %q but ByName rejects it", name)
+		}
+	}
+}
+
+func TestBackoffBoundedAndConcurrent(t *testing.T) {
+	// Backoff with huge attempt counts must not explode, and must be
+	// usable from many goroutines at once.
+	b := NewBackoff(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 1; attempt <= 40; attempt++ {
+				b.OnAbort(attempt)
+			}
+			b.OnSuccess()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpinDefault(t *testing.T) {
+	Spin{}.OnAbort(1)              // default iterations
+	Spin{Iterations: 5}.OnAbort(2) // explicit
+}
+
+func TestNoneAndYieldAreNoops(t *testing.T) {
+	None{}.OnAbort(3)
+	None{}.OnSuccess()
+	Yield{}.OnAbort(3)
+	Yield{}.OnSuccess()
+}

@@ -1,0 +1,79 @@
+package cmanager
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Priority is a panic-mode contention manager in the spirit of the
+// boosting transformations the paper cites in §5 (Fich, Luchangco,
+// Moir & Shavit: obstruction-free algorithms can be practically
+// wait-free): a process whose operation keeps aborting acquires a
+// global priority token; while it holds the token it retries at full
+// speed and everyone else backs off harder, so the starving operation
+// finishes. With the token released on success, long-run fairness
+// emerges without locking the object itself.
+//
+// Priority is shared state; each goroutine must drive its retries
+// through its own handle (ForProc), because the manager must remember
+// whether *this* process holds the token between callbacks.
+type Priority struct {
+	token atomic.Uint32
+	// Threshold is the consecutive-abort count after which a process
+	// escalates to token acquisition (default 8 when zero).
+	Threshold int
+}
+
+// NewPriority returns a priority manager with the given escalation
+// threshold (0 for the default).
+func NewPriority(threshold int) *Priority {
+	return &Priority{Threshold: threshold}
+}
+
+// ForProc returns this process's handle; handles share the token.
+func (p *Priority) ForProc() core.Manager {
+	t := p.Threshold
+	if t == 0 {
+		t = 8
+	}
+	return &prioHandle{shared: p, threshold: t}
+}
+
+// prioHandle is the per-process view of a Priority manager.
+type prioHandle struct {
+	shared    *Priority
+	threshold int
+	holds     bool
+}
+
+// OnAbort implements core.Manager: yield below the threshold, then
+// escalate by taking the global token and retrying at full speed.
+func (h *prioHandle) OnAbort(attempt int) {
+	if h.holds {
+		return // highest priority: retry immediately
+	}
+	if attempt < h.threshold {
+		runtime.Gosched()
+		return
+	}
+	spins := 0
+	for !h.shared.token.CompareAndSwap(0, 1) {
+		if spins++; spins >= 32 {
+			spins = 0
+			runtime.Gosched()
+		}
+	}
+	h.holds = true
+}
+
+// OnSuccess implements core.Manager: release the token if held.
+func (h *prioHandle) OnSuccess() {
+	if h.holds {
+		h.holds = false
+		h.shared.token.Store(0)
+	}
+}
+
+var _ core.Manager = (*prioHandle)(nil)

@@ -1,0 +1,97 @@
+package cmanager
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+func TestPriorityEscalatesAndReleases(t *testing.T) {
+	p := NewPriority(3)
+	h := p.ForProc().(*prioHandle)
+	h.OnAbort(1)
+	h.OnAbort(2)
+	if h.holds {
+		t.Fatal("escalated below threshold")
+	}
+	h.OnAbort(3)
+	if !h.holds {
+		t.Fatal("did not escalate at threshold")
+	}
+	if p.token.Load() != 1 {
+		t.Fatal("token not taken")
+	}
+	h.OnAbort(4) // holding: immediate retry, no deadlock
+	h.OnSuccess()
+	if h.holds || p.token.Load() != 0 {
+		t.Fatal("token not released on success")
+	}
+	h.OnSuccess() // idempotent when not holding
+}
+
+func TestPriorityTokenIsExclusive(t *testing.T) {
+	p := NewPriority(1)
+	a := p.ForProc().(*prioHandle)
+	b := p.ForProc().(*prioHandle)
+	a.OnAbort(1)
+	if !a.holds {
+		t.Fatal("a did not take the token")
+	}
+	done := make(chan struct{})
+	go func() {
+		b.OnAbort(1) // must block until a releases
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("b acquired the token while a held it")
+	default:
+	}
+	a.OnSuccess()
+	<-done
+	if !b.holds {
+		t.Fatal("b did not take the released token")
+	}
+	b.OnSuccess()
+}
+
+func TestPriorityDrivesContendedRetriesToCompletion(t *testing.T) {
+	// A CAS counter under heavy contention with per-proc handles:
+	// everything completes and the count is exact.
+	const procs, iters = 8, 5000
+	p := NewPriority(0)
+	w := memory.NewWord(0)
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := p.ForProc()
+			for i := 0; i < iters; i++ {
+				core.Retry(m, func() (uint64, bool) {
+					v := w.Read()
+					if w.CAS(v, v+1) {
+						return v + 1, true
+					}
+					return 0, false
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Read(); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+	if p.token.Load() != 0 {
+		t.Fatal("token leaked")
+	}
+}
+
+func TestPriorityDefaultThreshold(t *testing.T) {
+	h := NewPriority(0).ForProc().(*prioHandle)
+	if h.threshold != 8 {
+		t.Fatalf("default threshold = %d, want 8", h.threshold)
+	}
+}

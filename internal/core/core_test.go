@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/memory"
+)
+
+// weakCounter is a minimal abortable object: one CAS-able counter.
+// A single attempt aborts iff the CAS loses a race, so solo attempts
+// never abort.
+type weakCounter struct {
+	w *memory.Word
+}
+
+func newWeakCounter() *weakCounter { return &weakCounter{w: memory.NewWord(0)} }
+
+func (c *weakCounter) TryOp(delta uint64) (uint64, bool) {
+	v := c.w.Read()
+	if c.w.CAS(v, v+delta) {
+		return v + delta, true
+	}
+	return 0, false
+}
+
+// flaky aborts the first n attempts, then succeeds returning 42.
+type flaky struct {
+	remaining int
+}
+
+func (f *flaky) try() (int, bool) {
+	if f.remaining > 0 {
+		f.remaining--
+		return 0, false
+	}
+	return 42, true
+}
+
+func TestDoFastPathSolo(t *testing.T) {
+	g := NewGuard(lock.IgnorePid(lock.NewTAS()))
+	c := newWeakCounter()
+	for i := 1; i <= 100; i++ {
+		got := Do(g, 0, func() (uint64, bool) { return c.TryOp(1) })
+		if got != uint64(i) {
+			t.Fatalf("Do #%d = %d, want %d", i, got, i)
+		}
+	}
+	st := g.Stats()
+	if st.Fast != 100 || st.Slow != 0 || st.Retries != 0 {
+		t.Fatalf("solo stats = %+v, want all fast", st)
+	}
+}
+
+func TestDoSlowPathOnAbort(t *testing.T) {
+	g := NewGuard(lock.IgnorePid(lock.NewTAS()))
+	f := &flaky{remaining: 3}
+	got := Do(g, 0, f.try)
+	if got != 42 {
+		t.Fatalf("Do = %d, want 42", got)
+	}
+	st := g.Stats()
+	if st.Fast != 0 || st.Slow != 1 {
+		t.Fatalf("stats = %+v, want one slow-path entry", st)
+	}
+	// 1 aborted fast attempt + line-08 loop: 2 aborts + 1 success.
+	if st.Retries != 3 {
+		t.Fatalf("retries = %d, want 3", st.Retries)
+	}
+}
+
+func TestDoShortcutCostIsOneContentionRead(t *testing.T) {
+	// The guard itself must add exactly one shared access (the read
+	// of CONTENTION) to a successful contention-free operation.
+	var st memory.Stats
+	g := NewGuardObserved(lock.IgnorePid(lock.NewTAS()), &st)
+	c := newWeakCounter()
+	Do(g, 0, func() (uint64, bool) { return c.TryOp(1) })
+	if got := st.Snapshot(); got.Reads != 1 || got.Writes != 0 || got.CASes != 0 {
+		t.Fatalf("guard accesses = %+v, want exactly 1 read", got)
+	}
+}
+
+func TestDoNeverLocksWhenUncontended(t *testing.T) {
+	g := NewGuard(lock.IgnorePid(lock.NewTAS()))
+	c := newWeakCounter()
+	for i := 0; i < 1000; i++ {
+		Do(g, 0, func() (uint64, bool) { return c.TryOp(1) })
+	}
+	if st := g.Stats(); st.Slow != 0 {
+		t.Fatalf("uncontended run took the lock %d times", st.Slow)
+	}
+}
+
+func TestDoConcurrentExactlyOnce(t *testing.T) {
+	const procs, iters = 8, 5000
+	g := NewGuard(lock.NewRoundRobin(lock.NewTAS(), procs))
+	c := newWeakCounter()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				Do(g, pid, func() (uint64, bool) { return c.TryOp(1) })
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.w.Read(); got != procs*iters {
+		t.Fatalf("counter = %d, want %d (lost or duplicated increments)", got, procs*iters)
+	}
+	st := g.Stats()
+	if st.Fast+st.Slow != procs*iters {
+		t.Fatalf("fast+slow = %d, want %d", st.Fast+st.Slow, procs*iters)
+	}
+}
+
+func TestGuardResetStats(t *testing.T) {
+	g := NewGuard(lock.IgnorePid(lock.NewTAS()))
+	c := newWeakCounter()
+	Do(g, 0, func() (uint64, bool) { return c.TryOp(1) })
+	g.ResetStats()
+	if st := g.Stats(); st != (GuardStats{}) {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestSensitiveDo(t *testing.T) {
+	s := NewSensitive[uint64, uint64](newWeakCounter(), lock.IgnorePid(lock.NewTicket()))
+	if got := s.Do(0, 5); got != 5 {
+		t.Fatalf("Do(0,5) = %d, want 5", got)
+	}
+	if got := s.Do(1, 7); got != 12 {
+		t.Fatalf("Do(1,7) = %d, want 12", got)
+	}
+	if s.Progress() != StarvationFree {
+		t.Fatal("Sensitive does not advertise starvation-freedom")
+	}
+	if s.Guard().Stats().Fast != 2 {
+		t.Fatal("guard stats not visible through Sensitive")
+	}
+}
+
+func TestSensitiveConcurrent(t *testing.T) {
+	const procs, iters = 6, 4000
+	c := newWeakCounter()
+	s := NewSensitive[uint64, uint64](c, lock.NewRoundRobin(lock.NewTTAS(), procs))
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Do(pid, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.w.Read(); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+}
+
+// recordingManager records contention-manager callbacks.
+type recordingManager struct {
+	aborts    []int
+	successes int
+}
+
+func (m *recordingManager) OnAbort(attempt int) { m.aborts = append(m.aborts, attempt) }
+func (m *recordingManager) OnSuccess()          { m.successes++ }
+
+func TestRetryBareLoop(t *testing.T) {
+	f := &flaky{remaining: 5}
+	if got := Retry(nil, f.try); got != 42 {
+		t.Fatalf("Retry = %d, want 42", got)
+	}
+}
+
+func TestRetryManagerCallbacks(t *testing.T) {
+	m := &recordingManager{}
+	f := &flaky{remaining: 3}
+	if got := Retry[int](m, f.try); got != 42 {
+		t.Fatalf("Retry = %d, want 42", got)
+	}
+	if m.successes != 1 {
+		t.Fatalf("OnSuccess called %d times, want 1", m.successes)
+	}
+	want := []int{1, 2, 3}
+	if len(m.aborts) != len(want) {
+		t.Fatalf("OnAbort calls = %v, want %v", m.aborts, want)
+	}
+	for i := range want {
+		if m.aborts[i] != want[i] {
+			t.Fatalf("OnAbort calls = %v, want %v", m.aborts, want)
+		}
+	}
+}
+
+func TestRetryCounted(t *testing.T) {
+	f := &flaky{remaining: 4}
+	got, aborts := RetryCounted[int](nil, f.try)
+	if got != 42 || aborts != 4 {
+		t.Fatalf("RetryCounted = (%d, %d), want (42, 4)", got, aborts)
+	}
+	f2 := &flaky{remaining: 0}
+	if _, aborts := RetryCounted[int](nil, f2.try); aborts != 0 {
+		t.Fatalf("immediate success counted %d aborts", aborts)
+	}
+}
+
+func TestProgressHierarchy(t *testing.T) {
+	if !NonBlocking.Implies(ObstructionFree) {
+		t.Fatal("non-blocking must imply obstruction-free")
+	}
+	if !StarvationFree.Implies(NonBlocking) {
+		t.Fatal("starvation-free must imply non-blocking")
+	}
+	if ObstructionFree.Implies(NonBlocking) {
+		t.Fatal("obstruction-free must not imply non-blocking")
+	}
+	if !WaitFree.Implies(StarvationFree) {
+		t.Fatal("wait-free must imply starvation-free")
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	cases := map[Progress]string{
+		ObstructionFree: "obstruction-free",
+		NonBlocking:     "non-blocking",
+		StarvationFree:  "starvation-free",
+		WaitFree:        "wait-free",
+		Progress(9):     "unknown",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Progress(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

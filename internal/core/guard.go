@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/memory"
+)
+
+// Guard carries the shared state of Figure 3's contention-sensitive
+// protocol for one concurrent object: the CONTENTION register and the
+// lock protecting the slow path. All strong operations of the object
+// (e.g. both push and pop of a stack) must share one Guard, because
+// CONTENTION is a per-object signal.
+//
+// The lock is a PidLock; pass lock.NewRoundRobin(deadlockFreeLock, n)
+// to obtain the paper's exact Figure 3 (starvation-free over a merely
+// deadlock-free lock), or lock.IgnorePid(starvationFreeLock) for the
+// simplified variant of the §4 Remark.
+type Guard struct {
+	contention *memory.Flag
+	lk         lock.PidLock
+
+	fast    atomic.Uint64 // operations completed on the shortcut
+	slow    atomic.Uint64 // operations that took the lock
+	retries atomic.Uint64 // weak attempts consumed inside the slow path
+}
+
+// NewGuard returns a Guard over lk with an uninstrumented CONTENTION
+// register.
+func NewGuard(lk lock.PidLock) *Guard {
+	return NewGuardObserved(lk, nil)
+}
+
+// NewGuardObserved returns a Guard whose CONTENTION register reports
+// every access to obs, so that experiment E1 can count the shortcut's
+// shared accesses. A nil obs disables instrumentation.
+func NewGuardObserved(lk lock.PidLock, obs memory.Observer) *Guard {
+	return &Guard{contention: memory.NewFlagObserved(false, obs), lk: lk}
+}
+
+// GuardStats is a snapshot of a Guard's path counters.
+type GuardStats struct {
+	// Fast is the number of operations completed on the lock-free
+	// shortcut (line 02 success).
+	Fast uint64
+	// Slow is the number of operations that entered the lock-based
+	// slow path.
+	Slow uint64
+	// Retries is the total number of weak attempts consumed inside
+	// the slow path's line-08 loop (at least one per slow operation).
+	Retries uint64
+}
+
+// Stats returns a snapshot of the guard's path counters.
+func (g *Guard) Stats() GuardStats {
+	return GuardStats{Fast: g.fast.Load(), Slow: g.slow.Load(), Retries: g.retries.Load()}
+}
+
+// ResetStats zeroes the path counters (between quiescent phases only).
+func (g *Guard) ResetStats() {
+	g.fast.Store(0)
+	g.slow.Store(0)
+	g.retries.Store(0)
+}
+
+// Do runs one strong operation according to Figure 3. try is the weak
+// operation (line 02/08's weak_push_or_pop): a single attempt that
+// returns ok=false to report ⊥. pid is the calling process identity,
+// forwarded to the slow-path lock.
+//
+// Contention-free cost: 1 shared read of CONTENTION plus the accesses
+// of one successful weak attempt — six in total for the paper's stack
+// (Theorem 1) — and no lock.
+func Do[R any](g *Guard, pid int, try func() (R, bool)) R {
+	if !g.contention.Read() { // line 01
+		if res, ok := try(); ok { // line 02
+			g.fast.Add(1)
+			return res
+		}
+	}
+	// Slow path: lines 04-13. Lines 04-06 and 10-12 (the FLAG/TURN
+	// round-robin and the underlying lock) live inside the PidLock.
+	g.slow.Add(1)
+	g.lk.Acquire(pid)        // lines 04-06
+	g.contention.Write(true) // line 07
+	for {                    // line 08
+		g.retries.Add(1)
+		res, ok := try()
+		if ok {
+			g.contention.Write(false) // line 09
+			g.lk.Release(pid)         // lines 10-12
+			return res
+		}
+		// A failed attempt means some process is concurrently inside
+		// a line-02 shortcut; yield so it can finish (the paper's
+		// asynchrony assumption makes this a no-op in the model, but
+		// a cooperative scheduler needs it).
+		runtime.Gosched()
+	}
+}
+
+// Weak is an abortable object operation keyed by an argument: a single
+// attempt of op(arg) that either takes effect (ok=true) or aborts with
+// no effect (ok=false, the paper's ⊥). Implementations must guarantee
+// that a solo attempt never aborts.
+type Weak[A, R any] interface {
+	TryOp(arg A) (res R, ok bool)
+}
+
+// Sensitive is the contention-sensitive, starvation-free strong object
+// built from a Weak object and a Guard — Figure 3 as a reusable
+// generic construction.
+type Sensitive[A, R any] struct {
+	weak  Weak[A, R]
+	guard *Guard
+}
+
+// NewSensitive builds the strong object over weak, serializing
+// conflicting operations behind lk.
+func NewSensitive[A, R any](weak Weak[A, R], lk lock.PidLock) *Sensitive[A, R] {
+	return &Sensitive[A, R]{weak: weak, guard: NewGuard(lk)}
+}
+
+// Guard exposes the underlying guard (for stats and instrumentation).
+func (s *Sensitive[A, R]) Guard() *Guard { return s.guard }
+
+// Do executes the strong operation for arg on behalf of pid. It always
+// returns a real result, never ⊥ (Lemma 1), and terminates for every
+// caller (Lemmas 2-3).
+func (s *Sensitive[A, R]) Do(pid int, arg A) R {
+	return Do(s.guard, pid, func() (R, bool) { return s.weak.TryOp(arg) })
+}
+
+// Progress reports StarvationFree, Theorem 1's guarantee (assuming the
+// guard's lock is deadlock-free and wrapped in lock.RoundRobin, or
+// itself starvation-free).
+func (s *Sensitive[A, R]) Progress() Progress { return StarvationFree }

@@ -1,0 +1,57 @@
+package core
+
+// Progress is a liveness (progress) condition for concurrent-object
+// implementations, ordered from weakest to strongest exactly as in the
+// paper's §1.2 hierarchy. The paper's implicit safety condition is
+// always linearizability; Progress only classifies which operations
+// are guaranteed to terminate.
+type Progress int
+
+const (
+	// ObstructionFree guarantees termination only for operations that
+	// eventually run solo (concurrency-free). An abortable object is
+	// strictly stronger: every operation terminates, possibly
+	// returning ⊥ under concurrency.
+	ObstructionFree Progress = iota
+	// NonBlocking guarantees that under concurrency at least one of
+	// the concurrent operations terminates (deadlock-freedom in the
+	// failure-free case). The paper also calls such implementations
+	// lock-free when they use no locks.
+	NonBlocking
+	// StarvationFree guarantees that every invoked operation
+	// terminates.
+	StarvationFree
+	// WaitFree is starvation-freedom in the presence of any number of
+	// process crashes ((n-1)-resilience, the paper's footnote 1).
+	// None of the algorithms here are wait-free — the slow path can
+	// block behind a crashed lock holder — but the taxonomy keeps the
+	// slot for comparisons.
+	WaitFree
+)
+
+// String returns the conventional name of the progress condition.
+func (p Progress) String() string {
+	switch p {
+	case ObstructionFree:
+		return "obstruction-free"
+	case NonBlocking:
+		return "non-blocking"
+	case StarvationFree:
+		return "starvation-free"
+	case WaitFree:
+		return "wait-free"
+	default:
+		return "unknown"
+	}
+}
+
+// Implies reports whether p is at least as strong as q in the paper's
+// hierarchy (every p implementation is also a q implementation).
+func (p Progress) Implies(q Progress) bool { return p >= q }
+
+// ProgressInfo is implemented by objects that advertise the progress
+// condition of their operations; the experiment harness uses it to
+// label results.
+type ProgressInfo interface {
+	Progress() Progress
+}

@@ -1,0 +1,58 @@
+package core
+
+// Manager is a contention manager (§5): a policy deciding how a
+// process behaves between failed attempts of a weak operation.
+// Implementations live in package cmanager. Managers may be shared by
+// several goroutines and must be safe for concurrent use.
+type Manager interface {
+	// OnAbort is called after the attempt-th consecutive abort of the
+	// current operation (attempt starts at 1). The manager may spin,
+	// yield or sleep to pace the retry.
+	OnAbort(attempt int)
+	// OnSuccess is called once when the operation finally succeeds,
+	// letting adaptive managers reset their state.
+	OnSuccess()
+}
+
+// Retry upgrades a weak operation to a non-blocking one by retrying
+// until success — Figure 2's construction:
+//
+//	repeat res ← weak_op() until res ≠ ⊥
+//
+// m paces the retries; a nil m reproduces the paper's bare loop.
+// Retry never aborts; it returns only when an attempt took effect.
+func Retry[R any](m Manager, try func() (R, bool)) R {
+	attempt := 0
+	for {
+		res, ok := try()
+		if ok {
+			if m != nil {
+				m.OnSuccess()
+			}
+			return res
+		}
+		attempt++
+		if m != nil {
+			m.OnAbort(attempt)
+		}
+	}
+}
+
+// RetryCounted is Retry instrumented for the E3/E7 experiments: it
+// additionally reports how many attempts aborted before success.
+func RetryCounted[R any](m Manager, try func() (R, bool)) (res R, aborts int) {
+	attempt := 0
+	for {
+		r, ok := try()
+		if ok {
+			if m != nil {
+				m.OnSuccess()
+			}
+			return r, attempt
+		}
+		attempt++
+		if m != nil {
+			m.OnAbort(attempt)
+		}
+	}
+}

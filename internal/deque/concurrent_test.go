@@ -1,0 +1,187 @@
+package deque
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// dconserved drives mixed both-end traffic and verifies multiset
+// conservation: every pushed value is popped or still present, exactly
+// once.
+func dconserved(t *testing.T, procs, perProc int,
+	push func(pid int, right bool, v uint32) error,
+	pop func(pid int, right bool) (uint32, error),
+	drain func() []uint32,
+) {
+	t.Helper()
+	popped := make([][]uint32, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				v := uint32(pid)<<24 | uint32(i)
+				right := (pid+i)%2 == 0
+				for {
+					err := push(pid, right, v)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrFull) {
+						t.Errorf("push: %v", err)
+						return
+					}
+					// This side's window is exhausted: pop from the
+					// same side to make room.
+					if got, err := pop(pid, right); err == nil {
+						popped[pid] = append(popped[pid], got)
+					} else {
+						right = !right // try the other side
+					}
+				}
+				if i%3 == 0 {
+					if got, err := pop(pid, !right); err == nil {
+						popped[pid] = append(popped[pid], got)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	seen := make(map[uint32]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range drain() {
+		seen[v]++
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("value set size = %d, want %d (lost values)", len(seen), procs*perProc)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %x observed %d times (duplicated)", v, n)
+		}
+	}
+}
+
+func TestNonBlockingDequeConserves(t *testing.T) {
+	const procs, perProc = 6, 2000
+	d := NewNonBlocking(128)
+	push := func(_ int, right bool, v uint32) error {
+		if right {
+			return d.PushRight(v)
+		}
+		return d.PushLeft(v)
+	}
+	pop := func(_ int, right bool) (uint32, error) {
+		if right {
+			return d.PopRight()
+		}
+		return d.PopLeft()
+	}
+	dconserved(t, procs, perProc, push, pop, func() []uint32 {
+		var out []uint32
+		for {
+			v, err := d.PopLeft()
+			if err != nil {
+				return out
+			}
+			out = append(out, v)
+		}
+	})
+}
+
+func TestSensitiveDequeConserves(t *testing.T) {
+	const procs, perProc = 6, 2000
+	d := NewSensitive(128, procs)
+	push := func(pid int, right bool, v uint32) error {
+		if right {
+			return d.PushRight(pid, v)
+		}
+		return d.PushLeft(pid, v)
+	}
+	pop := func(pid int, right bool) (uint32, error) {
+		if right {
+			return d.PopRight(pid)
+		}
+		return d.PopLeft(pid)
+	}
+	dconserved(t, procs, perProc, push, pop, func() []uint32 {
+		var out []uint32
+		for {
+			v, err := d.PopLeft(0)
+			if err != nil {
+				return out
+			}
+			out = append(out, v)
+		}
+	})
+	if st := d.Guard().Stats(); st.Fast+st.Slow == 0 {
+		t.Fatal("guard saw no operations")
+	}
+}
+
+func TestOppositeEndsRarelyInterfere(t *testing.T) {
+	// HLM's selling point, echoing the paper's §1.1: operations on
+	// opposite ends of a non-nearly-empty deque touch disjoint cells.
+	// Keep ~half the window occupied and measure cross-end aborts.
+	d := NewAbortable(1024)
+	for i := uint32(0); i < 256; i++ {
+		if err := d.TryPushRight(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const opsPerSide = 50000
+	var leftAborts, rightAborts atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // right side: push/pop pairs
+		defer wg.Done()
+		done := 0
+		for done < opsPerSide {
+			if err := d.TryPushRight(1); errors.Is(err, ErrAborted) {
+				rightAborts.Add(1)
+				continue
+			}
+			done++
+			for {
+				if _, err := d.TryPopRight(); !errors.Is(err, ErrAborted) {
+					break
+				}
+				rightAborts.Add(1)
+			}
+		}
+	}()
+	go func() { // left side: pop/push pairs (window stays put)
+		defer wg.Done()
+		done := 0
+		for done < opsPerSide {
+			v, err := d.TryPopLeft()
+			if errors.Is(err, ErrAborted) {
+				leftAborts.Add(1)
+				continue
+			}
+			if errors.Is(err, ErrEmpty) {
+				continue
+			}
+			done++
+			for {
+				if err := d.TryPushLeft(v); !errors.Is(err, ErrAborted) {
+					break
+				}
+				leftAborts.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	if a := leftAborts.Load() + rightAborts.Load(); a > opsPerSide/10 {
+		t.Fatalf("opposite ends aborted %d times over %d ops/side", a, opsPerSide)
+	}
+}

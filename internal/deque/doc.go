@@ -1,0 +1,29 @@
+// Package deque implements the bounded double-ended queue family,
+// extending the reproduction to the object the paper's progress
+// hierarchy was originally defined on: obstruction-freedom was
+// introduced with "double-ended queues as an example" (Herlihy,
+// Luchangco & Moir, ICDCS'03 — the paper's reference [8]).
+//
+// Abortable is the HLM array deque recast as an abortable object in
+// the sense of the paper's §1.2: each operation makes a single attempt
+// of HLM's retry loop and returns ⊥ on any interference, taking no
+// logical effect (the attempt's first CAS only bumps a version
+// counter, so aborting after it is harmless). Solo attempts never
+// abort, and — HLM's selling point, echoing §1.1's non-interference
+// motivation — operations on opposite ends interfere only when the
+// deque is nearly empty, because they touch disjoint cells otherwise.
+//
+// The array is non-circular: cells are LN sentinels on the left, data
+// in the middle, RN sentinels on the right, with the invariant
+// LN⁺ data* RN⁺ at every instant. A push consumes a sentinel of its
+// side and a pop returns one, so each side reports full when its own
+// sentinel supply runs out (the data window slides; see spec.Deque
+// for the exact sequential semantics; HLM's circular variant with DN
+// markers lifts this at significant algorithmic cost and is out of
+// scope).
+//
+// On top of the weak deque the package assembles the usual tower:
+// NonBlocking (Figure 2) and Sensitive (Figure 3), which — composed
+// over an obstruction-free-born algorithm — realize exactly the
+// boosting story of the paper's §1.2/§5.
+package deque

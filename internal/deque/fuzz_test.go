@@ -1,0 +1,54 @@
+package deque
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// FuzzDequeVsSpec cross-checks solo runs of the weak deque against the
+// sequential spec: byte 2i selects the op kind (mod 4), byte 2i+1 the
+// pushed value.
+func FuzzDequeVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0, 3, 0})
+	f.Add([]byte{1, 9, 1, 8, 1, 7, 3, 0, 3, 0, 0, 5})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 5
+		d := NewAbortable(max)
+		ref := spec.NewDeque[uint32](max)
+		for i := 0; i+1 < len(data); i += 2 {
+			v := uint32(data[i+1])
+			switch data[i] % 4 {
+			case 0:
+				err := d.TryPushRight(v)
+				ok := ref.PushRight(v)
+				if ok != (err == nil) || (!ok && !errors.Is(err, ErrFull)) {
+					t.Fatalf("op %d pushr: impl %v, spec %v", i, err, ok)
+				}
+			case 1:
+				err := d.TryPushLeft(v)
+				ok := ref.PushLeft(v)
+				if ok != (err == nil) || (!ok && !errors.Is(err, ErrFull)) {
+					t.Fatalf("op %d pushl: impl %v, spec %v", i, err, ok)
+				}
+			case 2:
+				got, err := d.TryPopRight()
+				want, ok := ref.PopRight()
+				if ok != (err == nil) || (!ok && !errors.Is(err, ErrEmpty)) || (ok && got != want) {
+					t.Fatalf("op %d popr: impl (%d,%v), spec (%d,%v)", i, got, err, want, ok)
+				}
+			case 3:
+				got, err := d.TryPopLeft()
+				want, ok := ref.PopLeft()
+				if ok != (err == nil) || (!ok && !errors.Is(err, ErrEmpty)) || (ok && got != want) {
+					t.Fatalf("op %d popl: impl (%d,%v), spec (%d,%v)", i, got, err, want, ok)
+				}
+			}
+		}
+		if d.Len() != ref.Len() {
+			t.Fatalf("final length %d, spec %d", d.Len(), ref.Len())
+		}
+	})
+}

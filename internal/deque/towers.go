@@ -1,0 +1,130 @@
+package deque
+
+import (
+	"repro/internal/core"
+	"repro/internal/lock"
+)
+
+// NonBlocking is Figure 2 applied to the deque: retry each weak
+// operation until non-⊥. This is precisely the "boosting" step the
+// paper's §1.2 describes for obstruction-free algorithms.
+type NonBlocking struct {
+	weak *Abortable
+	m    core.Manager
+}
+
+// NewNonBlocking returns a non-blocking deque of capacity max with the
+// bare retry loop.
+func NewNonBlocking(max int) *NonBlocking {
+	return NewNonBlockingFrom(NewAbortable(max), nil)
+}
+
+// NewNonBlockingFrom builds the retry construction over an existing
+// weak deque, pacing retries with m (nil for the bare loop).
+func NewNonBlockingFrom(weak *Abortable, m core.Manager) *NonBlocking {
+	return &NonBlocking{weak: weak, m: m}
+}
+
+func (d *NonBlocking) retryPush(try func() error) error {
+	return core.Retry(d.m, func() (error, bool) {
+		err := try()
+		return err, err != ErrAborted
+	})
+}
+
+func (d *NonBlocking) retryPop(try func() (uint32, error)) (uint32, error) {
+	type res struct {
+		v   uint32
+		err error
+	}
+	r := core.Retry(d.m, func() (res, bool) {
+		v, err := try()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// PushRight appends v on the right; nil or ErrFull.
+func (d *NonBlocking) PushRight(v uint32) error {
+	return d.retryPush(func() error { return d.weak.TryPushRight(v) })
+}
+
+// PushLeft prepends v on the left; nil or ErrFull.
+func (d *NonBlocking) PushLeft(v uint32) error {
+	return d.retryPush(func() error { return d.weak.TryPushLeft(v) })
+}
+
+// PopRight removes the rightmost value; the value or ErrEmpty.
+func (d *NonBlocking) PopRight() (uint32, error) { return d.retryPop(d.weak.TryPopRight) }
+
+// PopLeft removes the leftmost value; the value or ErrEmpty.
+func (d *NonBlocking) PopLeft() (uint32, error) { return d.retryPop(d.weak.TryPopLeft) }
+
+// Progress reports NonBlocking.
+func (d *NonBlocking) Progress() core.Progress { return core.NonBlocking }
+
+// Sensitive is Figure 3 applied to the deque: all four operations
+// share one guard (CONTENTION is per object), making the deque
+// linearizable, starvation-free, and contention-sensitive.
+type Sensitive struct {
+	weak  *Abortable
+	guard *core.Guard
+}
+
+// NewSensitive returns the paper's configuration for n processes: a
+// fresh weak deque of capacity max behind a round-robin-wrapped
+// test-and-set lock.
+func NewSensitive(max, n int) *Sensitive {
+	return NewSensitiveFrom(NewAbortable(max), lock.NewRoundRobin(lock.NewTAS(), n))
+}
+
+// NewSensitiveFrom builds Figure 3 over an existing weak deque and
+// PidLock.
+func NewSensitiveFrom(weak *Abortable, lk lock.PidLock) *Sensitive {
+	return &Sensitive{weak: weak, guard: core.NewGuard(lk)}
+}
+
+func (d *Sensitive) strongPush(pid int, try func() error) error {
+	return core.Do(d.guard, pid, func() (error, bool) {
+		err := try()
+		return err, err != ErrAborted
+	})
+}
+
+func (d *Sensitive) strongPop(pid int, try func() (uint32, error)) (uint32, error) {
+	type res struct {
+		v   uint32
+		err error
+	}
+	r := core.Do(d.guard, pid, func() (res, bool) {
+		v, err := try()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// PushRight appends v on the right; never aborts.
+func (d *Sensitive) PushRight(pid int, v uint32) error {
+	return d.strongPush(pid, func() error { return d.weak.TryPushRight(v) })
+}
+
+// PushLeft prepends v on the left; never aborts.
+func (d *Sensitive) PushLeft(pid int, v uint32) error {
+	return d.strongPush(pid, func() error { return d.weak.TryPushLeft(v) })
+}
+
+// PopRight removes the rightmost value; never aborts.
+func (d *Sensitive) PopRight(pid int) (uint32, error) {
+	return d.strongPop(pid, d.weak.TryPopRight)
+}
+
+// PopLeft removes the leftmost value; never aborts.
+func (d *Sensitive) PopLeft(pid int) (uint32, error) {
+	return d.strongPop(pid, d.weak.TryPopLeft)
+}
+
+// Guard exposes the fast/slow-path counters.
+func (d *Sensitive) Guard() *core.Guard { return d.guard }
+
+// Progress reports StarvationFree (Theorem 1 over the weak deque).
+func (d *Sensitive) Progress() core.Progress { return core.StarvationFree }

@@ -1,0 +1,235 @@
+package linearizability
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// Ok is true when a legal linearization was found.
+	Ok bool
+	// Exhausted is true when the search hit its state budget before
+	// deciding; Ok is then false but the history was not proven
+	// non-linearizable.
+	Exhausted bool
+	// Witness is a legal linearization order (indices into the input
+	// history) when Ok.
+	Witness []int
+	// States is the number of memoized search states visited.
+	States int
+	// FailedSegment holds the offending ops when CheckSegmented
+	// rejects a history, for diagnostics.
+	FailedSegment []Op
+}
+
+// MaxOps bounds the history length Check accepts (the linearized set
+// is tracked as a 64-bit mask).
+const MaxOps = 64
+
+// Check decides whether history is linearizable with respect to model
+// m, exploring at most maxStates memoized states (0 means a generous
+// default). The algorithm is the classic Wing & Gong search with the
+// WGL memoization: depth-first over "which op is linearized next",
+// where an op may go next only if no other remaining op returned
+// before it was invoked, pruning on previously seen
+// (linearized-set, state) pairs.
+func Check(m Model, history []Op, maxStates int) Result {
+	n := len(history)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	if n > MaxOps {
+		panic("linearizability: history longer than MaxOps; partition it")
+	}
+	if maxStates == 0 {
+		maxStates = 1 << 22
+	}
+
+	type frame struct {
+		mask  uint64 // ops already linearized
+		state string // model state after them
+		order []int  // linearization so far
+	}
+	full := uint64(1)<<n - 1
+	seen := make(map[string]struct{})
+	key := func(mask uint64, state string) string {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(mask >> (8 * i))
+		}
+		return string(b[:]) + state
+	}
+
+	stack := []frame{{mask: 0, state: m.Init()}}
+	states := 0
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.mask == full {
+			return Result{Ok: true, Witness: f.order, States: states}
+		}
+		k := key(f.mask, f.state)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if states++; states > maxStates {
+			return Result{Exhausted: true, States: states}
+		}
+		// minReturn over the remaining ops: an op can be linearized
+		// next only if it was invoked before every remaining response
+		// (otherwise some completed op must precede it).
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if f.mask&(1<<i) == 0 && history[i].Return < minReturn {
+				minReturn = history[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if f.mask&(1<<i) != 0 {
+				continue
+			}
+			op := history[i]
+			if op.Call > minReturn {
+				continue
+			}
+			next, ok := m.Step(f.state, op)
+			if !ok {
+				continue
+			}
+			order := make([]int, len(f.order)+1)
+			copy(order, f.order)
+			order[len(f.order)] = i
+			stack = append(stack, frame{mask: f.mask | 1<<i, state: next, order: order})
+		}
+	}
+	return Result{Ok: false, States: states}
+}
+
+// maxCarriedStates bounds the set of candidate object states carried
+// across quiescent cuts by CheckSegmented before it gives up.
+const maxCarriedStates = 1 << 14
+
+// CheckSegmented checks a long history by cutting it at quiescent
+// points: instants where every operation invoked so far has returned.
+// A segment of concurrent operations can admit several legal
+// linearizations ending in different object states, so the checker
+// carries the full set of reachable end states from one segment into
+// the next (committing to a single witness would be unsound). The
+// result is exact for histories with quiescent cuts and lets E11 check
+// tens of thousands of ops.
+func CheckSegmented(m Model, history []Op, segmentMax int, maxStates int) Result {
+	if segmentMax <= 0 || segmentMax > MaxOps {
+		segmentMax = MaxOps
+	}
+	states := []string{m.Init()}
+	total := Result{Ok: true}
+	start := 0
+	for start < len(history) {
+		// Grow the segment to the next quiescent cut under segmentMax.
+		// The input is sorted by Call, so the cut is quiescent when
+		// the next op's Call exceeds every Return seen so far.
+		end := start
+		maxRet := int64(0)
+		cut := false
+		for end < len(history) && end-start < segmentMax {
+			if history[end].Return > maxRet {
+				maxRet = history[end].Return
+			}
+			end++
+			if end == len(history) || history[end].Call > maxRet {
+				cut = true
+				break
+			}
+		}
+		if !cut {
+			// No quiescent cut fits the segment budget; truncating
+			// here would be unsound, so report the check undecided.
+			return Result{Exhausted: true, States: total.States}
+		}
+		seg := history[start:end]
+		finals, visited, exhausted := finalStates(m, states, seg, maxStates)
+		total.States += visited
+		if exhausted {
+			return Result{Exhausted: true, States: total.States}
+		}
+		if len(finals) == 0 {
+			return Result{Ok: false, States: total.States, FailedSegment: seg}
+		}
+		if len(finals) > maxCarriedStates {
+			return Result{Exhausted: true, States: total.States}
+		}
+		states = finals
+		start = end
+	}
+	return total
+}
+
+// finalStates explores the linearizations of history from every state
+// in from and returns the distinct reachable end states.
+func finalStates(m Model, from []string, history []Op, maxStates int) (finals []string, visited int, exhausted bool) {
+	n := len(history)
+	if n == 0 {
+		return from, 0, false
+	}
+	if n > MaxOps {
+		panic("linearizability: history longer than MaxOps; partition it")
+	}
+	if maxStates == 0 {
+		maxStates = 1 << 22
+	}
+	type frame struct {
+		mask  uint64
+		state string
+	}
+	full := uint64(1)<<n - 1
+	seen := make(map[string]struct{})
+	finalSet := make(map[string]struct{})
+	key := func(mask uint64, state string) string {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(mask >> (8 * i))
+		}
+		return string(b[:]) + state
+	}
+	stack := make([]frame, 0, len(from))
+	for _, s := range from {
+		stack = append(stack, frame{mask: 0, state: s})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.mask == full {
+			if _, dup := finalSet[f.state]; !dup {
+				finalSet[f.state] = struct{}{}
+				finals = append(finals, f.state)
+			}
+			continue
+		}
+		k := key(f.mask, f.state)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if visited++; visited > maxStates {
+			return nil, visited, true
+		}
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if f.mask&(1<<i) == 0 && history[i].Return < minReturn {
+				minReturn = history[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if f.mask&(1<<i) != 0 {
+				continue
+			}
+			op := history[i]
+			if op.Call > minReturn {
+				continue
+			}
+			next, ok := m.Step(f.state, op)
+			if !ok {
+				continue
+			}
+			stack = append(stack, frame{mask: f.mask | 1<<i, state: next})
+		}
+	}
+	return finals, visited, false
+}

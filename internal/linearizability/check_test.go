@@ -1,0 +1,353 @@
+package linearizability
+
+import (
+	"testing"
+)
+
+// seqOps builds a purely sequential history from (kind, in, out,
+// outcome) tuples: op i occupies [2i+1, 2i+2].
+func seqOps(tuples ...[4]interface{}) []Op {
+	ops := make([]Op, len(tuples))
+	for i, t := range tuples {
+		ops[i] = Op{
+			Proc:    0,
+			Call:    int64(2*i + 1),
+			Return:  int64(2*i + 2),
+			Kind:    t[0].(string),
+			Input:   uint64(t[1].(int)),
+			Output:  uint64(t[2].(int)),
+			Outcome: t[3].(string),
+		}
+	}
+	return ops
+}
+
+func TestCheckEmptyHistory(t *testing.T) {
+	if !Check(StackModel(4), nil, 0).Ok {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestCheckSequentialStack(t *testing.T) {
+	h := seqOps(
+		[4]interface{}{"push", 1, 0, OutcomeOK},
+		[4]interface{}{"push", 2, 0, OutcomeOK},
+		[4]interface{}{"pop", 0, 2, OutcomeOK},
+		[4]interface{}{"pop", 0, 1, OutcomeOK},
+		[4]interface{}{"pop", 0, 0, OutcomeEmpty},
+	)
+	res := Check(StackModel(4), h, 0)
+	if !res.Ok {
+		t.Fatalf("legal sequential stack history rejected (states=%d)", res.States)
+	}
+	if len(res.Witness) != len(h) {
+		t.Fatalf("witness length %d, want %d", len(res.Witness), len(h))
+	}
+}
+
+func TestCheckRejectsWrongPopOrder(t *testing.T) {
+	// A stack must pop 2 before 1 here; popping 1 first is FIFO, not
+	// LIFO.
+	h := seqOps(
+		[4]interface{}{"push", 1, 0, OutcomeOK},
+		[4]interface{}{"push", 2, 0, OutcomeOK},
+		[4]interface{}{"pop", 0, 1, OutcomeOK},
+	)
+	if Check(StackModel(4), h, 0).Ok {
+		t.Fatal("FIFO pop accepted by stack model")
+	}
+	// But the same shape is exactly what the queue model wants.
+	hq := seqOps(
+		[4]interface{}{"enq", 1, 0, OutcomeOK},
+		[4]interface{}{"enq", 2, 0, OutcomeOK},
+		[4]interface{}{"deq", 0, 1, OutcomeOK},
+	)
+	if !Check(QueueModel(4), hq, 0).Ok {
+		t.Fatal("FIFO dequeue rejected by queue model")
+	}
+}
+
+func TestCheckRejectsDuplicatePop(t *testing.T) {
+	// The ABA signature (E8): one pushed value popped twice.
+	h := seqOps(
+		[4]interface{}{"push", 7, 0, OutcomeOK},
+		[4]interface{}{"pop", 0, 7, OutcomeOK},
+		[4]interface{}{"pop", 0, 7, OutcomeOK},
+	)
+	if Check(StackModel(4), h, 0).Ok {
+		t.Fatal("duplicate pop accepted")
+	}
+}
+
+func TestCheckRejectsPhantomValue(t *testing.T) {
+	h := seqOps(
+		[4]interface{}{"push", 1, 0, OutcomeOK},
+		[4]interface{}{"pop", 0, 9, OutcomeOK},
+	)
+	if Check(StackModel(4), h, 0).Ok {
+		t.Fatal("pop of never-pushed value accepted")
+	}
+}
+
+func TestCheckRejectsBogusEmpty(t *testing.T) {
+	// pop=empty strictly after a completed push with no intervening
+	// pop cannot linearize.
+	h := seqOps(
+		[4]interface{}{"push", 1, 0, OutcomeOK},
+		[4]interface{}{"pop", 0, 0, OutcomeEmpty},
+	)
+	if Check(StackModel(4), h, 0).Ok {
+		t.Fatal("bogus empty accepted")
+	}
+}
+
+func TestCheckRespectsFullCapacity(t *testing.T) {
+	h := seqOps(
+		[4]interface{}{"push", 1, 0, OutcomeOK},
+		[4]interface{}{"push", 2, 0, OutcomeFull},
+	)
+	if !Check(StackModel(1), h, 0).Ok {
+		t.Fatal("legal full report rejected")
+	}
+	if Check(StackModel(2), h, 0).Ok {
+		t.Fatal("premature full report accepted")
+	}
+}
+
+func TestCheckConcurrentOverlapUsesFlexibility(t *testing.T) {
+	// Two overlapping pushes followed by pops that only linearize if
+	// the second-invoked push linearized first.
+	h := []Op{
+		{Proc: 0, Call: 1, Return: 10, Kind: "push", Input: 1, Outcome: OutcomeOK},
+		{Proc: 1, Call: 2, Return: 9, Kind: "push", Input: 2, Outcome: OutcomeOK},
+		{Proc: 0, Call: 11, Return: 12, Kind: "pop", Output: 1, Outcome: OutcomeOK},
+		{Proc: 0, Call: 13, Return: 14, Kind: "pop", Output: 2, Outcome: OutcomeOK},
+	}
+	if !Check(StackModel(4), h, 0).Ok {
+		t.Fatal("valid reordering of concurrent pushes rejected")
+	}
+}
+
+func TestCheckHonorsRealTimeOrder(t *testing.T) {
+	// Non-overlapping pushes cannot be reordered: push(1) returned
+	// before push(2) was invoked, so pops must see 2 then 1.
+	h := []Op{
+		{Proc: 0, Call: 1, Return: 2, Kind: "push", Input: 1, Outcome: OutcomeOK},
+		{Proc: 1, Call: 3, Return: 4, Kind: "push", Input: 2, Outcome: OutcomeOK},
+		{Proc: 0, Call: 5, Return: 6, Kind: "pop", Output: 1, Outcome: OutcomeOK},
+		{Proc: 0, Call: 7, Return: 8, Kind: "pop", Output: 2, Outcome: OutcomeOK},
+	}
+	if Check(StackModel(4), h, 0).Ok {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestCheckDequeModel(t *testing.T) {
+	// max=4, initial window: numLN=3 (one usable left slot at index
+	// 1.. wait: numLN=3 means indices 0..2 LN, usable left pushes: 2).
+	h := seqOps(
+		[4]interface{}{"pushr", 1, 0, OutcomeOK},
+		[4]interface{}{"pushl", 2, 0, OutcomeOK},
+		[4]interface{}{"popr", 0, 1, OutcomeOK},
+		[4]interface{}{"popl", 0, 2, OutcomeOK},
+		[4]interface{}{"popl", 0, 0, OutcomeEmpty},
+	)
+	if !Check(DequeModel(4), h, 0).Ok {
+		t.Fatal("legal deque history rejected")
+	}
+	// Wrong end: after pushr(1), pushl(2), popr must return 1 not 2.
+	bad := seqOps(
+		[4]interface{}{"pushr", 1, 0, OutcomeOK},
+		[4]interface{}{"pushl", 2, 0, OutcomeOK},
+		[4]interface{}{"popr", 0, 2, OutcomeOK},
+	)
+	if Check(DequeModel(4), bad, 0).Ok {
+		t.Fatal("wrong-end pop accepted")
+	}
+}
+
+func TestCheckDequeModelWindowDrift(t *testing.T) {
+	// max=2 → numLN=2: exactly one usable left slot and one right.
+	okHist := seqOps(
+		[4]interface{}{"pushl", 1, 0, OutcomeOK},
+		[4]interface{}{"pushl", 2, 0, OutcomeFull}, // left exhausted
+		[4]interface{}{"pushr", 3, 0, OutcomeOK},
+		[4]interface{}{"pushr", 4, 0, OutcomeFull}, // right exhausted
+	)
+	if !Check(DequeModel(2), okHist, 0).Ok {
+		t.Fatal("drift-consistent full reports rejected")
+	}
+	// After popl the left slot is reusable.
+	okHist2 := seqOps(
+		[4]interface{}{"pushl", 1, 0, OutcomeOK},
+		[4]interface{}{"popl", 0, 1, OutcomeOK},
+		[4]interface{}{"pushl", 2, 0, OutcomeOK},
+	)
+	if !Check(DequeModel(2), okHist2, 0).Ok {
+		t.Fatal("left slot not recycled by popl")
+	}
+	// But popr does NOT free a left slot (the window drifts).
+	bad := seqOps(
+		[4]interface{}{"pushl", 1, 0, OutcomeOK},
+		[4]interface{}{"popr", 0, 1, OutcomeOK},
+		[4]interface{}{"pushl", 2, 0, OutcomeOK}, // illegal: left still exhausted
+	)
+	if Check(DequeModel(2), bad, 0).Ok {
+		t.Fatal("window drift not modelled")
+	}
+}
+
+func TestCheckRegisterModel(t *testing.T) {
+	h := seqOps(
+		[4]interface{}{"read", 0, 5, OutcomeOK},
+		[4]interface{}{"write", 7, 0, OutcomeOK},
+		[4]interface{}{"read", 0, 7, OutcomeOK},
+	)
+	if !Check(RegisterModel(5), h, 0).Ok {
+		t.Fatal("legal register history rejected")
+	}
+	bad := seqOps(
+		[4]interface{}{"write", 7, 0, OutcomeOK},
+		[4]interface{}{"read", 0, 5, OutcomeOK},
+	)
+	if Check(RegisterModel(5), bad, 0).Ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestCheckRegisterCAS(t *testing.T) {
+	cas := func(old, new uint64) uint64 { return old<<32 | new }
+	h := []Op{
+		{Call: 1, Return: 2, Kind: "cas", Input: cas(5, 6), Output: 1, Outcome: OutcomeOK},
+		{Call: 3, Return: 4, Kind: "cas", Input: cas(5, 7), Output: 0, Outcome: OutcomeOK},
+		{Call: 5, Return: 6, Kind: "read", Output: 6, Outcome: OutcomeOK},
+	}
+	if !Check(RegisterModel(5), h, 0).Ok {
+		t.Fatal("legal CAS history rejected")
+	}
+	bad := []Op{
+		{Call: 1, Return: 2, Kind: "cas", Input: cas(9, 6), Output: 1, Outcome: OutcomeOK},
+	}
+	if Check(RegisterModel(5), bad, 0).Ok {
+		t.Fatal("impossible CAS success accepted")
+	}
+}
+
+func TestCheckStateBudget(t *testing.T) {
+	// A tiny budget must report exhaustion, not a verdict.
+	h := make([]Op, 12)
+	for i := range h {
+		// All fully concurrent pushes: maximal search width.
+		h[i] = Op{Proc: i, Call: 1, Return: 100, Kind: "push", Input: uint64(i), Outcome: OutcomeOK}
+	}
+	res := Check(StackModel(0), h, 3)
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion, got %+v", res)
+	}
+}
+
+func TestCheckPanicsOnHugeHistory(t *testing.T) {
+	h := make([]Op, MaxOps+1)
+	for i := range h {
+		h[i] = Op{Call: int64(2*i + 1), Return: int64(2*i + 2), Kind: "push", Outcome: OutcomeOK}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized history did not panic")
+		}
+	}()
+	Check(StackModel(0), h, 0)
+}
+
+func TestCheckSegmentedLongHistory(t *testing.T) {
+	// 3000 sequential ops: segmentation must make this cheap.
+	var h []Op
+	ts := int64(1)
+	depth := 0
+	for i := 0; i < 1500; i++ {
+		h = append(h, Op{Call: ts, Return: ts + 1, Kind: "push", Input: uint64(i), Outcome: OutcomeOK})
+		ts += 2
+		depth++
+	}
+	for depth > 0 {
+		depth--
+		h = append(h, Op{Call: ts, Return: ts + 1, Kind: "pop", Output: uint64(depth), Outcome: OutcomeOK})
+		ts += 2
+	}
+	res := CheckSegmented(StackModel(0), h, 16, 0)
+	if !res.Ok {
+		t.Fatalf("segmented check rejected a legal history: %+v", res)
+	}
+}
+
+func TestCheckSegmentedDetectsViolationAcrossSegments(t *testing.T) {
+	var h []Op
+	ts := int64(1)
+	push := func(v int) {
+		h = append(h, Op{Call: ts, Return: ts + 1, Kind: "push", Input: uint64(v), Outcome: OutcomeOK})
+		ts += 2
+	}
+	pop := func(v int) {
+		h = append(h, Op{Call: ts, Return: ts + 1, Kind: "pop", Output: uint64(v), Outcome: OutcomeOK})
+		ts += 2
+	}
+	for i := 0; i < 40; i++ {
+		push(i)
+	}
+	pop(39)
+	pop(39) // duplicate: the ABA signature, far from the start
+	res := CheckSegmented(StackModel(0), h, 8, 0)
+	if res.Ok {
+		t.Fatal("segmented check accepted a duplicate pop")
+	}
+}
+
+func TestCheckSegmentedNoQuiescentCut(t *testing.T) {
+	// All ops mutually concurrent and more of them than the segment
+	// budget: the segmented checker must refuse to decide rather than
+	// cut unsoundly.
+	var h []Op
+	for i := 0; i < 10; i++ {
+		h = append(h, Op{Proc: i, Call: int64(i + 1), Return: 1000, Kind: "push", Input: uint64(i), Outcome: OutcomeOK})
+	}
+	res := CheckSegmented(StackModel(0), h, 4, 0)
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion on uncuttable history, got %+v", res)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	p := r.Invoke(0, "push", 5)
+	r.Return(p, 0, OutcomeOK)
+	p = r.Invoke(1, "pop", 0)
+	r.Return(p, 5, OutcomeOK)
+	p = r.Invoke(0, "pop", 0)
+	r.Return(p, 0, OutcomeAborted)
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history length %d, want 2 (aborted op dropped)", len(h))
+	}
+	if r.Aborts() != 1 {
+		t.Fatalf("aborts = %d, want 1", r.Aborts())
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if h[0].Call >= h[0].Return || h[1].Call >= h[1].Return {
+		t.Fatal("clock stamps not increasing")
+	}
+	if h[0].Call > h[1].Call {
+		t.Fatal("history not sorted by invocation")
+	}
+	if !Check(StackModel(4), h, 0).Ok {
+		t.Fatal("recorded history not linearizable")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Proc: 2, Call: 1, Return: 4, Kind: "pop", Output: 9, Outcome: OutcomeOK}
+	if s := op.String(); s == "" {
+		t.Fatal("empty op string")
+	}
+}

@@ -1,0 +1,22 @@
+// Package linearizability machine-checks the paper's safety condition
+// (§1.1): an object execution is linearizable if every operation
+// appears to take effect instantaneously at some point between its
+// invocation and its response, consistently with the object's
+// sequential specification.
+//
+// The package provides:
+//
+//   - Recorder: contention-free recording of concurrent histories
+//     (per-process logs stamped by one global logical clock);
+//   - Model: sequential specifications as pure functions over an
+//     encoded immutable state (stack, queue and register models are
+//     built in);
+//   - Check: a Wing & Gong / WGL-style exhaustive search for a
+//     legal linearization, with memoization on (linearized-set,
+//     state) pairs. Exponential in the worst case, so intended for
+//     the short histories the tests and experiment E11 record.
+//
+// Aborted weak operations (the paper's ⊥) take no effect by
+// definition, so the Recorder drops them from the history: an
+// abortable object is linearizable iff its non-⊥ subhistory is.
+package linearizability

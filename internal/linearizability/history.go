@@ -1,0 +1,128 @@
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Outcome classifies an operation's observed result beyond its output
+// value. The empty string means a normal value-bearing completion.
+const (
+	// OutcomeOK marks a normal completion.
+	OutcomeOK = ""
+	// OutcomeFull marks a push/enqueue that reported a full object.
+	OutcomeFull = "full"
+	// OutcomeEmpty marks a pop/dequeue that reported an empty object.
+	OutcomeEmpty = "empty"
+	// OutcomeAborted marks a weak operation that returned ⊥; the
+	// Recorder drops such operations from the checked history.
+	OutcomeAborted = "aborted"
+)
+
+// Op is one completed operation of a recorded history.
+type Op struct {
+	// Proc is the recording process identity.
+	Proc int
+	// Call and Return are logical timestamps from the recorder's
+	// global clock; Call < Return always.
+	Call, Return int64
+	// Kind names the operation ("push", "pop", "enq", "deq", ...).
+	Kind string
+	// Input is the operation argument (0 when none).
+	Input uint64
+	// Output is the operation result (0 when none).
+	Output uint64
+	// Outcome is OutcomeOK, OutcomeFull, OutcomeEmpty or
+	// OutcomeAborted.
+	Outcome string
+}
+
+// String renders the op for failure messages.
+func (o Op) String() string {
+	return fmt.Sprintf("p%d %s(%d)=%d/%q @[%d,%d]", o.Proc, o.Kind, o.Input, o.Output, o.Outcome, o.Call, o.Return)
+}
+
+// Recorder collects a concurrent history. Each process records into
+// its own log (no cross-process synchronization beyond the clock), so
+// recording perturbs the measured object as little as possible. Use
+// one goroutine per process identity.
+type Recorder struct {
+	clock atomic.Int64
+	logs  [][]Op
+}
+
+// NewRecorder returns a recorder for procs process identities.
+func NewRecorder(procs int) *Recorder {
+	return &Recorder{logs: make([][]Op, procs)}
+}
+
+// Pending is an invoked-but-unfinished operation handle.
+type Pending struct {
+	proc int
+	op   Op
+}
+
+// CallTime returns the invocation timestamp, for callers that need to
+// reason about operations that never return (crashed processes).
+func (p Pending) CallTime() int64 { return p.op.Call }
+
+// Invoke stamps the invocation of kind(input) by proc.
+func (r *Recorder) Invoke(proc int, kind string, input uint64) Pending {
+	return Pending{proc: proc, op: Op{
+		Proc:  proc,
+		Call:  r.clock.Add(1),
+		Kind:  kind,
+		Input: input,
+	}}
+}
+
+// Return stamps the response and appends the completed op to the
+// process log. Aborted operations are recorded but excluded from
+// History (they took no effect).
+func (r *Recorder) Return(p Pending, output uint64, outcome string) {
+	p.op.Return = r.clock.Add(1)
+	p.op.Output = output
+	p.op.Outcome = outcome
+	r.logs[p.proc] = append(r.logs[p.proc], p.op)
+}
+
+// History merges all process logs into one history ordered by
+// invocation time, dropping aborted operations. Call only after all
+// recording goroutines have finished.
+func (r *Recorder) History() []Op {
+	var out []Op
+	for _, log := range r.logs {
+		for _, op := range log {
+			if op.Outcome != OutcomeAborted {
+				out = append(out, op)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Call < out[j].Call })
+	return out
+}
+
+// Aborts counts the recorded aborted operations (for abort-rate
+// reporting in E3/E7).
+func (r *Recorder) Aborts() int {
+	n := 0
+	for _, log := range r.logs {
+		for _, op := range log {
+			if op.Outcome == OutcomeAborted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Len returns the total number of recorded operations including
+// aborted ones.
+func (r *Recorder) Len() int {
+	n := 0
+	for _, log := range r.logs {
+		n += len(log)
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package linearizability
+
+import "encoding/binary"
+
+// Model is a sequential specification over an immutable encoded state.
+// States are strings so they can key the checker's memoization table;
+// the encoding is private to each model.
+type Model interface {
+	// Init returns the encoded initial state.
+	Init() string
+	// Step checks whether op is legal from state and, if so, returns
+	// the successor state.
+	Step(state string, op Op) (next string, ok bool)
+}
+
+// appendVal appends one value to an encoded value sequence.
+func appendVal(state string, v uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return state + string(buf[:])
+}
+
+// lastVal splits off the final value of an encoded sequence.
+func lastVal(state string) (rest string, v uint64) {
+	n := len(state)
+	return state[:n-8], binary.BigEndian.Uint64([]byte(state[n-8:]))
+}
+
+// firstVal splits off the initial value of an encoded sequence.
+func firstVal(state string) (v uint64, rest string) {
+	return binary.BigEndian.Uint64([]byte(state[:8])), state[8:]
+}
+
+// stackModel is the sequential bounded stack: Kind "push" with
+// OutcomeOK/OutcomeFull, Kind "pop" with OutcomeOK/OutcomeEmpty.
+type stackModel struct {
+	k int
+}
+
+// StackModel returns the sequential specification of a bounded stack
+// of capacity k (k <= 0 means unbounded).
+func StackModel(k int) Model { return stackModel{k: k} }
+
+func (m stackModel) Init() string { return "" }
+
+func (m stackModel) Step(state string, op Op) (string, bool) {
+	depth := len(state) / 8
+	switch op.Kind {
+	case "push":
+		switch op.Outcome {
+		case OutcomeFull:
+			return state, m.k > 0 && depth == m.k
+		case OutcomeOK:
+			if m.k > 0 && depth == m.k {
+				return state, false
+			}
+			return appendVal(state, op.Input), true
+		}
+	case "pop":
+		switch op.Outcome {
+		case OutcomeEmpty:
+			return state, depth == 0
+		case OutcomeOK:
+			if depth == 0 {
+				return state, false
+			}
+			rest, top := lastVal(state)
+			return rest, top == op.Output
+		}
+	}
+	return state, false
+}
+
+// queueModel is the sequential bounded FIFO queue: Kind "enq" with
+// OutcomeOK/OutcomeFull, Kind "deq" with OutcomeOK/OutcomeEmpty.
+type queueModel struct {
+	k int
+}
+
+// QueueModel returns the sequential specification of a bounded queue
+// of capacity k (k <= 0 means unbounded).
+func QueueModel(k int) Model { return queueModel{k: k} }
+
+func (m queueModel) Init() string { return "" }
+
+func (m queueModel) Step(state string, op Op) (string, bool) {
+	size := len(state) / 8
+	switch op.Kind {
+	case "enq":
+		switch op.Outcome {
+		case OutcomeFull:
+			return state, m.k > 0 && size == m.k
+		case OutcomeOK:
+			if m.k > 0 && size == m.k {
+				return state, false
+			}
+			return appendVal(state, op.Input), true
+		}
+	case "deq":
+		switch op.Outcome {
+		case OutcomeEmpty:
+			return state, size == 0
+		case OutcomeOK:
+			if size == 0 {
+				return state, false
+			}
+			front, rest := firstVal(state)
+			return rest, front == op.Output
+		}
+	}
+	return state, false
+}
+
+// dequeModel is the sequential bounded deque with the non-circular
+// HLM window semantics (see spec.Deque): Kind "pushl"/"pushr" with
+// OutcomeOK/OutcomeFull, "popl"/"popr" with OutcomeOK/OutcomeEmpty.
+// The state tracks the window position (numLN) besides the values,
+// because each side's "full" depends on it.
+type dequeModel struct {
+	max int
+}
+
+// DequeModel returns the sequential specification of the bounded
+// array deque of capacity max with the initial window split in the
+// middle.
+func DequeModel(max int) Model { return dequeModel{max: max} }
+
+func (m dequeModel) Init() string {
+	return string([]byte{byte(m.max/2 + 1)})
+}
+
+func (m dequeModel) Step(state string, op Op) (string, bool) {
+	numLN := int(state[0])
+	vals := state[1:]
+	size := len(vals) / 8
+	switch op.Kind {
+	case "pushr":
+		full := numLN+size == m.max+1
+		switch op.Outcome {
+		case OutcomeFull:
+			return state, full
+		case OutcomeOK:
+			if full {
+				return state, false
+			}
+			return string([]byte{byte(numLN)}) + appendVal(vals, op.Input), true
+		}
+	case "pushl":
+		full := numLN == 1
+		switch op.Outcome {
+		case OutcomeFull:
+			return state, full
+		case OutcomeOK:
+			if full {
+				return state, false
+			}
+			return string([]byte{byte(numLN - 1)}) + appendVal("", op.Input) + vals, true
+		}
+	case "popr":
+		switch op.Outcome {
+		case OutcomeEmpty:
+			return state, size == 0
+		case OutcomeOK:
+			if size == 0 {
+				return state, false
+			}
+			rest, last := lastVal(vals)
+			return string([]byte{byte(numLN)}) + rest, last == op.Output
+		}
+	case "popl":
+		switch op.Outcome {
+		case OutcomeEmpty:
+			return state, size == 0
+		case OutcomeOK:
+			if size == 0 {
+				return state, false
+			}
+			first, rest := firstVal(vals)
+			return string([]byte{byte(numLN + 1)}) + rest, first == op.Output
+		}
+	}
+	return state, false
+}
+
+// registerModel is a sequential read/write/CAS register: Kind "read"
+// (Output = value), "write" (Input = value), "cas" (Input packs
+// old<<32|new in the low bits, Output = 1 on success, 0 on failure).
+type registerModel struct {
+	init uint64
+}
+
+// RegisterModel returns the sequential specification of an atomic
+// register initialized to init, the base object of the paper's §2.
+func RegisterModel(init uint64) Model { return registerModel{init: init} }
+
+func (m registerModel) Init() string { return appendVal("", m.init) }
+
+func (m registerModel) Step(state string, op Op) (string, bool) {
+	_, cur := lastVal(state)
+	switch op.Kind {
+	case "read":
+		return state, op.Output == cur && op.Outcome == OutcomeOK
+	case "write":
+		return appendVal("", op.Input), op.Outcome == OutcomeOK
+	case "cas":
+		old, new := op.Input>>32, op.Input&0xffffffff
+		if cur == old {
+			return appendVal("", new), op.Output == 1
+		}
+		return state, op.Output == 0
+	}
+	return state, false
+}

@@ -1,0 +1,20 @@
+// Package lock provides the mutual-exclusion substrate used by the
+// paper's contention-sensitive construction (§4) and by the lock-based
+// baselines it argues against (§1.1).
+//
+// The package distinguishes two liveness classes, mirroring the paper's
+// progress-condition hierarchy restricted to locks:
+//
+//   - deadlock-free: some requesting process eventually acquires the
+//     lock (TAS, TTAS, Backoff);
+//   - starvation-free: every requesting process eventually acquires the
+//     lock (Ticket, Tournament of Petersons, and Go's sync.Mutex in its
+//     starvation mode).
+//
+// RoundRobin is the paper's §4.4 contribution: the starred lines 04-06
+// and 10-12 of Figure 3 extracted into a generic transformation that
+// turns any deadlock-free lock into a starvation-free one using a
+// FLAG[1..n] array and a round-robin TURN register. Locks whose fairness
+// depends on process identities implement PidLock; identity-oblivious
+// locks implement Lock, and adapters convert between the two.
+package lock

@@ -1,0 +1,112 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestFastMutexMutualExclusion(t *testing.T) {
+	exercise(t, NewFastMutex(8), 8, 3000)
+}
+
+func TestFastMutexTwoProcs(t *testing.T) {
+	exercise(t, NewFastMutex(2), 2, 20000)
+}
+
+func TestFastMutexSoloSevenAccesses(t *testing.T) {
+	// The §1.2 claim, measured: a contention-free acquire/release
+	// cycle performs exactly 7 shared accesses (5 entry + 2 exit).
+	var st memory.Stats
+	l := NewFastMutexObserved(8, &st)
+	l.Acquire(3)
+	entry := st.Total()
+	l.Release(3)
+	total := st.Total()
+	if entry != 5 {
+		t.Fatalf("entry accesses = %d, want 5 (%+v)", entry, st.Snapshot())
+	}
+	if total != 7 {
+		t.Fatalf("acquire+release accesses = %d, want 7", total)
+	}
+	// And the cost stays constant per cycle.
+	st.Reset()
+	for i := 0; i < 100; i++ {
+		l.Acquire(0)
+		l.Release(0)
+	}
+	if got := st.Total(); got != 700 {
+		t.Fatalf("100 solo cycles = %d accesses, want 700", got)
+	}
+}
+
+func TestFastMutexSoloCostIndependentOfN(t *testing.T) {
+	for _, n := range []int{1, 4, 64, 512} {
+		var st memory.Stats
+		l := NewFastMutexObserved(n, &st)
+		l.Acquire(n - 1)
+		l.Release(n - 1)
+		if got := st.Total(); got != 7 {
+			t.Fatalf("n=%d: solo cycle = %d accesses, want 7", n, got)
+		}
+	}
+}
+
+func TestFastMutexUnderRoundRobin(t *testing.T) {
+	// FastMutex is deadlock-free, so it is a valid substrate for the
+	// §4.4 idea; RoundRobin wraps identity-oblivious locks, so compose
+	// by nesting pid-locks: RR(TAS) for the turn-taking, FastMutex
+	// inside. The composition must still exclude.
+	const procs = 4
+	nested := nestedLock{
+		outer: NewRoundRobin(NewTAS(), procs),
+		inner: NewFastMutex(procs),
+	}
+	exercise(t, nested, procs, 2000)
+}
+
+// nestedLock acquires two pid-locks in order (and releases in
+// reverse), for composition tests.
+type nestedLock struct {
+	outer PidLock
+	inner PidLock
+}
+
+func (n nestedLock) Acquire(pid int) {
+	n.outer.Acquire(pid)
+	n.inner.Acquire(pid)
+}
+
+func (n nestedLock) Release(pid int) {
+	n.inner.Release(pid)
+	n.outer.Release(pid)
+}
+
+func TestFastMutexRejectsBadPid(t *testing.T) {
+	l := NewFastMutex(2)
+	for _, pid := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Acquire(%d) did not panic", pid)
+				}
+			}()
+			l.Acquire(pid)
+		}()
+	}
+}
+
+func TestFastMutexConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFastMutex(0) did not panic")
+		}
+	}()
+	NewFastMutex(0)
+}
+
+func TestFastMutexLiveness(t *testing.T) {
+	if NewFastMutex(2).Liveness() != DeadlockFree {
+		t.Fatal("FastMutex must advertise deadlock-freedom only")
+	}
+}

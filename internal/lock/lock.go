@@ -1,0 +1,93 @@
+package lock
+
+// Lock is a mutual-exclusion lock that does not need to know the
+// identity of the acquiring process.
+type Lock interface {
+	Lock()
+	Unlock()
+}
+
+// PidLock is a mutual-exclusion lock whose operations take the calling
+// process identity pid in [0, n). The paper's algorithms assume n
+// asynchronous processes p_1..p_n that know their own index; PidLock is
+// that assumption made explicit. A process must not re-enter a PidLock
+// it already holds, and Release must be called by the process that
+// acquired.
+type PidLock interface {
+	Acquire(pid int)
+	Release(pid int)
+}
+
+// Liveness classifies the progress guarantee of a lock in a
+// failure-free system (§1.2 of the paper; in a failure-free context
+// non-blocking and deadlock-freedom coincide).
+type Liveness int
+
+const (
+	// DeadlockFree guarantees that if processes are requesting the
+	// lock, some process eventually acquires it — individual
+	// processes may starve.
+	DeadlockFree Liveness = iota
+	// StarvationFree guarantees that every requesting process
+	// eventually acquires the lock.
+	StarvationFree
+)
+
+// String returns the conventional name of the liveness class.
+func (l Liveness) String() string {
+	switch l {
+	case DeadlockFree:
+		return "deadlock-free"
+	case StarvationFree:
+		return "starvation-free"
+	default:
+		return "unknown"
+	}
+}
+
+// LivenessInfo is implemented by locks that advertise their progress
+// guarantee; the experiment harness uses it to label results.
+type LivenessInfo interface {
+	Liveness() Liveness
+}
+
+// ignorePid adapts a Lock to the PidLock interface by discarding the
+// process identity.
+type ignorePid struct{ l Lock }
+
+// IgnorePid returns a PidLock view of l. Fairness properties are
+// whatever l provides; the identity is unused.
+func IgnorePid(l Lock) PidLock { return ignorePid{l} }
+
+func (a ignorePid) Acquire(int) { a.l.Lock() }
+func (a ignorePid) Release(int) { a.l.Unlock() }
+
+// Liveness forwards the wrapped lock's guarantee, defaulting to the
+// conservative DeadlockFree when the lock does not advertise one.
+func (a ignorePid) Liveness() Liveness {
+	if li, ok := a.l.(LivenessInfo); ok {
+		return li.Liveness()
+	}
+	return DeadlockFree
+}
+
+// bound adapts a PidLock to the Lock interface for a fixed process.
+type bound struct {
+	l   PidLock
+	pid int
+}
+
+// Bind returns a Lock view of l as used by the single process pid.
+func Bind(l PidLock, pid int) Lock { return bound{l, pid} }
+
+func (b bound) Lock()   { b.l.Acquire(b.pid) }
+func (b bound) Unlock() { b.l.Release(b.pid) }
+
+// Liveness forwards the wrapped lock's guarantee, defaulting to the
+// conservative DeadlockFree when the lock does not advertise one.
+func (b bound) Liveness() Liveness {
+	if li, ok := b.l.(LivenessInfo); ok {
+		return li.Liveness()
+	}
+	return DeadlockFree
+}

@@ -1,0 +1,31 @@
+// Package memory provides the shared-memory substrate assumed by the
+// paper's computation model (§2): atomic registers supporting read,
+// write and Compare&Swap, optionally instrumented so that every shared
+// access can be observed (counted, traced, or gated by a deterministic
+// scheduler).
+//
+// Two register families are provided:
+//
+//   - Word and Flag: single 64-bit (resp. boolean) registers backed by
+//     sync/atomic. Multi-field register contents such as the paper's
+//     TOP = 〈index, value, seqnb〉 are bit-packed into one word with the
+//     codecs in pack.go, exactly as on the machines the paper cites
+//     (single-word CAS).
+//   - Ref[T]: a register holding an immutable boxed record (*T), for
+//     arbitrary payload types. CAS compares the boxed pointer read
+//     earlier, so a successful CAS proves the register was not written
+//     in between — the GC prevents pointer-level ABA.
+//
+// Sequence tags are still carried by both families because the paper's
+// algorithms use them (§2.2): they make logical ABA detectable and are
+// load-bearing in the packed family, where the same 64-bit pattern can
+// recur.
+//
+// Instrumentation. Every register constructor has an Observed variant
+// taking an Observer whose OnAccess method is invoked immediately
+// before each shared access. A nil observer (the plain constructors)
+// costs a single predictable branch. Stats is the counting observer
+// used by the E1 step-complexity experiment; package sched supplies a
+// gating observer that turns real register accesses into deterministic
+// scheduler decision points.
+package memory

@@ -1,0 +1,114 @@
+package memory
+
+import "sync/atomic"
+
+// Kind identifies the kind of shared-memory access performed on a
+// register. The paper's cost model (§1.2, Theorem 1) counts all three
+// kinds uniformly as "shared memory accesses".
+type Kind uint8
+
+const (
+	// Read is a linearizable load of a register.
+	Read Kind = iota
+	// Write is a linearizable store to a register.
+	Write
+	// CAS is a Compare&Swap attempt (counted whether or not it
+	// succeeds; the paper's analysis does the same).
+	CAS
+	numKinds
+)
+
+// String returns the conventional lower-case name of the access kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case CAS:
+		return "cas"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives a callback immediately before every shared access
+// performed through an instrumented register. Implementations must be
+// safe for concurrent use; OnAccess may be invoked from many goroutines
+// at once. An observer that blocks delays (but does not reorder) the
+// access, which is exactly what the deterministic scheduler in package
+// sched exploits.
+type Observer interface {
+	OnAccess(k Kind)
+}
+
+// Stats is an Observer that counts accesses by kind. The zero value is
+// ready to use. Counting uses atomics so a single Stats may be shared
+// by all registers of an object and by all accessing goroutines.
+type Stats struct {
+	counts [numKinds]atomic.Uint64
+}
+
+// OnAccess implements Observer.
+func (s *Stats) OnAccess(k Kind) { s.counts[k].Add(1) }
+
+// Reads returns the number of reads observed.
+func (s *Stats) Reads() uint64 { return s.counts[Read].Load() }
+
+// Writes returns the number of writes observed.
+func (s *Stats) Writes() uint64 { return s.counts[Write].Load() }
+
+// CASes returns the number of Compare&Swap attempts observed.
+func (s *Stats) CASes() uint64 { return s.counts[CAS].Load() }
+
+// Total returns the total number of shared accesses observed, the
+// quantity bounded by the paper's Theorem 1.
+func (s *Stats) Total() uint64 { return s.Reads() + s.Writes() + s.CASes() }
+
+// Reset zeroes all counters. It is not atomic with respect to
+// concurrent OnAccess calls; reset only between quiescent phases.
+func (s *Stats) Reset() {
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+}
+
+// Snapshot is an immutable copy of a Stats counter set.
+type Snapshot struct {
+	Reads, Writes, CASes uint64
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{Reads: s.Reads(), Writes: s.Writes(), CASes: s.CASes()}
+}
+
+// Total returns the total number of accesses in the snapshot.
+func (sn Snapshot) Total() uint64 { return sn.Reads + sn.Writes + sn.CASes }
+
+// Sub returns the component-wise difference sn - earlier, used to
+// attribute accesses to a window of execution.
+func (sn Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{
+		Reads:  sn.Reads - earlier.Reads,
+		Writes: sn.Writes - earlier.Writes,
+		CASes:  sn.CASes - earlier.CASes,
+	}
+}
+
+// FuncObserver adapts a function to the Observer interface.
+type FuncObserver func(k Kind)
+
+// OnAccess implements Observer.
+func (f FuncObserver) OnAccess(k Kind) { f(k) }
+
+// MultiObserver fans an access notification out to several observers in
+// order. It is used to combine counting with gating in the simulator.
+type MultiObserver []Observer
+
+// OnAccess implements Observer.
+func (m MultiObserver) OnAccess(k Kind) {
+	for _, o := range m {
+		o.OnAccess(k)
+	}
+}

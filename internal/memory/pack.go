@@ -1,0 +1,78 @@
+package memory
+
+// Bit-packing codecs for the paper's multi-field registers.
+//
+// The machines the paper cites (§2.2) CAS one machine word, so the
+// packed backend lays the TOP register's 〈index, value, seqnb〉 triple
+// and a STACK cell's 〈value, sn〉 pair out in a single uint64:
+//
+//	bit  0..19  sequence number (20 bits, wraps modulo 2^20)
+//	bit 20..31  index           (12 bits; TOP only)
+//	bit 32..63  value           (32 bits)
+//
+// Consequences, documented for users of the packed backend:
+//
+//   - stack/queue capacity k is limited to MaxIndex entries;
+//   - values are uint32 (the boxed backend lifts both restrictions);
+//   - a sequence number can recur after SeqPeriod writes to the same
+//     cell within one register-read-to-CAS window of some other
+//     process. The paper's counters are unbounded integers; 2^20 per
+//     cell makes the ABA window astronomically unlikely in practice
+//     and the boxed backend eliminates it entirely.
+const (
+	// SeqBits is the width of the packed sequence-number field.
+	SeqBits = 20
+	// IndexBits is the width of the packed index field.
+	IndexBits = 12
+	// SeqMask extracts a sequence number from its field.
+	SeqMask = 1<<SeqBits - 1
+	// IndexMask extracts an index from its field.
+	IndexMask = 1<<IndexBits - 1
+	// MaxIndex is the largest index representable, hence the largest
+	// usable capacity of a packed-backend stack or queue.
+	MaxIndex = IndexMask
+	// SeqPeriod is the period after which per-cell sequence numbers
+	// wrap around.
+	SeqPeriod = 1 << SeqBits
+
+	indexShift = SeqBits
+	valueShift = SeqBits + IndexBits
+)
+
+// PackTop packs the paper's TOP = 〈index, value, seqnb〉 triple into one
+// word. index must be in [0, MaxIndex] and seq is taken modulo
+// SeqPeriod.
+func PackTop(index int, value uint32, seq uint32) uint64 {
+	if index < 0 || index > MaxIndex {
+		panic("memory: packed index out of range")
+	}
+	return uint64(seq&SeqMask) |
+		uint64(index)<<indexShift |
+		uint64(value)<<valueShift
+}
+
+// UnpackTop is the inverse of PackTop.
+func UnpackTop(w uint64) (index int, value uint32, seq uint32) {
+	seq = uint32(w & SeqMask)
+	index = int(w >> indexShift & IndexMask)
+	value = uint32(w >> valueShift)
+	return index, value, seq
+}
+
+// PackCell packs a STACK cell 〈value, sn〉 pair into one word (the index
+// field is left zero).
+func PackCell(value uint32, seq uint32) uint64 {
+	return uint64(seq&SeqMask) | uint64(value)<<valueShift
+}
+
+// UnpackCell is the inverse of PackCell.
+func UnpackCell(w uint64) (value uint32, seq uint32) {
+	return uint32(w >> valueShift), uint32(w & SeqMask)
+}
+
+// NextSeq returns seq+1 modulo SeqPeriod.
+func NextSeq(seq uint32) uint32 { return (seq + 1) & SeqMask }
+
+// PrevSeq returns seq-1 modulo SeqPeriod; PrevSeq(0) is the packed
+// encoding of the paper's initial dummy tag −1.
+func PrevSeq(seq uint32) uint32 { return (seq - 1) & SeqMask }

@@ -1,0 +1,83 @@
+package memory
+
+import "sync/atomic"
+
+// Ref is an atomic register holding an immutable boxed record of type
+// T. It is the boxed-backend realization of the paper's multi-field
+// registers: instead of bit-packing 〈index, value, seqnb〉 into one
+// machine word, the triple is allocated once and the register holds the
+// pointer. CAS compares against the exact pointer returned by an
+// earlier Read, so a successful CAS proves the register was untouched
+// in between; the garbage collector guarantees a live pointer is never
+// reused, which rules out pointer-level ABA (the logical sequence tags
+// of §2.2 are still kept by the algorithms on top).
+//
+// Records stored in a Ref must be treated as immutable after
+// publication: build a new record, never mutate one that was Read.
+type Ref[T any] struct {
+	p   atomic.Pointer[T]
+	obs Observer
+}
+
+// NewRef returns an uninstrumented register holding init (which may be
+// nil).
+func NewRef[T any](init *T) *Ref[T] {
+	r := &Ref[T]{}
+	r.p.Store(init)
+	return r
+}
+
+// NewRefObserved returns a register holding init whose every access is
+// reported to obs first. A nil obs is equivalent to NewRef.
+func NewRefObserved[T any](init *T, obs Observer) *Ref[T] {
+	r := NewRef(init)
+	r.obs = obs
+	return r
+}
+
+// Read returns the current record. The caller must not mutate it.
+func (r *Ref[T]) Read() *T {
+	if r.obs != nil {
+		r.obs.OnAccess(Read)
+	}
+	return r.p.Load()
+}
+
+// Write stores rec into the register.
+func (r *Ref[T]) Write(rec *T) {
+	if r.obs != nil {
+		r.obs.OnAccess(Write)
+	}
+	r.p.Store(rec)
+}
+
+// CAS atomically replaces old with new and reports whether it did. old
+// must be a pointer previously obtained from Read on this register.
+func (r *Ref[T]) CAS(old, new *T) bool {
+	if r.obs != nil {
+		r.obs.OnAccess(CAS)
+	}
+	return r.p.CompareAndSwap(old, new)
+}
+
+// Refs is a fixed array of Ref registers sharing one observer.
+type Refs[T any] struct {
+	regs []Ref[T]
+}
+
+// NewRefs returns n registers, each initialized by calling init(i).
+// A nil obs disables instrumentation.
+func NewRefs[T any](n int, init func(i int) *T, obs Observer) *Refs[T] {
+	a := &Refs[T]{regs: make([]Ref[T], n)}
+	for i := range a.regs {
+		a.regs[i].p.Store(init(i))
+		a.regs[i].obs = obs
+	}
+	return a
+}
+
+// At returns the i-th register.
+func (a *Refs[T]) At(i int) *Ref[T] { return &a.regs[i] }
+
+// Len returns the number of registers.
+func (a *Refs[T]) Len() int { return len(a.regs) }

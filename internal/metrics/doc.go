@@ -1,0 +1,7 @@
+// Package metrics provides the measurement machinery of the
+// experiment harness: lock-free latency histograms, throughput and
+// fairness statistics (the starvation-freedom experiments need
+// per-process completion distributions, Jain's index and maximum
+// inter-completion gaps), and a plain-text table formatter for the
+// rows EXPERIMENTS.md reports.
+package metrics

@@ -1,0 +1,52 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over per-process counts:
+// (Σx)² / (n·Σx²), in (0, 1]. 1 means perfectly equal shares; 1/n
+// means one process did all the work. It is the summary statistic of
+// the starvation-freedom experiments (E4, E10): a starvation-free
+// object keeps the index near 1 under saturation, a deadlock-free one
+// can drive it toward 1/n.
+func JainIndex(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, c := range counts {
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // nobody did anything: trivially fair
+	}
+	n := float64(len(counts))
+	return sum * sum / (n * sumSq)
+}
+
+// MinMax returns the smallest and largest of the counts (0, 0 for an
+// empty slice). A zero minimum under saturation is the starvation
+// signature.
+func MinMax(counts []uint64) (min, max uint64) {
+	if len(counts) == 0 {
+		return 0, 0
+	}
+	min, max = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return min, max
+}
+
+// Sum adds the counts.
+func Sum(counts []uint64) uint64 {
+	var s uint64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}

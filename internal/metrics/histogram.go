@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts samples in [2^i, 2^(i+1)) nanoseconds, which spans 1ns to
+// ~18s.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram with power-of-two
+// nanosecond buckets. The zero value is ready to use; Record may be
+// called from any number of goroutines.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(ns)-1].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns an upper bound of the p-th percentile latency
+// (p in [0,100]), at power-of-two resolution.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(float64(n) * p / 100)
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			// Upper edge of bucket i.
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return h.Max()
+}
+
+// Reset zeroes the histogram; not atomic with concurrent Record.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}

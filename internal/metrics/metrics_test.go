@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Mean(); got != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v, want 200ns", got)
+	}
+	if got := h.Max(); got != 300*time.Nanosecond {
+		t.Fatalf("Max = %v, want 300ns", got)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		got := h.Percentile(p)
+		if got < prev {
+			t.Fatalf("percentile %v = %v < previous %v", p, got, prev)
+		}
+		prev = got
+	}
+	// The p50 upper bound must be within 2x of the true median (the
+	// bucket resolution).
+	p50 := h.Percentile(50)
+	if p50 < 500*time.Microsecond || p50 > 2*500*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [500us, 1ms]", p50)
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	var h Histogram
+	h.Record(0) // clamped to 1ns, must not panic
+	if h.Count() != 1 {
+		t.Fatal("zero-duration sample dropped")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const procs, per = 8, 10000
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i+1) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != procs*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), procs*per)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestJainIndexExtremes(t *testing.T) {
+	if got := JainIndex([]uint64{5, 5, 5, 5}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("equal shares: %v, want 1", got)
+	}
+	got := JainIndex([]uint64{100, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("single worker of 4: %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 1 || JainIndex([]uint64{0, 0}) != 1 {
+		t.Fatal("degenerate inputs must report 1")
+	}
+}
+
+func TestJainIndexRange(t *testing.T) {
+	f := func(counts []uint64) bool {
+		for i := range counts {
+			counts[i] %= 1 << 20 // avoid float overflow in the property
+		}
+		got := JainIndex(counts)
+		return got > 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxAndSum(t *testing.T) {
+	min, max := MinMax([]uint64{3, 9, 1, 7})
+	if min != 1 || max != 9 {
+		t.Fatalf("MinMax = (%d, %d), want (1, 9)", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Fatal("MinMax(nil) != (0,0)")
+	}
+	if Sum([]uint64{3, 9, 1, 7}) != 20 {
+		t.Fatal("Sum mismatch")
+	}
+}
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("impl", "ops/s", "jain")
+	tb.AddRow("lock(mutex)", 123456, 0.98765)
+	tb.AddRow("contention-sensitive", 777, 1.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "impl") || !strings.Contains(lines[0], "jain") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "0.988") {
+		t.Fatalf("float not rounded to 3 places:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}

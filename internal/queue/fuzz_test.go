@@ -1,0 +1,85 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// interpretQueueOps decodes a fuzz byte string into a solo op sequence
+// and cross-checks a weak queue against the sequential spec.
+func interpretQueueOps(t *testing.T, data []byte, k int, tryEnq func(uint32) error, tryDeq func() (uint32, error)) {
+	t.Helper()
+	ref := spec.NewQueue[uint32](k)
+	for i := 0; i+1 < len(data); i += 2 {
+		if data[i]%2 == 0 {
+			v := uint32(data[i+1])
+			err := tryEnq(v)
+			if ref.Enqueue(v) {
+				if err != nil {
+					t.Fatalf("op %d: enq(%d) = %v, spec accepted", i, v, err)
+				}
+			} else if !errors.Is(err, ErrFull) {
+				t.Fatalf("op %d: enq(%d) = %v, spec reports full", i, v, err)
+			}
+		} else {
+			v, err := tryDeq()
+			want, ok := ref.Dequeue()
+			if ok {
+				if err != nil || v != want {
+					t.Fatalf("op %d: deq = (%d, %v), spec has %d", i, v, err, want)
+				}
+			} else if !errors.Is(err, ErrEmpty) {
+				t.Fatalf("op %d: deq = (%d, %v), spec reports empty", i, v, err)
+			}
+		}
+	}
+}
+
+func FuzzAbortableQueueVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 0, 8, 0, 7, 0, 6, 1, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		q := NewAbortable[uint32](k)
+		interpretQueueOps(t, data, k, q.TryEnqueue, q.TryDequeue)
+	})
+}
+
+func FuzzPackedQueueVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 3
+		q := NewPacked(k)
+		interpretQueueOps(t, data, k, q.TryEnqueue, q.TryDequeue)
+	})
+}
+
+func FuzzMichaelScottVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := NewMichaelScott[uint32]()
+		ref := spec.NewQueue[uint32](1 << 20) // effectively unbounded
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i]%2 == 0 {
+				v := uint32(data[i+1])
+				q.Enqueue(v)
+				ref.Enqueue(v)
+			} else {
+				v, err := q.Dequeue()
+				want, ok := ref.Dequeue()
+				if ok {
+					if err != nil || v != want {
+						t.Fatalf("op %d: deq = (%d, %v), spec has %d", i, v, err, want)
+					}
+				} else if !errors.Is(err, ErrEmpty) {
+					t.Fatalf("op %d: deq = (%d, %v), spec reports empty", i, v, err)
+				}
+			}
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("final length %d, spec %d", q.Len(), ref.Len())
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package queue
+
+import (
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// msNode is a Michael-Scott queue link. The value of the dummy node is
+// never observed.
+type msNode[T any] struct {
+	value T
+	next  *memory.Ref[msNode[T]]
+}
+
+// MichaelScott is the classic unbounded lock-free FIFO queue (Michael
+// & Scott, PODC'96), the standard non-blocking comparator for the E9
+// experiment. In a garbage-collected language the pointer CASes cannot
+// suffer ABA, so the original's counted pointers are unnecessary —
+// the same simplification the paper's §2.2 tags would otherwise
+// provide.
+type MichaelScott[T any] struct {
+	head *memory.Ref[msNode[T]] // points at the dummy; head.next is the front
+	tail *memory.Ref[msNode[T]] // points at the last or second-to-last node
+}
+
+// NewMichaelScott returns an empty queue.
+func NewMichaelScott[T any]() *MichaelScott[T] {
+	return NewMichaelScottObserved[T](nil)
+}
+
+// NewMichaelScottObserved returns an instrumented queue (nil obs
+// disables instrumentation).
+func NewMichaelScottObserved[T any](obs memory.Observer) *MichaelScott[T] {
+	dummy := &msNode[T]{next: memory.NewRefObserved[msNode[T]](nil, obs)}
+	return &MichaelScott[T]{
+		head: memory.NewRefObserved(dummy, obs),
+		tail: memory.NewRefObserved(dummy, obs),
+	}
+}
+
+// Enqueue appends v. It always succeeds (the queue is unbounded) and
+// is lock-free: a failed CAS implies another enqueue succeeded.
+func (q *MichaelScott[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v, next: memory.NewRef[msNode[T]](nil)}
+	for {
+		t := q.tail.Read()
+		next := t.next.Read()
+		if next == nil {
+			if t.next.CAS(nil, n) {
+				q.tail.CAS(t, n) // swing tail; failure means someone helped
+				return
+			}
+		} else {
+			q.tail.CAS(t, next) // help a lagging enqueue
+		}
+	}
+}
+
+// Dequeue removes the oldest value; it returns the value or ErrEmpty.
+func (q *MichaelScott[T]) Dequeue() (T, error) {
+	var zero T
+	for {
+		h := q.head.Read()
+		t := q.tail.Read()
+		next := h.next.Read()
+		if h == t {
+			if next == nil {
+				return zero, ErrEmpty
+			}
+			q.tail.CAS(t, next) // help a lagging enqueue
+			continue
+		}
+		if next == nil {
+			// head moved between the reads; retry
+			continue
+		}
+		v := next.value
+		if q.head.CAS(h, next) {
+			return v, nil
+		}
+	}
+}
+
+// Len counts the elements; quiescent states only (O(n) walk).
+func (q *MichaelScott[T]) Len() int {
+	n := 0
+	for node := q.head.Read().next.Read(); node != nil; node = node.next.Read() {
+		n++
+	}
+	return n
+}
+
+// Progress reports NonBlocking (lock-freedom).
+func (q *MichaelScott[T]) Progress() core.Progress { return core.NonBlocking }

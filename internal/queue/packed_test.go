@@ -1,0 +1,191 @@
+package queue
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestPackedFIFOSolo(t *testing.T) {
+	q := NewPacked(8)
+	for i := uint32(1); i <= 5; i++ {
+		if err := q.TryEnqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := uint32(1); want <= 5; want++ {
+		v, err := q.TryDequeue()
+		if err != nil || v != want {
+			t.Fatalf("TryDequeue = (%d, %v), want (%d, nil)", v, err, want)
+		}
+	}
+	if _, err := q.TryDequeue(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("dequeue on empty = %v", err)
+	}
+}
+
+func TestPackedFullAndWrap(t *testing.T) {
+	q := NewPacked(2)
+	for lap := 0; lap < 1000; lap++ {
+		if err := q.TryEnqueue(uint32(2 * lap)); err != nil {
+			t.Fatalf("lap %d: %v", lap, err)
+		}
+		if err := q.TryEnqueue(uint32(2*lap + 1)); err != nil {
+			t.Fatalf("lap %d: %v", lap, err)
+		}
+		if err := q.TryEnqueue(99); !errors.Is(err, ErrFull) {
+			t.Fatalf("lap %d: enqueue on full = %v", lap, err)
+		}
+		if v, err := q.TryDequeue(); err != nil || v != uint32(2*lap) {
+			t.Fatalf("lap %d: dequeue = (%d, %v)", lap, v, err)
+		}
+		if v, err := q.TryDequeue(); err != nil || v != uint32(2*lap+1) {
+			t.Fatalf("lap %d: dequeue = (%d, %v)", lap, v, err)
+		}
+	}
+}
+
+func TestPackedDifferentialVsBoxed(t *testing.T) {
+	// The two backends must agree op-for-op on solo runs.
+	packed := NewPacked(7)
+	boxed := NewAbortable[uint32](7)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50000; i++ {
+		if rng.Intn(2) == 0 {
+			v := rng.Uint32()
+			pe := packed.TryEnqueue(v)
+			be := boxed.TryEnqueue(v)
+			if !errors.Is(pe, be) && (pe != nil || be != nil) {
+				t.Fatalf("op %d: enqueue mismatch: packed=%v boxed=%v", i, pe, be)
+			}
+		} else {
+			pv, pe := packed.TryDequeue()
+			bv, be := boxed.TryDequeue()
+			if !errors.Is(pe, be) && (pe != nil || be != nil) {
+				t.Fatalf("op %d: dequeue mismatch: packed=%v boxed=%v", i, pe, be)
+			}
+			if pe == nil && pv != bv {
+				t.Fatalf("op %d: dequeue values differ: %d vs %d", i, pv, bv)
+			}
+		}
+	}
+	if packed.Len() != boxed.Len() {
+		t.Fatalf("final lengths differ: %d vs %d", packed.Len(), boxed.Len())
+	}
+}
+
+func TestPackedAccessCounts(t *testing.T) {
+	// The packed backend's single-word slots drop the per-op cost to
+	// 4 shared accesses (the value write merges into the publish).
+	var st memory.Stats
+	q := NewPackedObserved(4, &st)
+	if err := q.TryEnqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Total(); got != 4 {
+		t.Fatalf("TryEnqueue accesses = %d (%+v), want 4", got, st.Snapshot())
+	}
+	st.Reset()
+	if _, err := q.TryDequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Total(); got != 4 {
+		t.Fatalf("TryDequeue accesses = %d (%+v), want 4", got, st.Snapshot())
+	}
+}
+
+func TestPackedSoloNeverAborts(t *testing.T) {
+	q := NewPacked(16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2) == 0 {
+			if err := q.TryEnqueue(uint32(i)); errors.Is(err, ErrAborted) {
+				t.Fatalf("solo TryEnqueue aborted at op %d", i)
+			}
+		} else {
+			if _, err := q.TryDequeue(); errors.Is(err, ErrAborted) {
+				t.Fatalf("solo TryDequeue aborted at op %d", i)
+			}
+		}
+	}
+}
+
+func TestPackedSnapshot(t *testing.T) {
+	q := NewPacked(4)
+	for _, v := range []uint32{10, 20, 30} {
+		if err := q.TryEnqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.TryDequeue(); err != nil {
+		t.Fatal(err)
+	}
+	got := q.Snapshot()
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Fatalf("Snapshot = %v, want [20 30]", got)
+	}
+}
+
+func TestPackedConcurrentConserves(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 2000
+	q := NewNonBlockingFrom[uint32](NewPacked(16), nil)
+	total := producers * perProducer
+	var mu sync.Mutex
+	seen := make(map[uint32]int)
+	var wg sync.WaitGroup
+	consumed := 0
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint32(pid)<<24 | uint32(i)
+				for q.Enqueue(v) != nil {
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if consumed >= total {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				v, err := q.Dequeue()
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				seen[v]++
+				consumed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("value set = %d, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %x seen %d times", v, n)
+		}
+	}
+}
+
+func TestPackedConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPacked(0) did not panic")
+		}
+	}()
+	NewPacked(0)
+}

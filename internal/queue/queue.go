@@ -1,0 +1,29 @@
+package queue
+
+import "errors"
+
+// Sentinel results of the total queue operations (§1.1: a total
+// operation never blocks; dequeue on an empty queue returns empty).
+var (
+	// ErrFull is returned by enqueue on a full queue.
+	ErrFull = errors.New("queue: full")
+	// ErrEmpty is returned by dequeue on an empty queue.
+	ErrEmpty = errors.New("queue: empty")
+	// ErrAborted is the paper's ⊥: the weak operation detected
+	// interference and had no effect.
+	ErrAborted = errors.New("queue: aborted by contention")
+)
+
+// Strong is the interface of total, never-aborting queues whose
+// operations carry the calling process identity.
+type Strong[T any] interface {
+	Enqueue(pid int, v T) error
+	Dequeue(pid int) (T, error)
+}
+
+// Weak is the interface of abortable queues: single attempts that may
+// return ErrAborted, in which case the operation had no effect.
+type Weak[T any] interface {
+	TryEnqueue(v T) error
+	TryDequeue() (T, error)
+}

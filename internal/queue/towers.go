@@ -1,0 +1,175 @@
+package queue
+
+import (
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/memory"
+)
+
+// NonBlocking is Figure 2 applied to the queue: retry the weak
+// operation until non-⊥.
+type NonBlocking[T any] struct {
+	weak Weak[T]
+	m    core.Manager
+}
+
+// NewNonBlocking returns a non-blocking queue of capacity k with the
+// paper's bare retry loop.
+func NewNonBlocking[T any](k int) *NonBlocking[T] {
+	return NewNonBlockingFrom[T](NewAbortable[T](k), nil)
+}
+
+// NewNonBlockingFrom builds the retry construction over any weak
+// queue, pacing retries with m (nil for the bare loop).
+func NewNonBlockingFrom[T any](weak Weak[T], m core.Manager) *NonBlocking[T] {
+	return &NonBlocking[T]{weak: weak, m: m}
+}
+
+// Enqueue appends v, retrying aborted attempts; returns nil or ErrFull.
+func (q *NonBlocking[T]) Enqueue(v T) error {
+	return core.Retry(q.m, func() (error, bool) {
+		err := q.weak.TryEnqueue(v)
+		return err, err != ErrAborted
+	})
+}
+
+// Dequeue removes the oldest value, retrying aborted attempts; returns
+// the value or ErrEmpty.
+func (q *NonBlocking[T]) Dequeue() (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Retry(q.m, func() (res, bool) {
+		v, err := q.weak.TryDequeue()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// Progress reports NonBlocking.
+func (q *NonBlocking[T]) Progress() core.Progress { return core.NonBlocking }
+
+// Sensitive is Figure 3 applied to the queue: contention-sensitive and
+// starvation-free. One guard is shared by both operations, because
+// CONTENTION is a per-object signal.
+type Sensitive[T any] struct {
+	weak  Weak[T]
+	guard *core.Guard
+}
+
+// NewSensitive returns the paper's configuration for n processes: a
+// fresh abortable queue of capacity k over a round-robin-wrapped
+// test-and-set lock.
+func NewSensitive[T any](k, n int) *Sensitive[T] {
+	return NewSensitiveFrom[T](NewAbortable[T](k), lock.NewRoundRobin(lock.NewTAS(), n))
+}
+
+// NewSensitiveFrom builds Figure 3 over any weak queue and PidLock.
+func NewSensitiveFrom[T any](weak Weak[T], lk lock.PidLock) *Sensitive[T] {
+	return &Sensitive[T]{weak: weak, guard: core.NewGuard(lk)}
+}
+
+// NewSensitiveObserved is NewSensitive with all shared accesses (weak
+// queue and CONTENTION register) reported to obs.
+func NewSensitiveObserved[T any](k, n int, obs memory.Observer) *Sensitive[T] {
+	weak := NewAbortableObserved[T](k, obs)
+	lk := lock.NewRoundRobin(lock.NewTAS(), n)
+	return &Sensitive[T]{weak: weak, guard: core.NewGuardObserved(lk, obs)}
+}
+
+// Enqueue is the strong enqueue: never aborts, returns nil or ErrFull.
+func (q *Sensitive[T]) Enqueue(pid int, v T) error {
+	return core.Do(q.guard, pid, func() (error, bool) {
+		err := q.weak.TryEnqueue(v)
+		return err, err != ErrAborted
+	})
+}
+
+// Dequeue is the strong dequeue: never aborts, returns the oldest
+// value or ErrEmpty.
+func (q *Sensitive[T]) Dequeue(pid int) (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Do(q.guard, pid, func() (res, bool) {
+		v, err := q.weak.TryDequeue()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// Guard exposes the fast/slow-path counters.
+func (q *Sensitive[T]) Guard() *core.Guard { return q.guard }
+
+// Progress reports StarvationFree.
+func (q *Sensitive[T]) Progress() core.Progress { return core.StarvationFree }
+
+// LockBased is the traditional fully lock-based bounded queue (§1.1's
+// baseline): every operation takes the lock.
+type LockBased[T any] struct {
+	lk   lock.PidLock
+	buf  []T
+	head int
+	size int
+}
+
+// NewLockBased returns a mutex-guarded queue of capacity k.
+func NewLockBased[T any](k int) *LockBased[T] {
+	return NewLockBasedWith[T](k, lock.IgnorePid(lock.NewMutex()))
+}
+
+// NewLockBasedWith returns a queue of capacity k guarded by lk.
+func NewLockBasedWith[T any](k int, lk lock.PidLock) *LockBased[T] {
+	if k < 1 {
+		panic("queue: capacity must be >= 1")
+	}
+	return &LockBased[T]{lk: lk, buf: make([]T, k)}
+}
+
+// Capacity returns the number of storable elements.
+func (q *LockBased[T]) Capacity() int { return len(q.buf) }
+
+// Enqueue appends v; returns nil or ErrFull.
+func (q *LockBased[T]) Enqueue(pid int, v T) error {
+	q.lk.Acquire(pid)
+	defer q.lk.Release(pid)
+	if q.size == len(q.buf) {
+		return ErrFull
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return nil
+}
+
+// Dequeue removes the oldest value; returns it or ErrEmpty.
+func (q *LockBased[T]) Dequeue(pid int) (T, error) {
+	q.lk.Acquire(pid)
+	defer q.lk.Release(pid)
+	var zero T
+	if q.size == 0 {
+		return zero, ErrEmpty
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, nil
+}
+
+// Len returns the number of elements; quiescent states only.
+func (q *LockBased[T]) Len() int { return q.size }
+
+// Progress reports the condition inherited from the lock.
+func (q *LockBased[T]) Progress() core.Progress {
+	if li, ok := q.lk.(lock.LivenessInfo); ok && li.Liveness() == lock.StarvationFree {
+		return core.StarvationFree
+	}
+	return core.NonBlocking
+}
+
+var (
+	_ Strong[int] = (*Sensitive[int])(nil)
+	_ Strong[int] = (*LockBased[int])(nil)
+)

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memory"
+)
+
+// Run is one concurrent test case instance: per-process operation
+// sequences over a freshly built object, plus a final invariant check
+// executed after all operations complete (in quiescence).
+type Run struct {
+	// Ops holds one operation list per process; operations of one
+	// process execute sequentially on one goroutine.
+	Ops [][]func()
+	// Check, if non-nil, validates the final state and the collected
+	// results (typically via the linearizability checker).
+	Check func() error
+}
+
+// Builder constructs a fresh Run whose object's registers report to
+// obs. It is invoked once per explored schedule, so it must not share
+// mutable state between invocations.
+type Builder func(obs memory.Observer) Run
+
+// Step is one scheduled shared access.
+type Step struct {
+	// Pid is the process that performed the access.
+	Pid int
+	// Access is the kind of register access.
+	Access memory.Kind
+}
+
+// decision is one scheduling choice: which ready process got the next
+// access, among which candidates.
+type decision struct {
+	chosen     int
+	candidates []int
+}
+
+// controller serializes the shared accesses of the run's processes:
+// it blocks each process at its next access until granted, so that at
+// every instant at most one process is between accesses. Unregistered
+// goroutines (the builder and checker) pass through unhindered.
+type controller struct {
+	events chan event
+	grants []chan struct{}
+	open   atomic.Bool
+
+	regMu sync.Mutex
+	reg   map[uint64]int
+}
+
+type event struct {
+	pid     int
+	blocked bool // true: at a gate; false: process finished all ops
+	access  memory.Kind
+}
+
+func newController() *controller {
+	return &controller{
+		events: make(chan event),
+		reg:    make(map[uint64]int),
+	}
+}
+
+// start sizes the per-process grant channels; it must be called after
+// the run is built and before its processes are spawned.
+func (c *controller) start(procs int) {
+	c.grants = make([]chan struct{}, procs)
+	for i := range c.grants {
+		c.grants[i] = make(chan struct{}, 1)
+	}
+}
+
+// OnAccess implements memory.Observer: block until the scheduler
+// grants this process's next shared access.
+func (c *controller) OnAccess(k memory.Kind) {
+	if c.open.Load() {
+		return
+	}
+	c.regMu.Lock()
+	pid, ok := c.reg[gid()]
+	c.regMu.Unlock()
+	if !ok {
+		return // builder/checker access: not scheduled
+	}
+	c.events <- event{pid: pid, blocked: true, access: k}
+	<-c.grants[pid]
+}
+
+func (c *controller) register(pid int) {
+	c.regMu.Lock()
+	c.reg[gid()] = pid
+	c.regMu.Unlock()
+}
+
+// runOutcome is the full record of one executed schedule.
+type runOutcome struct {
+	decisions []decision
+	trace     []Step
+	err       error // Check failure or run error (step budget, panic)
+}
+
+// ErrStepBudget reports a run that exceeded the per-run step budget,
+// which under this scheduler means some operation performs an
+// unbounded number of shared accesses (e.g. a spin loop).
+var ErrStepBudget = fmt.Errorf("sched: step budget exceeded (spinning operation?)")
+
+// runOnce executes one schedule of build's run: decisions follow
+// prefix while it lasts, then always pick the lowest ready pid.
+// maxSteps > 0 bounds the number of scheduling decisions.
+func runOnce(build Builder, prefix []int, maxSteps int) runOutcome {
+	return runSchedule(build, maxSteps, nil, func(d int, cands []int, blocked map[int]memory.Kind) (int, error) {
+		if d < len(prefix) {
+			pick := prefix[d]
+			if _, ready := blocked[pick]; !ready {
+				return 0, fmt.Errorf("sched: non-deterministic replay: pid %d not ready at decision %d (ready %v)", pick, d, cands)
+			}
+			return pick, nil
+		}
+		return cands[0], nil
+	})
+}
+
+// runRandom executes one uniformly random schedule drawn from rng.
+func runRandom(build Builder, rng *uint64, maxSteps int) runOutcome {
+	return runSchedule(build, maxSteps, nil, func(_ int, cands []int, _ map[int]memory.Kind) (int, error) {
+		return cands[int(splitmix64(rng)%uint64(len(cands)))], nil
+	})
+}
+
+// runSchedule executes one schedule, consulting pick at every decision
+// point. crashAfter maps a pid to the number of granted accesses after
+// which that process crashes: it is never scheduled again and stays
+// parked at its gate (the paper's §5 crash model — a process stops
+// between two shared accesses and takes no further steps). A nil map
+// disables crashes.
+func runSchedule(build Builder, maxSteps int, crashAfter map[int]int, pick func(d int, cands []int, blocked map[int]memory.Kind) (int, error)) runOutcome {
+	var out runOutcome
+
+	c := newController()
+	run := build(c)
+	procs := len(run.Ops)
+	c.start(procs)
+
+	var panicMu sync.Mutex
+	var panicErr error
+	var wg sync.WaitGroup
+	for pid := range run.Ops {
+		wg.Add(1)
+		go func(pid int, ops []func()) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("sched: process %d panicked: %v", pid, r)
+					}
+					panicMu.Unlock()
+					c.events <- event{pid: pid, blocked: false}
+				}
+			}()
+			c.register(pid)
+			for _, op := range ops {
+				op()
+			}
+			c.events <- event{pid: pid, blocked: false}
+		}(pid, run.Ops[pid])
+	}
+
+	// Scheduler loop: wait until every live process is blocked at a
+	// gate (or finished), then grant one.
+	running := procs
+	finished := 0
+	crashed := 0
+	granted := make(map[int]int)
+	blocked := make(map[int]memory.Kind)
+	for finished+crashed < procs {
+		for running > 0 {
+			ev := <-c.events
+			running--
+			if !ev.blocked {
+				finished++
+				continue
+			}
+			if limit, dies := crashAfter[ev.pid]; dies && granted[ev.pid] >= limit {
+				// The process crashes here: it stays parked at its
+				// gate forever and is never scheduled again.
+				crashed++
+				continue
+			}
+			blocked[ev.pid] = ev.access
+		}
+		if len(blocked) == 0 {
+			break // everyone finished or crashed
+		}
+
+		// Decision point.
+		cands := make([]int, 0, len(blocked))
+		for pid := range blocked {
+			cands = append(cands, pid)
+		}
+		sort.Ints(cands)
+		var next int
+		next, out.err = pick(len(out.decisions), cands, blocked)
+		if out.err == nil && maxSteps > 0 && len(out.decisions) >= maxSteps {
+			out.err = ErrStepBudget
+		}
+		if out.err != nil {
+			// Abort the run. Every live process is parked at its gate
+			// (running == 0 here), so simply returning leaks them in a
+			// permanently parked state: zero CPU, reclaimed only at
+			// process exit. Releasing them instead would let a
+			// genuinely spinning operation (the very thing the step
+			// budget catches) burn a core forever. Acceptable for a
+			// test substrate; aborts are rare and terminal.
+			return out
+		}
+
+		out.decisions = append(out.decisions, decision{chosen: next, candidates: cands})
+		out.trace = append(out.trace, Step{Pid: next, Access: blocked[next]})
+		granted[next]++
+		delete(blocked, next)
+		running = 1
+		c.grants[next] <- struct{}{}
+	}
+	c.open.Store(true)
+	if crashed == 0 {
+		wg.Wait()
+	}
+	// Survivor done-events happen-before their receipt above, so the
+	// panic flag is safely visible even without wg.Wait.
+	panicMu.Lock()
+	out.err = panicErr
+	panicMu.Unlock()
+	if out.err == nil && run.Check != nil {
+		out.err = run.Check()
+	}
+	return out
+}
+
+// ReplayWithCrashes executes one explicit schedule in which each pid
+// in crashAfter permanently stops after its given number of granted
+// shared accesses (the §5 crash model: a crashed process takes no
+// further steps; its goroutine is leaked parked). The run ends when
+// every non-crashed process finishes; Check then validates the
+// survivors' view.
+func ReplayWithCrashes(build Builder, schedule []int, crashAfter map[int]int, maxSteps int) (trace []Step, err error) {
+	if maxSteps == 0 {
+		maxSteps = 10000
+	}
+	out := runSchedule(build, maxSteps, crashAfter, func(d int, cands []int, blocked map[int]memory.Kind) (int, error) {
+		if d < len(schedule) {
+			pick := schedule[d]
+			if _, ready := blocked[pick]; !ready {
+				return 0, fmt.Errorf("sched: non-deterministic replay: pid %d not ready at decision %d (ready %v)", pick, d, cands)
+			}
+			return pick, nil
+		}
+		return cands[0], nil
+	})
+	return out.trace, out.err
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// crashSchedule grants p0 exactly n accesses; after p0 crashes the
+// default policy schedules the survivor.
+func crashSchedule(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func TestCrashMidPushEveryPoint(t *testing.T) {
+	// §5: crash the pusher after each possible number of shared
+	// accesses (a boxed weak push has 5); the survivor must complete
+	// all its operations and see a consistent stack either way.
+	survivor := []StackOp{
+		{Push: true, Value: 100},
+		{Push: false},
+		{Push: false},
+		{Push: false},
+		{Push: false}, // drains to empty eventually
+	}
+	for _, backend := range []StackBackend{Boxed, PackedWords} {
+		for crashAt := 0; crashAt <= 5; crashAt++ {
+			build, crashes := CrashPush(backend, 8, []uint64{10, 20}, 77, crashAt, survivor)
+			if _, err := ReplayWithCrashes(build, crashSchedule(crashAt), crashes, 0); err != nil {
+				t.Fatalf("%v crashAt=%d: %v", backend, crashAt, err)
+			}
+		}
+	}
+}
+
+func TestCrashBeyondOpCompletes(t *testing.T) {
+	// A crash limit beyond the op's access count means no crash: the
+	// run completes and the marker must be on the stack.
+	build, crashes := CrashPush(Boxed, 8, nil, 77, 50,
+		[]StackOp{{Push: false}})
+	if _, err := ReplayWithCrashes(build, crashSchedule(5), crashes, 0); err != nil {
+		t.Fatalf("uncrashed run failed: %v", err)
+	}
+}
+
+func TestCrashSurvivorSeesEffectiveCrashedPush(t *testing.T) {
+	// Crash the pusher right after its TOP CAS (access 5 of a boxed
+	// push, counting the 5th as the CAS: grant all 5, crash before
+	// any further op). The push took effect, so the survivor's pop
+	// must return the marker — and the check must accept it via the
+	// "crashed op took effect" branch.
+	build, crashes := CrashPush(Boxed, 8, nil, 77, 5,
+		[]StackOp{{Push: false}})
+	if _, err := ReplayWithCrashes(build, crashSchedule(5), crashes, 0); err != nil {
+		t.Fatalf("effective crashed push rejected: %v", err)
+	}
+}
+
+func TestCrashRejectsNondeterministicSchedule(t *testing.T) {
+	build, crashes := CrashPush(Boxed, 8, nil, 77, 1, []StackOp{{Push: false}})
+	// Granting p0 three accesses contradicts a crash after one.
+	_, err := ReplayWithCrashes(build, crashSchedule(3), crashes, 0)
+	if err == nil || !strings.Contains(err.Error(), "non-deterministic replay") {
+		t.Fatalf("expected replay mismatch, got %v", err)
+	}
+}
+
+func TestCrashedHolderOfNaiveInvariantStillChecked(t *testing.T) {
+	// Control: a run with no crashes through ReplayWithCrashes behaves
+	// like Replay.
+	build := WeakStackBuilder(Boxed, 2, []uint64{7},
+		[][]StackOp{{{Push: true, Value: 9}}, {{Push: false}}})
+	if _, err := ReplayWithCrashes(build, nil, nil, 0); err != nil {
+		t.Fatalf("crash-free ReplayWithCrashes failed: %v", err)
+	}
+}
+
+// TestCrashLeavesGateOpenForSurvivorChecks ensures the post-run Check
+// (which reads registers through the same observer) is not blocked by
+// the crashed process's controller.
+func TestCrashLeavesGateOpenForSurvivorChecks(t *testing.T) {
+	checked := false
+	build := func(obs memory.Observer) Run {
+		w := memory.NewWordObserved(0, obs)
+		return Run{
+			Ops: [][]func(){
+				{func() { w.Write(1); w.Write(2) }},
+				{func() { w.Read() }},
+			},
+			Check: func() error {
+				_ = w.Read() // must not block
+				checked = true
+				return nil
+			},
+		}
+	}
+	if _, err := ReplayWithCrashes(build, []int{0}, map[int]int{0: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("Check did not run")
+	}
+}

@@ -1,0 +1,27 @@
+// Package sched is a deterministic scheduler and stateless model
+// checker for the algorithms in this repository. The paper's proofs
+// (Lemmas 1-3, Theorem 1) quantify over every interleaving an
+// adversarial scheduler can produce; goroutine stress tests exercise
+// only a vanishing fraction of those, and Go offers no control over
+// preemption. This package restores that control:
+//
+//   - every register constructor accepts a memory.Observer; the
+//     Controller here is an observer that blocks the accessing
+//     goroutine just before each shared access until the scheduler
+//     grants it, turning real register accesses of the *production
+//     implementation* (not a re-encoding) into scheduling points;
+//   - Explore enumerates schedules depth-first with replay (stateless
+//     model checking), Walk samples them randomly, and Replay runs one
+//     handcrafted schedule — which is how experiment E8 exhibits the
+//     exact ABA interleaving of §2.2 deterministically;
+//   - each run's operations are recorded and checked against a
+//     sequential model with the linearizability checker, so the oracle
+//     is the paper's own safety condition.
+//
+// Restrictions: the scheduled code must perform a bounded number of
+// shared accesses per operation (weak/abortable operations qualify;
+// spinning slow paths do not), and scheduled operations must not
+// synchronize with each other except through observed registers. The
+// goroutine-identity bridge uses runtime.Stack parsing, which is slow
+// and deliberately confined to this testing substrate.
+package sched

@@ -1,0 +1,22 @@
+package sched
+
+import "runtime"
+
+// gid returns the current goroutine's id by parsing the first line of
+// its stack trace ("goroutine N [running]: ..."). This is the standard
+// trick for test scaffolding that needs goroutine identity; it is far
+// too slow for production paths and is used only under the model
+// checker.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

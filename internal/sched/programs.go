@@ -1,0 +1,484 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/deque"
+	lin "repro/internal/linearizability"
+	"repro/internal/memory"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+// StackOp is one planned weak stack operation for a model-checked run.
+type StackOp struct {
+	// Push selects weak_push (with Value) over weak_pop.
+	Push bool
+	// Value is the pushed value.
+	Value uint64
+}
+
+// QueueOp is one planned weak queue operation for a model-checked run.
+type QueueOp struct {
+	// Enq selects a weak enqueue (with Value) over a weak dequeue.
+	Enq bool
+	// Value is the enqueued value.
+	Value uint64
+}
+
+func stackOutcome(err error) string {
+	switch {
+	case err == nil:
+		return lin.OutcomeOK
+	case errors.Is(err, stack.ErrFull):
+		return lin.OutcomeFull
+	case errors.Is(err, stack.ErrEmpty):
+		return lin.OutcomeEmpty
+	case errors.Is(err, stack.ErrAborted):
+		return lin.OutcomeAborted
+	default:
+		panic(err)
+	}
+}
+
+func queueOutcome(err error) string {
+	switch {
+	case err == nil:
+		return lin.OutcomeOK
+	case errors.Is(err, queue.ErrFull):
+		return lin.OutcomeFull
+	case errors.Is(err, queue.ErrEmpty):
+		return lin.OutcomeEmpty
+	case errors.Is(err, queue.ErrAborted):
+		return lin.OutcomeAborted
+	default:
+		panic(err)
+	}
+}
+
+// weakStack is the common surface of the three model-checked stacks.
+type weakStack interface {
+	TryPush(v uint64) error
+	TryPop() (uint64, error)
+}
+
+// packedAdapter lifts the uint32-valued packed stack to uint64.
+type packedAdapter struct{ s *stack.Packed }
+
+func (a packedAdapter) TryPush(v uint64) error { return a.s.TryPush(uint32(v)) }
+func (a packedAdapter) TryPop() (uint64, error) {
+	v, err := a.s.TryPop()
+	return uint64(v), err
+}
+
+// StackBackend selects the implementation a stack Builder checks.
+type StackBackend int
+
+const (
+	// Boxed is the Figure 1 stack on boxed registers.
+	Boxed StackBackend = iota
+	// PackedWords is the Figure 1 stack on bit-packed registers.
+	PackedWords
+	// NaiveABA is the deliberately untagged strawman of §2.2.
+	NaiveABA
+)
+
+// String names the backend.
+func (b StackBackend) String() string {
+	switch b {
+	case Boxed:
+		return "boxed"
+	case PackedWords:
+		return "packed"
+	case NaiveABA:
+		return "naive"
+	default:
+		return "unknown"
+	}
+}
+
+// WeakStackBuilder returns a Builder that prefills a fresh stack of
+// capacity k with initial (bottom first), runs the per-process plans
+// as weak operations, and checks the recorded history against the
+// sequential stack model. Aborted operations take no effect by the
+// abortable-object contract, so they are dropped from the history; a
+// backend that "aborts" an operation that *did* take effect (the ABA
+// failure mode) is caught as a linearizability violation of the
+// remaining history.
+func WeakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]StackOp) Builder {
+	return weakStackBuilder(backend, k, initial, plans, false)
+}
+
+// SoloNeverAborts is WeakStackBuilder for a single process whose check
+// additionally fails if any operation returned ⊥: a solo weak
+// operation must always succeed (claim A2, the obstruction-freedom of
+// the abortable object).
+func SoloNeverAborts(backend StackBackend, k int, initial []uint64, plan []StackOp) Builder {
+	return weakStackBuilder(backend, k, initial, [][]StackOp{plan}, true)
+}
+
+func weakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]StackOp, forbidAborts bool) Builder {
+	return func(obs memory.Observer) Run {
+		var s weakStack
+		switch backend {
+		case Boxed:
+			s = stack.NewAbortableObserved[uint64](k, obs)
+		case PackedWords:
+			s = packedAdapter{stack.NewPackedObserved(k, obs)}
+		case NaiveABA:
+			s = stack.NewNaiveObserved[uint64](k, obs)
+		default:
+			panic("sched: unknown stack backend")
+		}
+		for _, v := range initial {
+			if err := s.TryPush(v); err != nil {
+				panic(fmt.Sprintf("sched: prefill: %v", err))
+			}
+		}
+		rec := lin.NewRecorder(len(plans))
+		// The prefill is part of the object's initial state: replay
+		// it as history ops that precede everything else.
+		for _, v := range initial {
+			pend := rec.Invoke(0, "push", v)
+			rec.Return(pend, 0, lin.OutcomeOK)
+		}
+		ops := make([][]func(), len(plans))
+		for pid, plan := range plans {
+			for _, p := range plan {
+				pid, p := pid, p
+				if p.Push {
+					ops[pid] = append(ops[pid], func() {
+						pend := rec.Invoke(pid, "push", p.Value)
+						err := s.TryPush(p.Value)
+						rec.Return(pend, 0, stackOutcome(err))
+					})
+				} else {
+					ops[pid] = append(ops[pid], func() {
+						pend := rec.Invoke(pid, "pop", 0)
+						v, err := s.TryPop()
+						rec.Return(pend, v, stackOutcome(err))
+					})
+				}
+			}
+		}
+		return Run{Ops: ops, Check: func() error {
+			if forbidAborts {
+				if n := rec.Aborts(); n > 0 {
+					return fmt.Errorf("%d solo weak operation(s) aborted", n)
+				}
+			}
+			h := rec.History()
+			res := lin.Check(lin.StackModel(k), h, 0)
+			if res.Exhausted {
+				return fmt.Errorf("sched: linearizability check exhausted")
+			}
+			if !res.Ok {
+				return fmt.Errorf("history not linearizable: %v", h)
+			}
+			return nil
+		}}
+	}
+}
+
+// weakQueue is the common surface of the model-checked queues.
+type weakQueue interface {
+	TryEnqueue(v uint64) error
+	TryDequeue() (uint64, error)
+}
+
+// packedQueueAdapter lifts the uint32-valued packed queue to uint64.
+type packedQueueAdapter struct{ q *queue.Packed }
+
+func (a packedQueueAdapter) TryEnqueue(v uint64) error { return a.q.TryEnqueue(uint32(v)) }
+func (a packedQueueAdapter) TryDequeue() (uint64, error) {
+	v, err := a.q.TryDequeue()
+	return uint64(v), err
+}
+
+// WeakQueueBuilder is WeakStackBuilder's FIFO sibling over the boxed
+// abortable bounded queue.
+func WeakQueueBuilder(k int, initial []uint64, plans [][]QueueOp) Builder {
+	return weakQueueBuilder(k, initial, plans, false)
+}
+
+// WeakPackedQueueBuilder model-checks the packed queue backend.
+func WeakPackedQueueBuilder(k int, initial []uint64, plans [][]QueueOp) Builder {
+	return weakQueueBuilder(k, initial, plans, true)
+}
+
+func weakQueueBuilder(k int, initial []uint64, plans [][]QueueOp, packed bool) Builder {
+	return func(obs memory.Observer) Run {
+		var q weakQueue
+		if packed {
+			q = packedQueueAdapter{queue.NewPackedObserved(k, obs)}
+		} else {
+			q = queue.NewAbortableObserved[uint64](k, obs)
+		}
+		for _, v := range initial {
+			if err := q.TryEnqueue(v); err != nil {
+				panic(fmt.Sprintf("sched: prefill: %v", err))
+			}
+		}
+		rec := lin.NewRecorder(len(plans))
+		for _, v := range initial {
+			pend := rec.Invoke(0, "enq", v)
+			rec.Return(pend, 0, lin.OutcomeOK)
+		}
+		ops := make([][]func(), len(plans))
+		for pid, plan := range plans {
+			for _, p := range plan {
+				pid, p := pid, p
+				if p.Enq {
+					ops[pid] = append(ops[pid], func() {
+						pend := rec.Invoke(pid, "enq", p.Value)
+						err := q.TryEnqueue(p.Value)
+						rec.Return(pend, 0, queueOutcome(err))
+					})
+				} else {
+					ops[pid] = append(ops[pid], func() {
+						pend := rec.Invoke(pid, "deq", 0)
+						v, err := q.TryDequeue()
+						rec.Return(pend, v, queueOutcome(err))
+					})
+				}
+			}
+		}
+		return Run{Ops: ops, Check: func() error {
+			h := rec.History()
+			res := lin.Check(lin.QueueModel(k), h, 0)
+			if res.Exhausted {
+				return fmt.Errorf("sched: linearizability check exhausted")
+			}
+			if !res.Ok {
+				return fmt.Errorf("history not linearizable: %v", h)
+			}
+			return nil
+		}}
+	}
+}
+
+// DequeOp is one planned weak deque operation for a model-checked run.
+type DequeOp struct {
+	// Kind is one of "pushl", "pushr", "popl", "popr".
+	Kind string
+	// Value is the pushed value (push kinds only).
+	Value uint64
+}
+
+func dequeOutcome(err error) string {
+	switch {
+	case err == nil:
+		return lin.OutcomeOK
+	case errors.Is(err, deque.ErrFull):
+		return lin.OutcomeFull
+	case errors.Is(err, deque.ErrEmpty):
+		return lin.OutcomeEmpty
+	case errors.Is(err, deque.ErrAborted):
+		return lin.OutcomeAborted
+	default:
+		panic(err)
+	}
+}
+
+// WeakDequeBuilder model-checks the HLM abortable deque: prefill with
+// rightward pushes of initial, run the per-process plans, check the
+// recorded history against the deque model.
+func WeakDequeBuilder(max int, initial []uint64, plans [][]DequeOp) Builder {
+	return func(obs memory.Observer) Run {
+		d := deque.NewAbortableObserved(max, obs)
+		for _, v := range initial {
+			if err := d.TryPushRight(uint32(v)); err != nil {
+				panic(fmt.Sprintf("sched: prefill: %v", err))
+			}
+		}
+		rec := lin.NewRecorder(len(plans))
+		for _, v := range initial {
+			pend := rec.Invoke(0, "pushr", v)
+			rec.Return(pend, 0, lin.OutcomeOK)
+		}
+		ops := make([][]func(), len(plans))
+		for pid, plan := range plans {
+			for _, p := range plan {
+				pid, p := pid, p
+				ops[pid] = append(ops[pid], func() {
+					pend := rec.Invoke(pid, p.Kind, p.Value)
+					var v uint32
+					var err error
+					switch p.Kind {
+					case "pushr":
+						err = d.TryPushRight(uint32(p.Value))
+					case "pushl":
+						err = d.TryPushLeft(uint32(p.Value))
+					case "popr":
+						v, err = d.TryPopRight()
+					case "popl":
+						v, err = d.TryPopLeft()
+					default:
+						panic("sched: unknown deque op kind")
+					}
+					rec.Return(pend, uint64(v), dequeOutcome(err))
+				})
+			}
+		}
+		return Run{Ops: ops, Check: func() error {
+			h := rec.History()
+			res := lin.Check(lin.DequeModel(max), h, 0)
+			if res.Exhausted {
+				return fmt.Errorf("sched: linearizability check exhausted")
+			}
+			if !res.Ok {
+				return fmt.Errorf("history not linearizable: %v", h)
+			}
+			return nil
+		}}
+	}
+}
+
+// CrashPush builds a §5 crash-tolerance run and the crash map for it:
+// process 0 pushes marker onto a stack prefilled with initial and is
+// crashed after crashAt shared accesses (0..5 covers every point of a
+// boxed weak push); process 1 then runs its plan to completion, solo.
+//
+// Check asserts the paper's §5 claim for lock-free code: the survivor
+// completes every operation, and its history is linearizable either
+// with or without the marker push — a crashed operation may or may
+// not have taken effect, but the object is never left inconsistent.
+func CrashPush(backend StackBackend, k int, initial []uint64, marker uint64, crashAt int, survivor []StackOp) (Builder, map[int]int) {
+	build := func(obs memory.Observer) Run {
+		var s weakStack
+		switch backend {
+		case Boxed:
+			s = stack.NewAbortableObserved[uint64](k, obs)
+		case PackedWords:
+			s = packedAdapter{stack.NewPackedObserved(k, obs)}
+		default:
+			panic("sched: CrashPush supports the tagged backends only")
+		}
+		for _, v := range initial {
+			if err := s.TryPush(v); err != nil {
+				panic(fmt.Sprintf("sched: prefill: %v", err))
+			}
+		}
+		rec := lin.NewRecorder(2)
+		for _, v := range initial {
+			pend := rec.Invoke(0, "push", v)
+			rec.Return(pend, 0, lin.OutcomeOK)
+		}
+		var markerCall int64
+		crasher := func() {
+			pend := rec.Invoke(0, "push", marker)
+			markerCall = pend.CallTime()
+			_ = s.TryPush(marker) // never completes: p0 crashes inside
+			// If the crash point is past the op (crashAt too large),
+			// the op completes; record it normally so the check stays
+			// exact.
+			rec.Return(pend, 0, lin.OutcomeOK)
+			markerCall = 0
+		}
+		ops := [][]func(){{crasher}, nil}
+		for _, p := range survivor {
+			p := p
+			if p.Push {
+				ops[1] = append(ops[1], func() {
+					pend := rec.Invoke(1, "push", p.Value)
+					err := s.TryPush(p.Value)
+					rec.Return(pend, 0, stackOutcome(err))
+				})
+			} else {
+				ops[1] = append(ops[1], func() {
+					pend := rec.Invoke(1, "pop", 0)
+					v, err := s.TryPop()
+					rec.Return(pend, v, stackOutcome(err))
+				})
+			}
+		}
+		return Run{Ops: ops, Check: func() error {
+			h := rec.History()
+			if res := lin.Check(lin.StackModel(k), h, 0); res.Ok {
+				return nil // the crashed push took no effect
+			}
+			if markerCall == 0 {
+				return fmt.Errorf("completed history not linearizable: %v", h)
+			}
+			// Retry with the crashed push counted as effective,
+			// spanning from its real invocation to after everything.
+			var maxRet int64
+			for _, op := range h {
+				if op.Return > maxRet {
+					maxRet = op.Return
+				}
+			}
+			h2 := append([]lin.Op{{
+				Proc: 0, Call: markerCall, Return: maxRet + 1,
+				Kind: "push", Input: marker, Outcome: lin.OutcomeOK,
+			}}, h...)
+			sortOpsByCall(h2)
+			if res := lin.Check(lin.StackModel(k), h2, 0); res.Ok {
+				return nil // the crashed push took effect
+			}
+			return fmt.Errorf("history not linearizable with or without the crashed push: %v", h)
+		}}
+	}
+	return build, map[int]int{0: crashAt}
+}
+
+func sortOpsByCall(h []lin.Op) {
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && h[j].Call < h[j-1].Call; j-- {
+			h[j], h[j-1] = h[j-1], h[j]
+		}
+	}
+}
+
+// ABASchedule returns the builder and the handcrafted schedule that
+// exhibit §2.2's ABA failure deterministically on the Naive stack
+// (experiment E8): process 0 starts a pop of b from [a b], is
+// preempted between its value read and its index CAS, while process 1
+// pops b, pops a, then pushes x and y. Process 0's stale CAS then
+// succeeds — it returns the already-popped b and the freshly pushed y
+// is lost. The same schedule shape on the tagged backends fails the
+// stale CAS instead, so their checks pass.
+func ABASchedule(backend StackBackend) (Builder, []int) {
+	build := WeakStackBuilder(backend, 4,
+		[]uint64{10, 20}, // a=10, b=20
+		[][]StackOp{
+			{{Push: false}}, // p0: pop
+			{ // p1: pop b, pop a, push x, push y
+				{Push: false},
+				{Push: false},
+				{Push: true, Value: 30},
+				{Push: true, Value: 40},
+			},
+		})
+	// p0 performs its pop's accesses except the final CAS; p1 runs all
+	// four operations to completion; p0 finishes. The access counts
+	// are implementation-exact and verified by the sched tests:
+	//
+	//   naive:  p0 pop prefix = 2 (read TOP, read cell);
+	//           p1 = 4 ops × 3 accesses = 12.
+	//   packed: p0 pop prefix = 4 (read TOP, help read, help CAS,
+	//           read below); p1 = 4 ops × 5 accesses = 20 (the packed
+	//           help CAS is unconditional, as in the paper).
+	//   boxed:  p0 prefix = 4 as above, but p1's first pop skips its
+	//           help CAS (p0 already completed that lazy write), so
+	//           p1 = 4 + 5 + 5 + 5 = 19.
+	var p0Prefix, p1Ops int
+	switch backend {
+	case NaiveABA:
+		p0Prefix, p1Ops = 2, 12
+	case Boxed:
+		p0Prefix, p1Ops = 4, 19
+	default:
+		p0Prefix, p1Ops = 4, 20
+	}
+	sched := make([]int, 0, p0Prefix+p1Ops+1)
+	for i := 0; i < p0Prefix; i++ {
+		sched = append(sched, 0)
+	}
+	for i := 0; i < p1Ops; i++ {
+		sched = append(sched, 1)
+	}
+	sched = append(sched, 0) // p0's final CAS
+	return build, sched
+}

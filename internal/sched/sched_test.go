@@ -1,0 +1,347 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// counterBuilder builds a run of two processes each CAS-incrementing a
+// shared register once, retry-free; check verifies both observed a
+// consistent outcome.
+func counterBuilder(fails *atomic.Int64) Builder {
+	return func(obs memory.Observer) Run {
+		w := memory.NewWordObserved(0, obs)
+		results := make([]bool, 2)
+		op := func(pid int) func() {
+			return func() {
+				v := w.Read()
+				results[pid] = w.CAS(v, v+1)
+			}
+		}
+		return Run{
+			Ops: [][]func(){{op(0)}, {op(1)}},
+			Check: func() error {
+				wins := 0
+				for _, r := range results {
+					if r {
+						wins++
+					}
+				}
+				final := w.Read()
+				if uint64(wins) != final {
+					return fmt.Errorf("wins %d != final %d", wins, final)
+				}
+				if wins == 0 {
+					fails.Add(1)
+					return errors.New("both CASes failed (impossible)")
+				}
+				return nil
+			},
+		}
+	}
+}
+
+func TestExploreEnumeratesAllInterleavings(t *testing.T) {
+	var fails atomic.Int64
+	rep := Explore(counterBuilder(&fails), Options{})
+	if rep.Failure != nil {
+		t.Fatalf("unexpected failure: %v", rep.Failure)
+	}
+	if !rep.Complete {
+		t.Fatal("exploration did not complete")
+	}
+	// Two processes, two accesses each: C(4,2) = 6 interleavings.
+	if rep.Schedules != 6 {
+		t.Fatalf("schedules = %d, want 6", rep.Schedules)
+	}
+}
+
+func TestExploreFindsInjectedBug(t *testing.T) {
+	// A broken check: claim that the final counter is always 2 (only
+	// true when the two increments do not race).
+	build := func(obs memory.Observer) Run {
+		w := memory.NewWordObserved(0, obs)
+		op := func() {
+			v := w.Read()
+			w.CAS(v, v+1)
+		}
+		return Run{
+			Ops: [][]func(){{op}, {op}},
+			Check: func() error {
+				if got := w.Read(); got != 2 {
+					return fmt.Errorf("final = %d, want 2", got)
+				}
+				return nil
+			},
+		}
+	}
+	rep := Explore(build, Options{})
+	if rep.Failure == nil {
+		t.Fatal("exploration missed the interleaving where an increment is lost")
+	}
+	// The failing schedule must replay to the same failure.
+	_, err := Replay(build, rep.Failure.Schedule, 0)
+	if err == nil || !strings.Contains(err.Error(), "want 2") {
+		t.Fatalf("replay of failing schedule: %v", err)
+	}
+}
+
+func TestReplayIsDeterministic(t *testing.T) {
+	build, schedule := ABASchedule(NaiveABA)
+	var firstErr error
+	for i := 0; i < 5; i++ {
+		_, err := Replay(build, schedule, 0)
+		if i == 0 {
+			firstErr = err
+			continue
+		}
+		if (err == nil) != (firstErr == nil) {
+			t.Fatalf("replay %d differs: %v vs %v", i, err, firstErr)
+		}
+	}
+}
+
+func TestABAScheduleBreaksNaiveStack(t *testing.T) {
+	// E8, deterministic half: the handcrafted §2.2 interleaving makes
+	// the untagged stack return a non-linearizable history.
+	build, schedule := ABASchedule(NaiveABA)
+	trace, err := Replay(build, schedule, 0)
+	if err == nil {
+		t.Fatalf("ABA schedule did not break the naive stack (trace %v)", trace)
+	}
+	if !strings.Contains(err.Error(), "not linearizable") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestABAScheduleHarmlessOnTaggedStacks(t *testing.T) {
+	// E8, control half: the same interleaving shape cannot hurt the
+	// sequence-tagged backends — the stale CAS fails and the operation
+	// aborts instead of corrupting the stack.
+	for _, backend := range []StackBackend{Boxed, PackedWords} {
+		build, schedule := ABASchedule(backend)
+		if _, err := Replay(build, schedule, 0); err != nil {
+			t.Fatalf("%v backend failed under the ABA schedule: %v", backend, err)
+		}
+	}
+}
+
+func TestExhaustiveWeakStackTwoProcs(t *testing.T) {
+	// Every interleaving of one weak push against one weak pop on a
+	// small stack is linearizable, for both tagged backends.
+	for _, backend := range []StackBackend{Boxed, PackedWords} {
+		build := WeakStackBuilder(backend, 2, []uint64{7},
+			[][]StackOp{
+				{{Push: true, Value: 9}},
+				{{Push: false}},
+			})
+		rep := Explore(build, Options{})
+		if rep.Failure != nil {
+			t.Fatalf("%v: %v\ntrace: %v", backend, rep.Failure.Err, rep.Failure.Trace)
+		}
+		if !rep.Complete {
+			t.Fatalf("%v: exploration incomplete after %d schedules", backend, rep.Schedules)
+		}
+		t.Logf("%v: %d schedules, all linearizable", backend, rep.Schedules)
+	}
+}
+
+func TestExhaustiveWeakStackPopPop(t *testing.T) {
+	// Two racing pops must never both return the same value.
+	build := WeakStackBuilder(Boxed, 2, []uint64{1, 2},
+		[][]StackOp{
+			{{Push: false}},
+			{{Push: false}},
+		})
+	rep := Explore(build, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("pop/pop race: %v", rep.Failure.Err)
+	}
+	if !rep.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}
+
+func TestExhaustiveWeakQueueTwoProcs(t *testing.T) {
+	// Enqueue racing dequeue on capacities 1 and 2, exhaustively.
+	for _, k := range []int{1, 2} {
+		var initial []uint64
+		if k == 2 {
+			initial = []uint64{5}
+		}
+		build := WeakQueueBuilder(k, initial,
+			[][]QueueOp{
+				{{Enq: true, Value: 9}},
+				{{Enq: false}},
+			})
+		rep := Explore(build, Options{})
+		if rep.Failure != nil {
+			t.Fatalf("k=%d: %v\ntrace: %v", k, rep.Failure.Err, rep.Failure.Trace)
+		}
+		if !rep.Complete {
+			t.Fatalf("k=%d: exploration incomplete", k)
+		}
+	}
+}
+
+func TestExhaustiveWeakPackedQueueTwoProcs(t *testing.T) {
+	// The packed backend under the same exhaustive races.
+	for _, k := range []int{1, 2} {
+		var initial []uint64
+		if k == 2 {
+			initial = []uint64{5}
+		}
+		build := WeakPackedQueueBuilder(k, initial,
+			[][]QueueOp{
+				{{Enq: true, Value: 9}},
+				{{Enq: false}},
+			})
+		rep := Explore(build, Options{})
+		if rep.Failure != nil {
+			t.Fatalf("k=%d: %v\ntrace: %v", k, rep.Failure.Err, rep.Failure.Trace)
+		}
+		if !rep.Complete {
+			t.Fatalf("k=%d: exploration incomplete", k)
+		}
+	}
+}
+
+func TestExhaustiveWeakPackedQueueDeqDeq(t *testing.T) {
+	build := WeakPackedQueueBuilder(2, []uint64{1, 2},
+		[][]QueueOp{
+			{{Enq: false}},
+			{{Enq: false}},
+		})
+	rep := Explore(build, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("deq/deq race: %v", rep.Failure.Err)
+	}
+	if !rep.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}
+
+func TestExhaustiveWeakQueueEnqEnq(t *testing.T) {
+	// Two racing enqueues on the last slot: exactly one may win; the
+	// other aborts or reports full, never both succeeding.
+	build := WeakQueueBuilder(1, nil,
+		[][]QueueOp{
+			{{Enq: true, Value: 1}},
+			{{Enq: true, Value: 2}},
+		})
+	rep := Explore(build, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("enq/enq race: %v", rep.Failure.Err)
+	}
+}
+
+func TestSoloNeverAbortsModelChecked(t *testing.T) {
+	// Claim A2 under the scheduler: a single process's weak ops never
+	// abort, on every backend, including at the full/empty boundaries.
+	plan := []StackOp{
+		{Push: true, Value: 1},
+		{Push: true, Value: 2},
+		{Push: true, Value: 3}, // full (k=2)
+		{Push: false},
+		{Push: false},
+		{Push: false}, // empty
+	}
+	for _, backend := range []StackBackend{Boxed, PackedWords} {
+		rep := Explore(SoloNeverAborts(backend, 2, nil, plan), Options{})
+		if rep.Failure != nil {
+			t.Fatalf("%v: %v", backend, rep.Failure.Err)
+		}
+		if rep.Schedules != 1 {
+			t.Fatalf("%v: solo run should have exactly 1 schedule, got %d", backend, rep.Schedules)
+		}
+	}
+}
+
+func TestWalkSamplesWithoutFailure(t *testing.T) {
+	build := WeakStackBuilder(Boxed, 3, []uint64{1},
+		[][]StackOp{
+			{{Push: true, Value: 2}, {Push: false}},
+			{{Push: false}, {Push: true, Value: 3}},
+		})
+	rep := Walk(build, 300, 42, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("random walk found failure: %v", rep.Failure.Err)
+	}
+	if rep.Schedules != 300 {
+		t.Fatalf("schedules = %d, want 300", rep.Schedules)
+	}
+}
+
+func TestWalkFindsNaiveABAEventually(t *testing.T) {
+	// E8, probabilistic half: random walks alone stumble on the ABA
+	// interleaving of the naive stack.
+	build := WeakStackBuilder(NaiveABA, 4, []uint64{10, 20},
+		[][]StackOp{
+			{{Push: false}},
+			{{Push: false}, {Push: false}, {Push: true, Value: 30}, {Push: true, Value: 40}},
+		})
+	rep := Walk(build, 5000, 7, Options{})
+	if rep.Failure == nil {
+		t.Fatal("5000 random schedules never exhibited the ABA bug")
+	}
+}
+
+func TestExploreRespectsScheduleBudget(t *testing.T) {
+	var fails atomic.Int64
+	rep := Explore(counterBuilder(&fails), Options{MaxSchedules: 2})
+	if rep.Complete {
+		t.Fatal("exploration claims completeness under a 2-schedule budget")
+	}
+	if rep.Schedules != 2 {
+		t.Fatalf("schedules = %d, want 2", rep.Schedules)
+	}
+}
+
+func TestStepBudgetCatchesSpinning(t *testing.T) {
+	// An op that spins on a register forever must be caught by the
+	// step budget rather than hanging the scheduler.
+	build := func(obs memory.Observer) Run {
+		w := memory.NewWordObserved(0, obs)
+		spin := func() {
+			for w.Read() != 1 {
+			}
+		}
+		return Run{Ops: [][]func(){{spin}}}
+	}
+	rep := Explore(build, Options{MaxSteps: 50, MaxSchedules: 1})
+	if rep.Failure == nil || !errors.Is(rep.Failure.Err, ErrStepBudget) {
+		t.Fatalf("spinning op not caught: %+v", rep.Failure)
+	}
+}
+
+func TestReplayRejectsBogusSchedule(t *testing.T) {
+	build := WeakStackBuilder(Boxed, 2, nil, [][]StackOp{{{Push: true, Value: 1}}})
+	_, err := Replay(build, []int{5}, 0) // pid 5 does not exist
+	if err == nil || !strings.Contains(err.Error(), "non-deterministic replay") {
+		t.Fatalf("bogus schedule not rejected: %v", err)
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if Boxed.String() != "boxed" || PackedWords.String() != "packed" ||
+		NaiveABA.String() != "naive" || StackBackend(9).String() != "unknown" {
+		t.Fatal("StackBackend.String mismatch")
+	}
+}
+
+func TestGidStable(t *testing.T) {
+	a, b := gid(), gid()
+	if a != b || a == 0 {
+		t.Fatalf("gid unstable: %d, %d", a, b)
+	}
+	ch := make(chan uint64)
+	go func() { ch <- gid() }()
+	if other := <-ch; other == a {
+		t.Fatal("distinct goroutines share a gid")
+	}
+}

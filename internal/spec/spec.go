@@ -1,0 +1,168 @@
+// Package spec provides plain sequential reference implementations of
+// the bounded stack and queue. They are the ground truth for
+// differential and fuzz tests: any solo run of a concurrent
+// implementation must agree with these op-for-op, and the
+// linearizability models in internal/linearizability encode the same
+// semantics over immutable states.
+package spec
+
+// Stack is a sequential bounded LIFO stack. Not safe for concurrent
+// use — that is the point.
+type Stack[T any] struct {
+	items []T
+	cap   int
+}
+
+// NewStack returns a stack of capacity k >= 1.
+func NewStack[T any](k int) *Stack[T] {
+	if k < 1 {
+		panic("spec: capacity must be >= 1")
+	}
+	return &Stack[T]{cap: k}
+}
+
+// Push appends v and reports false iff the stack is full.
+func (s *Stack[T]) Push(v T) bool {
+	if len(s.items) == s.cap {
+		return false
+	}
+	s.items = append(s.items, v)
+	return true
+}
+
+// Pop removes and returns the top value; ok is false iff empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	if len(s.items) == 0 {
+		return v, false
+	}
+	v = s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// Len returns the number of elements.
+func (s *Stack[T]) Len() int { return len(s.items) }
+
+// Snapshot returns the contents bottom-first.
+func (s *Stack[T]) Snapshot() []T {
+	out := make([]T, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// Deque is a sequential bounded double-ended queue with the
+// non-circular window semantics of the Herlihy-Luchangco-Moir array
+// deque (the paper's reference [8]): the data region slides inside an
+// array of max+2 cells whose left part is LN sentinels and right part
+// RN sentinels, so each side reports "full" when *its* sentinel supply
+// is exhausted, even if the other side still has room. PushLeft
+// consumes an LN cell, PopLeft returns one, and symmetrically for the
+// right side.
+type Deque[T any] struct {
+	numLN int // cells 0..numLN-1 are LN; cell 0 is a permanent sentinel
+	items []T
+	max   int // capacity of the underlying array (cells 1..max)
+}
+
+// NewDeque returns a deque over an array of max data cells with the
+// initial window split in the middle, so both sides start with room.
+func NewDeque[T any](max int) *Deque[T] {
+	if max < 1 {
+		panic("spec: capacity must be >= 1")
+	}
+	return &Deque[T]{numLN: max/2 + 1, max: max}
+}
+
+// PushRight appends v on the right; false iff the right side is full.
+func (d *Deque[T]) PushRight(v T) bool {
+	if d.numLN+len(d.items) == d.max+1 {
+		return false
+	}
+	d.items = append(d.items, v)
+	return true
+}
+
+// PopRight removes the rightmost value; ok is false iff empty.
+func (d *Deque[T]) PopRight() (v T, ok bool) {
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// PushLeft prepends v on the left; false iff the left side is full.
+func (d *Deque[T]) PushLeft(v T) bool {
+	if d.numLN == 1 {
+		return false
+	}
+	d.numLN--
+	d.items = append([]T{v}, d.items...)
+	return true
+}
+
+// PopLeft removes the leftmost value; ok is false iff empty.
+func (d *Deque[T]) PopLeft() (v T, ok bool) {
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[0]
+	d.items = d.items[1:]
+	d.numLN++
+	return v, true
+}
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return len(d.items) }
+
+// Snapshot returns the contents left to right.
+func (d *Deque[T]) Snapshot() []T {
+	out := make([]T, len(d.items))
+	copy(out, d.items)
+	return out
+}
+
+// Queue is a sequential bounded FIFO queue. Not safe for concurrent
+// use.
+type Queue[T any] struct {
+	items []T
+	cap   int
+}
+
+// NewQueue returns a queue of capacity k >= 1.
+func NewQueue[T any](k int) *Queue[T] {
+	if k < 1 {
+		panic("spec: capacity must be >= 1")
+	}
+	return &Queue[T]{cap: k}
+}
+
+// Enqueue appends v and reports false iff the queue is full.
+func (q *Queue[T]) Enqueue(v T) bool {
+	if len(q.items) == q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+// Dequeue removes and returns the oldest value; ok is false iff empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of elements.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Snapshot returns the contents oldest-first.
+func (q *Queue[T]) Snapshot() []T {
+	out := make([]T, len(q.items))
+	copy(out, q.items)
+	return out
+}

@@ -1,0 +1,60 @@
+package spec
+
+import "testing"
+
+func TestStackSemantics(t *testing.T) {
+	s := NewStack[int](2)
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if !s.Push(1) || !s.Push(2) {
+		t.Fatal("push failed below capacity")
+	}
+	if s.Push(3) {
+		t.Fatal("push on full succeeded")
+	}
+	if got := s.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+	if v, ok := s.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = (%d, %v)", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	q := NewQueue[int](2)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	if !q.Enqueue(1) || !q.Enqueue(2) {
+		t.Fatal("enqueue failed below capacity")
+	}
+	if q.Enqueue(3) {
+		t.Fatal("enqueue on full succeeded")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = (%d, %v)", v, ok)
+	}
+	if got := q.Snapshot(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"stack": func() { NewStack[int](0) },
+		"queue": func() { NewQueue[int](0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s constructor did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,286 @@
+package stack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/lock"
+)
+
+// conserved drives producers and consumers against pid-aware push/pop
+// functions and verifies multiset conservation: every value pushed is
+// popped or left on the stack, exactly once.
+func conserved(t *testing.T, procs, perProc int,
+	push func(pid int, v uint64) error,
+	pop func(pid int) (uint64, error),
+	drain func() []uint64,
+) {
+	t.Helper()
+	var wg sync.WaitGroup
+	popped := make([][]uint64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				v := uint64(pid)<<32 | uint64(i)
+				for {
+					err := push(pid, v)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrFull) {
+						t.Errorf("push = %v", err)
+						return
+					}
+					// Full: pop one to make room.
+					if got, err := pop(pid); err == nil {
+						popped[pid] = append(popped[pid], got)
+					}
+				}
+				if i%3 == 0 {
+					if got, err := pop(pid); err == nil {
+						popped[pid] = append(popped[pid], got)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range drain() {
+		seen[v]++
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("value set size = %d, want %d (lost values)", len(seen), procs*perProc)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %x observed %d times (duplicated)", v, n)
+		}
+	}
+}
+
+func TestSensitiveConserves(t *testing.T) {
+	const procs, perProc, k = 8, 2000, 64
+	s := NewSensitive[uint64](k, procs)
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+	st := s.Guard().Stats()
+	if st.Fast+st.Slow == 0 {
+		t.Fatal("guard saw no operations")
+	}
+}
+
+func TestSensitiveWithStarvationFreeLockConserves(t *testing.T) {
+	// The §4 Remark variant: a starvation-free lock, no FLAG/TURN.
+	const procs, perProc, k = 6, 1500, 32
+	s := NewSensitiveFrom[uint64](NewAbortable[uint64](k), lock.IgnorePid(lock.NewTicket()))
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestNonBlockingConserves(t *testing.T) {
+	const procs, perProc, k = 8, 2000, 64
+	s := NewNonBlocking[uint64](k)
+	conserved(t, procs, perProc,
+		func(_ int, v uint64) error { return s.Push(v) },
+		func(_ int) (uint64, error) { return s.Pop() },
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop()
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestNonBlockingPackedConserves(t *testing.T) {
+	// The packed backend under the Figure 2 construction. Values must
+	// fit 32 bits, so shrink the id encoding.
+	const procs, perProc, k = 4, 1500, 32
+	s := NewNonBlockingFrom[uint32](NewPacked(k), nil)
+	var wg sync.WaitGroup
+	popped := make([][]uint32, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				v := uint32(pid)<<24 | uint32(i)
+				for {
+					err := s.Push(v)
+					if err == nil {
+						break
+					}
+					if got, err := s.Pop(); err == nil {
+						popped[pid] = append(popped[pid], got)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[uint32]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for {
+		v, err := s.Pop()
+		if err != nil {
+			break
+		}
+		seen[v]++
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("value set size = %d, want %d", len(seen), procs*perProc)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %x observed %d times", v, n)
+		}
+	}
+}
+
+func TestTreiberConserves(t *testing.T) {
+	const procs, perProc = 8, 3000
+	s := NewTreiber[uint64]()
+	conserved(t, procs, perProc,
+		func(_ int, v uint64) error { return s.Push(v) },
+		func(_ int) (uint64, error) { return s.Pop() },
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop()
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestLockBasedConserves(t *testing.T) {
+	const procs, perProc, k = 8, 2000, 64
+	s := NewLockBasedWith[uint64](k, lock.NewRoundRobin(lock.NewTAS(), procs))
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestSensitiveFastPathDominatesWhenSolo(t *testing.T) {
+	s := NewSensitive[int](16, 4)
+	for i := 0; i < 1000; i++ {
+		if err := s.Push(0, i%10); err != nil && !errors.Is(err, ErrFull) {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			if _, err := s.Pop(0); err != nil && !errors.Is(err, ErrEmpty) {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Guard().Stats()
+	if st.Slow != 0 {
+		t.Fatalf("solo run took the slow path %d times", st.Slow)
+	}
+}
+
+func TestTreiberUnderSensitiveConstruction(t *testing.T) {
+	// Treiber exposes the weak interface, so Figure 3 composes with it
+	// — an unbounded contention-sensitive stack.
+	const procs, perProc = 6, 2000
+	s := NewSensitiveFrom[uint64](NewTreiber[uint64](), lock.NewRoundRobin(lock.NewTTAS(), procs))
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestNonBlockingCountedReportsAborts(t *testing.T) {
+	const procs, perProc, k = 8, 1000, 8
+	s := NewNonBlocking[uint64](k)
+	var wg sync.WaitGroup
+	var totalAborts int64
+	var mu sync.Mutex
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < perProc; i++ {
+				_, a := s.PushCounted(uint64(i))
+				local += int64(a)
+				_, _, a2 := s.PopCounted()
+				local += int64(a2)
+			}
+			mu.Lock()
+			totalAborts += local
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	// With 8 procs hammering a tiny stack there must be interference.
+	if totalAborts == 0 {
+		t.Log("warning: no aborts observed (machine too serial?); counts still consistent")
+	}
+}

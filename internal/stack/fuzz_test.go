@@ -1,0 +1,98 @@
+package stack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// interpretOps decodes a fuzz byte string into a solo op sequence and
+// cross-checks a weak stack against the sequential spec. Byte 2i
+// selects push (even) or pop (odd); byte 2i+1 is the pushed value.
+func interpretOps(t *testing.T, data []byte, k int, tryPush func(uint32) error, tryPop func() (uint32, error)) {
+	t.Helper()
+	ref := spec.NewStack[uint32](k)
+	for i := 0; i+1 < len(data); i += 2 {
+		if data[i]%2 == 0 {
+			v := uint32(data[i+1])
+			err := tryPush(v)
+			if ref.Push(v) {
+				if err != nil {
+					t.Fatalf("op %d: push(%d) = %v, spec accepted", i, v, err)
+				}
+			} else if !errors.Is(err, ErrFull) {
+				t.Fatalf("op %d: push(%d) = %v, spec reports full", i, v, err)
+			}
+		} else {
+			v, err := tryPop()
+			want, ok := ref.Pop()
+			if ok {
+				if err != nil || v != want {
+					t.Fatalf("op %d: pop = (%d, %v), spec has %d", i, v, err, want)
+				}
+			} else if !errors.Is(err, ErrEmpty) {
+				t.Fatalf("op %d: pop = (%d, %v), spec reports empty", i, v, err)
+			}
+		}
+	}
+}
+
+func FuzzAbortableVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 1, 0, 0, 8, 0, 7, 0, 6, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewAbortable[uint32](k)
+		interpretOps(t, data, k,
+			s.TryPush,
+			s.TryPop)
+	})
+}
+
+func FuzzPackedVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0})
+	f.Add([]byte{1, 0, 0, 3, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewPacked(k)
+		interpretOps(t, data, k,
+			s.TryPush,
+			s.TryPop)
+	})
+}
+
+func FuzzSensitiveVsSpec(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 0, 0, 6, 0, 7, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewSensitive[uint32](k, 1)
+		interpretOps(t, data, k,
+			func(v uint32) error { return s.Push(0, v) },
+			func() (uint32, error) { return s.Pop(0) })
+	})
+}
+
+func FuzzBackendsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 3
+		boxed := NewAbortable[uint32](k)
+		packed := NewPacked(k)
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i]%2 == 0 {
+				v := uint32(data[i+1])
+				be, pe := boxed.TryPush(v), packed.TryPush(v)
+				if (be == nil) != (pe == nil) {
+					t.Fatalf("op %d: push disagreement: boxed=%v packed=%v", i, be, pe)
+				}
+			} else {
+				bv, be := boxed.TryPop()
+				pv, pe := packed.TryPop()
+				if (be == nil) != (pe == nil) || (be == nil && bv != pv) {
+					t.Fatalf("op %d: pop disagreement: (%d,%v) vs (%d,%v)", i, bv, be, pv, pe)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package stack
+
+import (
+	"repro/internal/core"
+)
+
+// NonBlocking is the paper's Figure 2: the linearizable non-blocking
+// stack obtained by retrying a weak operation until it returns
+// non-⊥. Push and Pop never abort; under contention at least one of
+// the concurrent operations always terminates, but an individual
+// operation may retry unboundedly (no starvation-freedom).
+//
+// A contention manager (§5) may pace the retries; the paper's bare
+// loop is the nil manager.
+type NonBlocking[T any] struct {
+	weak Weak[T]
+	m    core.Manager
+}
+
+// NewNonBlocking returns a non-blocking stack of capacity k over a
+// fresh abortable stack, with the paper's bare retry loop.
+func NewNonBlocking[T any](k int) *NonBlocking[T] {
+	return NewNonBlockingFrom[T](NewAbortable[T](k), nil)
+}
+
+// NewNonBlockingFrom builds the Figure 2 construction over any weak
+// stack, pacing retries with m (nil for the bare loop). Sharing one
+// weak stack between a NonBlocking wrapper and other users is safe:
+// the construction adds no state of its own.
+func NewNonBlockingFrom[T any](weak Weak[T], m core.Manager) *NonBlocking[T] {
+	return &NonBlocking[T]{weak: weak, m: m}
+}
+
+// Push pushes v, retrying aborted attempts; it returns nil or ErrFull.
+func (s *NonBlocking[T]) Push(v T) error {
+	return core.Retry(s.m, func() (error, bool) {
+		err := s.weak.TryPush(v)
+		return err, err != ErrAborted
+	})
+}
+
+// Pop pops the top value, retrying aborted attempts; it returns the
+// value or ErrEmpty.
+func (s *NonBlocking[T]) Pop() (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Retry(s.m, func() (res, bool) {
+		v, err := s.weak.TryPop()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// PushCounted is Push instrumented for E3/E7: it also reports how many
+// attempts aborted before success.
+func (s *NonBlocking[T]) PushCounted(v T) (error, int) {
+	return core.RetryCounted(s.m, func() (error, bool) {
+		err := s.weak.TryPush(v)
+		return err, err != ErrAborted
+	})
+}
+
+// PopCounted is Pop instrumented for E3/E7.
+func (s *NonBlocking[T]) PopCounted() (T, error, int) {
+	type res struct {
+		v   T
+		err error
+	}
+	r, aborts := core.RetryCounted(s.m, func() (res, bool) {
+		v, err := s.weak.TryPop()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err, aborts
+}
+
+// Progress reports NonBlocking: at least one concurrent operation
+// terminates (proved in Shafiei's paper, cited as [22]).
+func (s *NonBlocking[T]) Progress() core.Progress { return core.NonBlocking }

@@ -1,0 +1,84 @@
+package stack
+
+import (
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/memory"
+)
+
+// Sensitive is the paper's Figure 3: the contention-sensitive,
+// starvation-free stack. An operation invoked in a contention-free
+// context completes on the lock-free shortcut in exactly six shared
+// memory accesses (Theorem 1); operations that hit contention
+// serialize behind a single lock, made starvation-free by the
+// FLAG/TURN round-robin (lock.RoundRobin).
+type Sensitive[T any] struct {
+	weak  Weak[T]
+	guard *core.Guard
+}
+
+// NewSensitive returns the paper's exact configuration for n
+// processes: a fresh abortable stack of capacity k guarded by a
+// round-robin transformation of a deadlock-free test-and-set lock.
+// Callers pass pids in [0, n).
+func NewSensitive[T any](k, n int) *Sensitive[T] {
+	return NewSensitiveFrom[T](NewAbortable[T](k), lock.NewRoundRobin(lock.NewTAS(), n))
+}
+
+// NewSensitiveFrom builds Figure 3 over any weak stack and any
+// PidLock. Use lock.IgnorePid(starvationFreeLock) for the simplified
+// variant of the paper's §4 Remark.
+func NewSensitiveFrom[T any](weak Weak[T], lk lock.PidLock) *Sensitive[T] {
+	return &Sensitive[T]{weak: weak, guard: core.NewGuard(lk)}
+}
+
+// NewSensitiveObserved is NewSensitive with every shared access of
+// both the weak stack and the CONTENTION register reported to obs —
+// the configuration under which E1 counts Theorem 1's six accesses.
+func NewSensitiveObserved[T any](k, n int, obs memory.Observer) *Sensitive[T] {
+	weak := NewAbortableObserved[T](k, obs)
+	lk := lock.NewRoundRobin(lock.NewTAS(), n)
+	return &Sensitive[T]{weak: weak, guard: core.NewGuardObserved(lk, obs)}
+}
+
+// NewSensitiveFromObserved builds Figure 3 over an already-constructed
+// (and typically already-instrumented) weak stack, additionally
+// reporting the CONTENTION register's accesses to obs. It lets E1
+// instrument the packed backend end to end.
+func NewSensitiveFromObserved[T any](weak Weak[T], lk lock.PidLock, obs memory.Observer) *Sensitive[T] {
+	return &Sensitive[T]{weak: weak, guard: core.NewGuardObserved(lk, obs)}
+}
+
+// Push is strong_push(v): it always takes effect (or reports a full
+// stack) and never aborts, whatever the contention (Lemma 1,
+// Theorem 1). pid identifies the calling process for the slow path's
+// round-robin.
+func (s *Sensitive[T]) Push(pid int, v T) error {
+	return core.Do(s.guard, pid, func() (error, bool) {
+		err := s.weak.TryPush(v)
+		return err, err != ErrAborted
+	})
+}
+
+// Pop is strong_pop(): it always returns the top value or ErrEmpty,
+// never aborts, and terminates for every caller.
+func (s *Sensitive[T]) Pop(pid int) (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Do(s.guard, pid, func() (res, bool) {
+		v, err := s.weak.TryPop()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
+}
+
+// Guard exposes the guard's fast/slow-path counters for tests and
+// experiments.
+func (s *Sensitive[T]) Guard() *core.Guard { return s.guard }
+
+// Progress reports StarvationFree (Theorem 1).
+func (s *Sensitive[T]) Progress() core.Progress { return core.StarvationFree }
+
+var _ Strong[int] = (*Sensitive[int])(nil)

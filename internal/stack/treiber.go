@@ -1,0 +1,89 @@
+package stack
+
+import (
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// tnode is a Treiber stack link.
+type tnode[T any] struct {
+	value T
+	next  *tnode[T]
+}
+
+// Treiber is the classic unbounded lock-free linked stack (Treiber
+// 1986), the standard non-blocking comparator for experiment E5. In a
+// garbage-collected language the pointer CAS cannot suffer ABA, so no
+// tags are needed. Treiber also exposes the weak single-attempt
+// interface, which makes it pluggable into the paper's Figure 2/3
+// constructions (an unbounded contention-sensitive stack "for free").
+type Treiber[T any] struct {
+	head *memory.Ref[tnode[T]]
+}
+
+// NewTreiber returns an empty Treiber stack.
+func NewTreiber[T any]() *Treiber[T] { return NewTreiberObserved[T](nil) }
+
+// NewTreiberObserved returns a Treiber stack whose head-register
+// accesses are reported to obs (nil disables instrumentation).
+func NewTreiberObserved[T any](obs memory.Observer) *Treiber[T] {
+	return &Treiber[T]{head: memory.NewRefObserved[tnode[T]](nil, obs)}
+}
+
+// TryPush is a single push attempt; it aborts iff the head CAS loses a
+// race. It never returns ErrFull (the stack is unbounded).
+func (s *Treiber[T]) TryPush(v T) error {
+	h := s.head.Read()
+	if s.head.CAS(h, &tnode[T]{value: v, next: h}) {
+		return nil
+	}
+	return ErrAborted
+}
+
+// TryPop is a single pop attempt.
+func (s *Treiber[T]) TryPop() (T, error) {
+	var zero T
+	h := s.head.Read()
+	if h == nil {
+		return zero, ErrEmpty
+	}
+	if s.head.CAS(h, h.next) {
+		return h.value, nil
+	}
+	return zero, ErrAborted
+}
+
+// Push pushes v, retrying until success (never returns an error; the
+// signature keeps the weak/strong symmetry).
+func (s *Treiber[T]) Push(v T) error {
+	for {
+		if err := s.TryPush(v); err != ErrAborted {
+			return err
+		}
+	}
+}
+
+// Pop pops the top value, retrying aborted attempts; it returns the
+// value or ErrEmpty.
+func (s *Treiber[T]) Pop() (T, error) {
+	for {
+		v, err := s.TryPop()
+		if err != ErrAborted {
+			return v, err
+		}
+	}
+}
+
+// Len counts the elements; quiescent states only (O(n) walk).
+func (s *Treiber[T]) Len() int {
+	n := 0
+	for h := s.head.Read(); h != nil; h = h.next {
+		n++
+	}
+	return n
+}
+
+// Progress reports NonBlocking (the retry loop is lock-free).
+func (s *Treiber[T]) Progress() core.Progress { return core.NonBlocking }
+
+var _ Weak[int] = (*Treiber[int])(nil)

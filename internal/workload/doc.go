@@ -1,0 +1,7 @@
+// Package workload generates the deterministic operation streams the
+// experiments drive through the stacks and queues: a seedable
+// splitmix64 PRNG (reproducible across runs and platforms, unlike the
+// global math/rand), push/pop operation mixes, collision-free value
+// encoding, and the phased solo/contended schedules that exhibit
+// contention-sensitivity (E6).
+package workload

@@ -1,0 +1,83 @@
+package workload
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and
+// deterministic for a given seed on every platform. Not safe for
+// concurrent use; give each goroutine its own, seeded distinctly.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn needs n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Mix is an operation mix for a two-operation object.
+type Mix struct {
+	// PushFraction is the probability that the next operation is a
+	// push/enqueue (the rest are pops/dequeues).
+	PushFraction float64
+}
+
+// Balanced is the 50/50 mix used by most experiments.
+var Balanced = Mix{PushFraction: 0.5}
+
+// PushHeavy and PopHeavy skew the mix to stress one end.
+var (
+	PushHeavy = Mix{PushFraction: 0.8}
+	PopHeavy  = Mix{PushFraction: 0.2}
+)
+
+// NextIsPush draws the next operation kind from the mix.
+func (m Mix) NextIsPush(r *RNG) bool { return r.Float64() < m.PushFraction }
+
+// Value encodes a collision-free payload for operation i of process
+// pid, so conservation checks can attribute every value.
+func Value(pid int, i int) uint64 { return uint64(pid)<<32 | uint64(uint32(i)) }
+
+// Owner decodes the producing process of a Value.
+func Owner(v uint64) int { return int(v >> 32) }
+
+// Index decodes the per-process index of a Value.
+func Index(v uint64) int { return int(uint32(v)) }
+
+// Phase describes one phase of a phased workload (experiment E6).
+type Phase struct {
+	// Procs is the number of processes active in this phase (1 =
+	// contention-free).
+	Procs int
+	// Ops is the number of operations each active process performs.
+	Ops int
+}
+
+// SoloThenStorm is the canonical E6 schedule: a contention-free warm
+// phase, a full-contention storm, and a solo cool-down — the
+// contention-sensitive stack should match lock-free cost in phases 1
+// and 3 and lock-based robustness in phase 2.
+func SoloThenStorm(procs, opsPerPhase int) []Phase {
+	return []Phase{
+		{Procs: 1, Ops: opsPerPhase},
+		{Procs: procs, Ops: opsPerPhase},
+		{Procs: 1, Ops: opsPerPhase},
+	}
+}

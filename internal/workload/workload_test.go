@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestRNGRoughUniformity(t *testing.T) {
+	r := NewRNG(11)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d has %d of %d (expected ~%d)", i, c, n, n/10)
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	r := NewRNG(3)
+	pushes := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if PushHeavy.NextIsPush(r) {
+			pushes++
+		}
+	}
+	if frac := float64(pushes) / n; frac < 0.78 || frac > 0.82 {
+		t.Fatalf("PushHeavy fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	f := func(pid uint16, i uint32) bool {
+		v := Value(int(pid), int(i))
+		return Owner(v) == int(pid) && Index(v) == int(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCollisionFree(t *testing.T) {
+	seen := map[uint64]bool{}
+	for pid := 0; pid < 8; pid++ {
+		for i := 0; i < 100; i++ {
+			v := Value(pid, i)
+			if seen[v] {
+				t.Fatalf("collision at pid=%d i=%d", pid, i)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSoloThenStorm(t *testing.T) {
+	phases := SoloThenStorm(8, 1000)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(phases))
+	}
+	if phases[0].Procs != 1 || phases[1].Procs != 8 || phases[2].Procs != 1 {
+		t.Fatalf("phase procs = %v", phases)
+	}
+	for _, p := range phases {
+		if p.Ops != 1000 {
+			t.Fatalf("phase ops = %d, want 1000", p.Ops)
+		}
+	}
+}

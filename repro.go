@@ -1,0 +1,182 @@
+// Package repro is the public API of the contention-sensitive
+// concurrent-objects library, a reproduction of Mostefaoui & Raynal,
+// "Looking for Efficient Implementations of Concurrent Objects"
+// (IRISA PI-1969 / PACT 2011).
+//
+// The headline types are re-exported from the internal packages:
+//
+//   - Stack / Queue — the paper's Figure 3 objects: linearizable,
+//     starvation-free, and contention-sensitive (a contention-free
+//     operation takes six shared-memory accesses and no lock).
+//   - AbortableStack / AbortableQueue — the Figure 1 weak objects:
+//     single attempts that may return ErrStackAborted/ErrQueueAborted
+//     under interference, with no effect.
+//   - NonBlockingStack / NonBlockingQueue — the Figure 2 retry
+//     constructions.
+//   - Guard / Do — the generic contention-sensitive protocol, for
+//     building the same tower over any abortable object.
+//   - NewStarvationFreeLock — the §4.4 transformation of a
+//     deadlock-free lock into a starvation-free one.
+//
+// Strong operations take a pid in [0, n): the paper's model of n
+// known asynchronous processes. Give each goroutine that touches one
+// object a distinct pid.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results; cmd/contbench regenerates every table.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/lock"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+// Stack is the contention-sensitive, starvation-free bounded stack
+// (Figure 3). Use NewStack.
+type Stack[T any] = stack.Sensitive[T]
+
+// AbortableStack is the weak bounded stack (Figure 1). Use
+// NewAbortableStack.
+type AbortableStack[T any] = stack.Abortable[T]
+
+// NonBlockingStack is the retry-until-success stack (Figure 2). Use
+// NewNonBlockingStack.
+type NonBlockingStack[T any] = stack.NonBlocking[T]
+
+// TreiberStack is the classic unbounded lock-free stack baseline.
+type TreiberStack[T any] = stack.Treiber[T]
+
+// Queue is the contention-sensitive, starvation-free bounded FIFO
+// queue. Use NewQueue.
+type Queue[T any] = queue.Sensitive[T]
+
+// AbortableQueue is the weak bounded queue. Use NewAbortableQueue.
+type AbortableQueue[T any] = queue.Abortable[T]
+
+// NonBlockingQueue is the retry-until-success queue.
+type NonBlockingQueue[T any] = queue.NonBlocking[T]
+
+// Guard carries the Figure 3 protocol state for one object; see Do.
+type Guard = core.Guard
+
+// Progress is the paper's liveness hierarchy (obstruction-free <
+// non-blocking < starvation-free < wait-free).
+type Progress = core.Progress
+
+// Lock is an identity-oblivious mutual-exclusion lock.
+type Lock = lock.Lock
+
+// PidLock is a mutual-exclusion lock taking the caller's process
+// identity.
+type PidLock = lock.PidLock
+
+// Progress levels, re-exported from internal/core.
+const (
+	ObstructionFree = core.ObstructionFree
+	NonBlocking     = core.NonBlocking
+	StarvationFree  = core.StarvationFree
+	WaitFree        = core.WaitFree
+)
+
+// Sentinel results, re-exported from the internal packages.
+var (
+	ErrStackFull    = stack.ErrFull
+	ErrStackEmpty   = stack.ErrEmpty
+	ErrStackAborted = stack.ErrAborted
+	ErrQueueFull    = queue.ErrFull
+	ErrQueueEmpty   = queue.ErrEmpty
+	ErrQueueAborted = queue.ErrAborted
+)
+
+// NewStack returns a contention-sensitive, starvation-free stack of
+// capacity k for n processes — the paper's exact Figure 3
+// configuration (abortable stack + round-robin over a test-and-set
+// lock).
+func NewStack[T any](k, n int) *Stack[T] { return stack.NewSensitive[T](k, n) }
+
+// NewAbortableStack returns the Figure 1 weak stack of capacity k.
+func NewAbortableStack[T any](k int) *AbortableStack[T] { return stack.NewAbortable[T](k) }
+
+// NewNonBlockingStack returns the Figure 2 stack of capacity k.
+func NewNonBlockingStack[T any](k int) *NonBlockingStack[T] { return stack.NewNonBlocking[T](k) }
+
+// NewTreiberStack returns an empty unbounded lock-free stack.
+func NewTreiberStack[T any]() *TreiberStack[T] { return stack.NewTreiber[T]() }
+
+// EliminationStack is an unbounded lock-free stack with an
+// elimination-backoff array: concurrent push/pop pairs can serve each
+// other without touching the stack (see internal/stack).
+type EliminationStack[T any] = stack.Elimination[T]
+
+// NewEliminationStack returns an elimination stack with `width`
+// exchange slots (0 for the default).
+func NewEliminationStack[T any](width int) *EliminationStack[T] {
+	return stack.NewElimination[T](width)
+}
+
+// NewQueue returns a contention-sensitive, starvation-free FIFO queue
+// of capacity k for n processes.
+func NewQueue[T any](k, n int) *Queue[T] { return queue.NewSensitive[T](k, n) }
+
+// NewAbortableQueue returns the weak FIFO queue of capacity k.
+func NewAbortableQueue[T any](k int) *AbortableQueue[T] { return queue.NewAbortable[T](k) }
+
+// NewNonBlockingQueue returns the retrying FIFO queue of capacity k.
+func NewNonBlockingQueue[T any](k int) *NonBlockingQueue[T] { return queue.NewNonBlocking[T](k) }
+
+// Deque is the contention-sensitive, starvation-free double-ended
+// queue built over the Herlihy-Luchangco-Moir obstruction-free array
+// deque (the paper's reference [8]). Values are uint32; the array is
+// non-circular, so each side reports full when its own sentinel
+// supply is exhausted (see internal/deque).
+type Deque = deque.Sensitive
+
+// AbortableDeque is the weak HLM deque: single attempts that may
+// return ErrDequeAborted.
+type AbortableDeque = deque.Abortable
+
+// NonBlockingDeque is the Figure 2 retry construction over the weak
+// deque.
+type NonBlockingDeque = deque.NonBlocking
+
+// Deque sentinel results.
+var (
+	ErrDequeFull    = deque.ErrFull
+	ErrDequeEmpty   = deque.ErrEmpty
+	ErrDequeAborted = deque.ErrAborted
+)
+
+// NewDeque returns a contention-sensitive, starvation-free deque of
+// capacity max for n processes.
+func NewDeque(max, n int) *Deque { return deque.NewSensitive(max, n) }
+
+// NewAbortableDeque returns the weak HLM deque of capacity max.
+func NewAbortableDeque(max int) *AbortableDeque { return deque.NewAbortable(max) }
+
+// NewNonBlockingDeque returns the retrying deque of capacity max.
+func NewNonBlockingDeque(max int) *NonBlockingDeque { return deque.NewNonBlocking(max) }
+
+// NewGuard returns the Figure 3 protocol state over the given lock;
+// combine with Do to make any abortable operation contention-sensitive
+// and starvation-free.
+func NewGuard(lk PidLock) *Guard { return core.NewGuard(lk) }
+
+// Do runs one strong operation of an abortable object under g: the
+// lock-free shortcut when uncontended, the serialized slow path
+// otherwise. try makes a single attempt and reports ok=false for ⊥.
+func Do[R any](g *Guard, pid int, try func() (R, bool)) R { return core.Do(g, pid, try) }
+
+// NewStarvationFreeLock wraps the deadlock-free inner lock with the
+// §4.4 FLAG/TURN round-robin, yielding a starvation-free lock for n
+// processes.
+func NewStarvationFreeLock(inner Lock, n int) PidLock { return lock.NewRoundRobin(inner, n) }
+
+// NewTASLock returns the minimal deadlock-free test-and-set spin lock,
+// the paper's baseline assumption for the slow path.
+func NewTASLock() Lock { return lock.NewTAS() }
+
+// NewTicketLock returns a starvation-free FIFO ticket lock.
+func NewTicketLock() Lock { return lock.NewTicket() }

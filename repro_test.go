@@ -1,0 +1,191 @@
+package repro_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicStackQuickstart(t *testing.T) {
+	const procs = 4
+	s := repro.NewStack[string](8, procs)
+	if err := s.Push(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Pop(2)
+	if err != nil || v != "b" {
+		t.Fatalf("Pop = (%q, %v), want (b, nil)", v, err)
+	}
+	if s.Progress() != repro.StarvationFree {
+		t.Fatal("stack does not advertise starvation-freedom")
+	}
+}
+
+func TestPublicStackConcurrent(t *testing.T) {
+	const procs, per = 8, 2000
+	s := repro.NewStack[int](64, procs)
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					err := s.Push(pid, pid*per+i)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, repro.ErrStackFull) {
+						t.Errorf("push: %v", err)
+						return
+					}
+					if v, err := s.Pop(pid); err == nil {
+						if _, dup := popped.LoadOrStore(v, true); dup {
+							t.Errorf("value %d popped twice", v)
+							return
+						}
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		v, err := s.Pop(0)
+		if err != nil {
+			break
+		}
+		if _, dup := popped.LoadOrStore(v, true); dup {
+			t.Fatalf("value %d popped twice in drain", v)
+		}
+	}
+	n := 0
+	popped.Range(func(_, _ any) bool { n++; return true })
+	if n != procs*per {
+		t.Fatalf("recovered %d values, want %d", n, procs*per)
+	}
+}
+
+func TestPublicQueueFIFO(t *testing.T) {
+	q := repro.NewQueue[int](4, 2)
+	for i := 1; i <= 3; i++ {
+		if err := q.Enqueue(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := 1; want <= 3; want++ {
+		v, err := q.Dequeue(1)
+		if err != nil || v != want {
+			t.Fatalf("Dequeue = (%d, %v), want (%d, nil)", v, err, want)
+		}
+	}
+	if _, err := q.Dequeue(0); !errors.Is(err, repro.ErrQueueEmpty) {
+		t.Fatalf("empty dequeue = %v", err)
+	}
+}
+
+func TestPublicAbortableContracts(t *testing.T) {
+	s := repro.NewAbortableStack[int](1)
+	if err := s.TryPush(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TryPush(2); !errors.Is(err, repro.ErrStackFull) {
+		t.Fatalf("push on full = %v", err)
+	}
+	q := repro.NewAbortableQueue[int](1)
+	if _, err := q.TryDequeue(); !errors.Is(err, repro.ErrQueueEmpty) {
+		t.Fatalf("dequeue on empty = %v", err)
+	}
+}
+
+func TestPublicGuardComposition(t *testing.T) {
+	// Build a contention-sensitive counter from scratch with Guard/Do:
+	// the README's "any abortable object" claim.
+	g := repro.NewGuard(repro.NewStarvationFreeLock(repro.NewTASLock(), 4))
+	reg := repro.NewTreiberStack[int]()
+	for pid := 0; pid < 4; pid++ {
+		repro.Do(g, pid, func() (int, bool) {
+			err := reg.TryPush(pid)
+			return 0, err == nil
+		})
+	}
+	if got := reg.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestPublicNonBlocking(t *testing.T) {
+	s := repro.NewNonBlockingStack[int](4)
+	if err := s.Push(7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Pop(); err != nil || v != 7 {
+		t.Fatalf("Pop = (%d, %v)", v, err)
+	}
+	q := repro.NewNonBlockingQueue[int](4)
+	if err := q.Enqueue(9); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := q.Dequeue(); err != nil || v != 9 {
+		t.Fatalf("Dequeue = (%d, %v)", v, err)
+	}
+}
+
+func TestPublicDeque(t *testing.T) {
+	d := repro.NewDeque(8, 2)
+	if err := d.PushRight(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PushLeft(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := d.PopRight(0); err != nil || v != 1 {
+		t.Fatalf("PopRight = (%d, %v)", v, err)
+	}
+	if v, err := d.PopLeft(1); err != nil || v != 2 {
+		t.Fatalf("PopLeft = (%d, %v)", v, err)
+	}
+	if _, err := d.PopLeft(0); !errors.Is(err, repro.ErrDequeEmpty) {
+		t.Fatalf("empty pop = %v", err)
+	}
+	w := repro.NewAbortableDeque(4)
+	if err := w.TryPushRight(9); err != nil {
+		t.Fatal(err)
+	}
+	nb := repro.NewNonBlockingDeque(4)
+	if err := nb.PushLeft(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressOrder(t *testing.T) {
+	if !repro.StarvationFree.Implies(repro.NonBlocking) ||
+		!repro.NonBlocking.Implies(repro.ObstructionFree) ||
+		!repro.WaitFree.Implies(repro.StarvationFree) {
+		t.Fatal("progress hierarchy broken")
+	}
+}
+
+func TestTicketLockPublic(t *testing.T) {
+	lk := repro.NewTicketLock()
+	done := make(chan struct{})
+	lk.Lock()
+	go func() {
+		lk.Lock()
+		lk.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second Lock acquired while held")
+	default:
+	}
+	lk.Unlock()
+	<-done
+}
