@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -185,5 +185,31 @@ func TestConfigDefaults(t *testing.T) {
 	q := Config{Quick: true}.withDefaults()
 	if q.Duration >= c.Duration {
 		t.Fatal("Quick did not shrink the duration")
+	}
+}
+
+func TestE15Combining(t *testing.T) {
+	out := runQuick(t, "E15")
+	for _, impl := range []string{"lock(mutex)", "lock(tas)", "cont-sensitive", "flat-combining"} {
+		if !strings.Contains(out, impl) {
+			t.Fatalf("E15 missing %s:\n%s", impl, out)
+		}
+	}
+	if !strings.Contains(out, "fast share") {
+		t.Fatalf("E15 missing diagnostics table:\n%s", out)
+	}
+	for _, row := range []string{"serialized RR(TAS)", "serialized mutex", "batched flat-combining"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E15 missing contended-path row %s:\n%s", row, out)
+		}
+	}
+}
+
+func TestE16Sharded(t *testing.T) {
+	out := runQuick(t, "E16")
+	for _, row := range []string{"cont-sensitive", "sharded K=1", "sharded K=4", "steals/op"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E16 missing %s:\n%s", row, out)
+		}
 	}
 }

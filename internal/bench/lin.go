@@ -91,6 +91,15 @@ func LinTargets() []LinTarget {
 				return s.Pop()
 			}, stack.ErrFull, stack.ErrEmpty, nil
 		}},
+		{"stack/combining", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewCombining[uint64](6, procs)
+			return func(pid int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(pid, v)
+				}
+				return s.Pop(pid)
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
 		{"queue/abortable", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			q := queue.NewAbortable[uint64](5)
 			return func(_ int, enq bool, v uint64) (uint64, error) {
@@ -127,6 +136,27 @@ func LinTargets() []LinTarget {
 					return 0, nil
 				}
 				return q.Dequeue()
+			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+		{"queue/combining", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewCombining[uint64](5, procs)
+			return func(pid int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.Enqueue(pid, v)
+				}
+				return q.Dequeue(pid)
+			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+		// The sharded queue is globally linearizable only at K=1 (each
+		// shard is FIFO; striping relaxes cross-process order), so the
+		// degenerate stripe is what the FIFO model can check.
+		{"queue/sharded[K=1]", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewSharded[uint64](5, procs, 1)
+			return func(pid int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.Enqueue(pid, v)
+				}
+				return q.Dequeue(pid)
 			}, queue.ErrFull, queue.ErrEmpty, nil
 		}},
 	}

@@ -1,0 +1,231 @@
+package combine
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/memory"
+)
+
+// Publication-slot states. A slot cycles free → pending → done → free;
+// only the owner moves it out of done, only a combiner moves it out of
+// pending.
+const (
+	slotFree uint32 = iota
+	slotPending
+	slotDone
+)
+
+// spinBudget bounds busy-waiting before yielding, as in internal/lock:
+// with more goroutines than GOMAXPROCS the serving combiner must get
+// scheduled for a waiter's request to complete.
+const spinBudget = 64
+
+// combinePasses is how many times a combiner re-scans the publication
+// list before releasing: a second pass picks up requests published
+// while the first ran, amortizing the lock hand-off further.
+const combinePasses = 2
+
+// slot is one process's publication record. arg and res are plain
+// fields ordered by the atomic state transitions: the owner writes arg
+// before publishing pending, the combiner writes res before publishing
+// done. fast and published are the owner's path counters: only pid
+// touches its own, so the increments stay on a core-local cache line
+// instead of contending on one shared word per operation (Stats sums
+// them).
+type slot[A, R any] struct {
+	state     atomic.Uint32
+	_         [60]byte // waiters spin on state: keep it alone on its line
+	fast      atomic.Uint64
+	published atomic.Uint64
+	arg       A
+	res       R
+	_         [64]byte // keep the next slot's state off this slot's data
+}
+
+// Stats is a snapshot of a Core's path and batching counters.
+type Stats struct {
+	// Fast counts operations completed on the lock-free shortcut.
+	Fast uint64
+	// Published counts operations that fell back to the publication
+	// list (the contended path).
+	Published uint64
+	// Combines counts combining passes (combiner-lock acquisitions).
+	Combines uint64
+	// Served counts requests completed by combiners on behalf of any
+	// process; Served/Combines is the mean batch size.
+	Served uint64
+	// MaxBatch is the largest number of requests one combining pass
+	// served.
+	MaxBatch uint64
+	// Retries counts weak attempts consumed inside combining passes
+	// beyond the first per request (interference from concurrent
+	// fast-path operations).
+	Retries uint64
+}
+
+// BatchMean returns the mean combining batch size (0 when no pass ran).
+func (s Stats) BatchMean() float64 {
+	if s.Combines == 0 {
+		return 0
+	}
+	return float64(s.Served) / float64(s.Combines)
+}
+
+// Core is the flat-combining construction over one abortable object.
+// try is the object's weak operation: a single attempt that either
+// takes effect (ok=true) or aborts with no effect (ok=false); a solo
+// attempt must never abort. All strong operations of the object must
+// share one Core, for the same reason all of Figure 3's share one
+// Guard: CONTENTION and the publication list are per-object.
+type Core[A, R any] struct {
+	try        func(A) (R, bool)
+	contention *memory.Flag
+	combiner   atomic.Uint32
+	slots      []slot[A, R]
+
+	// Combiner-side counters: touched once per combining pass, not
+	// per operation, so sharing the words is harmless.
+	combines atomic.Uint64
+	served   atomic.Uint64
+	maxBatch atomic.Uint64
+	retries  atomic.Uint64
+}
+
+// NewCore returns a Core for n processes (pids in [0, n)) over try.
+func NewCore[A, R any](n int, try func(A) (R, bool)) *Core[A, R] {
+	if n < 1 {
+		panic("combine: process count must be >= 1")
+	}
+	return &Core[A, R]{
+		try:        try,
+		contention: memory.NewFlag(false),
+		slots:      make([]slot[A, R], n),
+	}
+}
+
+// Do runs one strong operation on behalf of pid. The fast path is
+// Figure 3's line 01-02 shortcut unchanged; the fallback publishes the
+// request and either waits for a combiner to serve it or becomes the
+// combiner itself. Do always returns a real result and terminates for
+// every caller (see the package comment's liveness argument).
+func (c *Core[A, R]) Do(pid int, arg A) R {
+	if !c.contention.Read() {
+		if res, ok := c.try(arg); ok {
+			c.slots[pid].fast.Add(1)
+			return res
+		}
+	}
+	return c.DoContended(pid, arg)
+}
+
+// DoContended runs one strong operation entirely on the contended
+// path: the request is published without attempting the lock-free
+// shortcut. Do falls back to it; benchmarks (E15) call it directly to
+// isolate the batched contended path against Figure 3's serialized
+// per-operation lock fallback.
+func (c *Core[A, R]) DoContended(pid int, arg A) R {
+	s := &c.slots[pid]
+	s.arg = arg
+	s.state.Store(slotPending)
+	s.published.Add(1)
+	spins := 0
+	for {
+		if s.state.Load() == slotDone {
+			s.state.Store(slotFree)
+			return s.res
+		}
+		if c.combiner.CompareAndSwap(0, 1) {
+			// The previous combiner may have served us between the
+			// state load above and winning the CAS; don't burn a
+			// zero-batch scan (and skew BatchMean) in that case —
+			// any still-pending waiter will win the lock itself.
+			if s.state.Load() != slotDone {
+				c.combine()
+			}
+			c.combiner.Store(0)
+			// A pass serves every pending slot, ours included (it
+			// was published before the CAS); loop back to collect.
+			continue
+		}
+		if spins++; spins >= spinBudget {
+			spins = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// combine serves every published request. The caller holds the
+// combiner lock. CONTENTION is raised for the duration so that new
+// arrivals divert to the publication list instead of racing the
+// combiner on the object's registers — the same role it plays in
+// Figure 3's slow path.
+func (c *Core[A, R]) combine() {
+	c.combines.Add(1)
+	c.contention.Write(true)
+	batch := uint64(0)
+	for pass := 0; pass < combinePasses; pass++ {
+		for i := range c.slots {
+			s := &c.slots[i]
+			if s.state.Load() != slotPending {
+				continue
+			}
+			s.res = c.apply(s.arg)
+			s.state.Store(slotDone)
+			batch++
+		}
+	}
+	c.contention.Write(false)
+	c.served.Add(batch)
+	for {
+		cur := c.maxBatch.Load()
+		if batch <= cur || c.maxBatch.CompareAndSwap(cur, batch) {
+			break
+		}
+	}
+}
+
+// apply retries the weak operation until it takes effect. A failed
+// attempt means a fast-path operation that started before CONTENTION
+// was raised is mid-flight; yielding lets it finish.
+func (c *Core[A, R]) apply(arg A) R {
+	for attempt := 0; ; attempt++ {
+		if res, ok := c.try(arg); ok {
+			if attempt > 0 {
+				c.retries.Add(uint64(attempt))
+			}
+			return res
+		}
+		runtime.Gosched()
+	}
+}
+
+// Stats returns a snapshot of the path and batching counters.
+func (c *Core[A, R]) Stats() Stats {
+	st := Stats{
+		Combines: c.combines.Load(),
+		Served:   c.served.Load(),
+		MaxBatch: c.maxBatch.Load(),
+		Retries:  c.retries.Load(),
+	}
+	for i := range c.slots {
+		st.Fast += c.slots[i].fast.Load()
+		st.Published += c.slots[i].published.Load()
+	}
+	return st
+}
+
+// ResetStats zeroes the counters (between quiescent phases only).
+func (c *Core[A, R]) ResetStats() {
+	for i := range c.slots {
+		c.slots[i].fast.Store(0)
+		c.slots[i].published.Store(0)
+	}
+	c.combines.Store(0)
+	c.served.Store(0)
+	c.maxBatch.Store(0)
+	c.retries.Store(0)
+}
+
+// Procs returns n, the size of the publication list.
+func (c *Core[A, R]) Procs() int { return len(c.slots) }

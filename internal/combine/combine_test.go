@@ -1,0 +1,162 @@
+package combine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// casCounter is a minimal abortable object: fetch-and-increment built
+// from one CAS word. A solo attempt never aborts; a lost CAS race
+// aborts with no effect.
+type casCounter struct {
+	v atomic.Uint64
+}
+
+func (c *casCounter) tryInc(struct{}) (uint64, bool) {
+	cur := c.v.Load()
+	if c.v.CompareAndSwap(cur, cur+1) {
+		return cur, true
+	}
+	return 0, false
+}
+
+func TestSoloStaysOnFastPath(t *testing.T) {
+	var cnt casCounter
+	c := NewCore[struct{}, uint64](4, cnt.tryInc)
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		if got := c.Do(0, struct{}{}); got != uint64(i) {
+			t.Fatalf("op %d returned %d", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Fast != ops {
+		t.Fatalf("Fast = %d, want %d (solo ops must not publish)", st.Fast, ops)
+	}
+	if st.Published != 0 || st.Combines != 0 {
+		t.Fatalf("solo run published %d / combined %d times", st.Published, st.Combines)
+	}
+}
+
+func TestConcurrentIncrementsAreExactlyOnce(t *testing.T) {
+	const procs, perProc = 8, 5000
+	var cnt casCounter
+	c := NewCore[struct{}, uint64](procs, cnt.tryInc)
+	results := make([][]uint64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			out := make([]uint64, 0, perProc)
+			for i := 0; i < perProc; i++ {
+				out = append(out, c.Do(pid, struct{}{}))
+			}
+			results[pid] = out
+		}(p)
+	}
+	wg.Wait()
+
+	// Fetch-and-increment hands out each value exactly once: the Do
+	// layer must neither lose a published request nor apply it twice.
+	seen := make(map[uint64]bool)
+	for _, vs := range results {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d returned twice (request applied twice)", v)
+			}
+			seen[v] = true
+		}
+	}
+	if want := procs * perProc; len(seen) != want {
+		t.Fatalf("distinct results = %d, want %d", len(seen), want)
+	}
+	if got := cnt.v.Load(); got != uint64(procs*perProc) {
+		t.Fatalf("counter = %d, want %d", got, procs*perProc)
+	}
+}
+
+func TestCombinerAccounting(t *testing.T) {
+	const procs, perProc = 8, 5000
+	var cnt casCounter
+	c := NewCore[struct{}, uint64](procs, cnt.tryInc)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				c.Do(pid, struct{}{})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Fast+st.Published != procs*perProc {
+		t.Fatalf("Fast(%d) + Published(%d) != %d ops", st.Fast, st.Published, procs*perProc)
+	}
+	// At quiescence every published request has been served by exactly
+	// one combining pass (its own or another process's).
+	if st.Served != st.Published {
+		t.Fatalf("Served = %d, Published = %d (requests lost or double-served)", st.Served, st.Published)
+	}
+	if st.Published > 0 && st.Combines == 0 {
+		t.Fatal("requests were published but no combining pass ran")
+	}
+	if st.Combines > st.Published {
+		t.Fatalf("Combines = %d > Published = %d", st.Combines, st.Published)
+	}
+	if st.MaxBatch > procs*combinePasses {
+		t.Fatalf("MaxBatch = %d exceeds %d slots x %d passes", st.MaxBatch, procs, combinePasses)
+	}
+	if mean := st.BatchMean(); st.Combines > 0 && (mean < 1 || mean > float64(procs*combinePasses)) {
+		t.Fatalf("BatchMean = %v out of range", mean)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	var cnt casCounter
+	c := NewCore[struct{}, uint64](2, cnt.tryInc)
+	for i := 0; i < 10; i++ {
+		c.Do(0, struct{}{})
+	}
+	c.ResetStats()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+	if c.Procs() != 2 {
+		t.Fatalf("Procs = %d", c.Procs())
+	}
+}
+
+func TestArgsAndResultsAreDeliveredToTheRightProcess(t *testing.T) {
+	// Each op's result must come back to its publisher, not another
+	// waiter: echo pid-tagged args through an abortable identity op.
+	const procs, perProc = 8, 3000
+	var word atomic.Uint64
+	try := func(arg uint64) (uint64, bool) {
+		cur := word.Load()
+		if word.CompareAndSwap(cur, arg) {
+			return arg, true
+		}
+		return 0, false
+	}
+	c := NewCore[uint64, uint64](procs, try)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				arg := uint64(pid)<<32 | uint64(i)
+				if got := c.Do(pid, arg); got != arg {
+					t.Errorf("pid %d op %d: got %x, want %x (result cross-delivered)", pid, i, got, arg)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}

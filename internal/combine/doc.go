@@ -1,0 +1,32 @@
+// Package combine implements flat combining over an abortable object:
+// the scaling tier of the contended path.
+//
+// The contention-sensitive protocol (Figure 3, internal/core) is
+// optimal when contention is rare: a solo operation costs six shared
+// accesses and no lock. But its fallback serializes every contended
+// operation behind one lock — each process acquires, retries the weak
+// operation, releases, and the next process repeats the full hand-off.
+// Under sustained contention the lock hand-off itself dominates.
+//
+// Flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA 2010) keeps
+// the same interface and the same lock-free shortcut but turns the
+// contended path into a batched one: a process that hits contention
+// publishes its request in a per-process publication slot and one
+// process — the combiner, whoever wins the combiner lock — serves
+// every published request in a single pass before releasing. One lock
+// acquisition amortizes over the whole batch, and the waiting
+// processes never touch the object's shared registers at all, which
+// is exactly the parallelism-extraction direction of "In Search of
+// Optimal Concurrency" (Gramoli, Kuznetsov & Ravi).
+//
+// Core is generic over the weak (abortable) operation, mirroring
+// core.Do's shape: the fast path is the paper's line 01-02 shortcut
+// (read CONTENTION, one weak attempt), so a contention-free operation
+// still costs six accesses and no lock; only the fallback changes.
+//
+// Liveness: a published request is served by the current or next
+// combining pass, because every combiner scans all slots before
+// releasing. With a deadlock-free combiner lock the construction is
+// therefore starvation-free — the same guarantee as Figure 3, by a
+// helping argument instead of a round-robin one.
+package combine

@@ -1,0 +1,71 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCombiningQueueMatchesSpecSolo(t *testing.T) {
+	const k = 4
+	q := NewCombining[uint32](k, 1)
+	// Fill past capacity, drain past empty, interleave.
+	tape := []byte{
+		0, 1, 0, 2, 0, 3, 0, 4, 0, 5, // enqueues 1-5 (5th hits full)
+		1, 0, 1, 0, 1, 0, 1, 0, 1, 0, // dequeues past empty
+		0, 7, 1, 0, 0, 8, 0, 9, 1, 0,
+	}
+	interpretQueueOps(t, tape, k,
+		func(v uint32) error { return q.Enqueue(0, v) },
+		func() (uint32, error) { return q.Dequeue(0) })
+	if st := q.Stats(); st.Published != 0 {
+		t.Fatalf("solo run published %d requests", st.Published)
+	}
+}
+
+func TestCombiningQueueConserves(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 3000
+	q := NewCombining[uint64](64, producers+consumers)
+	qconserved(t, producers, consumers, perProducer, q.Enqueue, q.Dequeue)
+	st := q.Stats()
+	if st.Fast+st.Published == 0 {
+		t.Fatal("core saw no operations")
+	}
+	if st.Served != st.Published {
+		t.Fatalf("Served = %d, Published = %d", st.Served, st.Published)
+	}
+}
+
+func TestCombiningQueueFastPathDominatesWhenSolo(t *testing.T) {
+	q := NewCombining[int](16, 4)
+	for i := 0; i < 1000; i++ {
+		if err := q.Enqueue(0, i); err != nil && !errors.Is(err, ErrFull) {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			if _, err := q.Dequeue(0); err != nil && !errors.Is(err, ErrEmpty) {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := q.Stats(); st.Published != 0 {
+		t.Fatalf("solo run took the publication path %d times", st.Published)
+	}
+}
+
+func TestCombiningQueueCapacityAndLen(t *testing.T) {
+	q := NewCombining[int](3, 2)
+	if got := q.Capacity(); got != 3 {
+		t.Fatalf("Capacity = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(0, i); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := q.Enqueue(0, 99); !errors.Is(err, ErrFull) {
+		t.Fatalf("enqueue on full = %v, want ErrFull", err)
+	}
+	if got := q.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}

@@ -83,3 +83,32 @@ func FuzzMichaelScottVsSpec(f *testing.F) {
 		}
 	})
 }
+
+func FuzzCombiningQueueVsSpec(f *testing.F) {
+	// Drive the contended entry points: a solo run of Enqueue/Dequeue
+	// never leaves the fast path (covered by
+	// TestCombiningQueueMatchesSpecSolo), so this target forces every
+	// op through publish + combine.
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 0, 8, 0, 7, 0, 6, 1, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		q := NewCombining[uint32](k, 1)
+		interpretQueueOps(t, data, k,
+			func(v uint32) error { return q.EnqueueContended(0, v) },
+			func() (uint32, error) { return q.DequeueContended(0) })
+	})
+}
+
+func FuzzShardedQueueVsSpec(f *testing.F) {
+	// K=1 keeps the global FIFO spec exact (striping relaxes it).
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		q := NewSharded[uint32](k, 1, 1)
+		interpretQueueOps(t, data, k,
+			func(v uint32) error { return q.Enqueue(0, v) },
+			func() (uint32, error) { return q.Dequeue(0) })
+	})
+}

@@ -1,0 +1,146 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+)
+
+// defaultShards bounds the automatic shard count: beyond a handful of
+// stripes the steal scan's cost outweighs the contention reduction.
+const defaultShards = 8
+
+// Sharded is a pid-striped queue: K independent flat-combining
+// sub-queues, with each process enqueueing to its home shard
+// (pid mod K) and dequeueing from its home shard first, stealing from
+// the other shards when the home shard is empty — the same
+// owner-first/steal-on-empty discipline as a work-stealing deque's
+// Take/Steal split (see internal/deque and examples/worksteal).
+//
+// Striping relaxes the global order: each shard is individually FIFO
+// and linearizable (with K = 1 the whole queue is), but once values
+// spread across shards they may be dequeued out of enqueue order —
+// values from different processes always, and even two values from
+// one process when the first spilled to a non-home shard on full.
+// ErrEmpty means a full scan of all shards found nothing — under
+// concurrent enqueues this is best-effort, like any pool.
+// Conservation still holds: every enqueued value is dequeued at most
+// once and never lost.
+type Sharded[T any] struct {
+	shards []*Combining[T]
+	steals atomic.Uint64
+	spills atomic.Uint64
+}
+
+// NewSharded returns a sharded queue of total capacity exactly k for
+// n processes, striped over the given number of shards; shards <= 0
+// picks min(n, 8). k is split as evenly as possible (the first
+// k mod shards shards hold one extra value).
+func NewSharded[T any](k, n, shards int) *Sharded[T] {
+	if k < 1 {
+		panic("queue: capacity must be >= 1")
+	}
+	if n < 1 {
+		panic("queue: process count must be >= 1")
+	}
+	if shards <= 0 {
+		shards = n
+		if shards > defaultShards {
+			shards = defaultShards
+		}
+	}
+	if shards > k {
+		shards = k // every shard must hold at least one value
+	}
+	per, extra := k/shards, k%shards
+	q := &Sharded[T]{shards: make([]*Combining[T], shards)}
+	for i := range q.shards {
+		size := per
+		if i < extra {
+			size++
+		}
+		q.shards[i] = NewCombining[T](size, n)
+	}
+	return q
+}
+
+// Shards returns the shard count K.
+func (q *Sharded[T]) Shards() int { return len(q.shards) }
+
+// Capacity returns the summed capacity of all shards.
+func (q *Sharded[T]) Capacity() int {
+	total := 0
+	for _, s := range q.shards {
+		total += s.Capacity()
+	}
+	return total
+}
+
+// Enqueue appends v to pid's home shard, spilling to the next shards
+// in order when it is full. ErrFull means a full scan found every
+// shard full — best-effort under concurrent dequeues, like ErrEmpty.
+func (q *Sharded[T]) Enqueue(pid int, v T) error {
+	k := len(q.shards)
+	home := pid % k
+	for i := 0; i < k; i++ {
+		err := q.shards[(home+i)%k].Enqueue(pid, v)
+		if err == nil {
+			if i > 0 {
+				q.spills.Add(1)
+			}
+			return nil
+		}
+		if err != ErrFull {
+			return err
+		}
+	}
+	return ErrFull
+}
+
+// Dequeue removes a value, preferring pid's home shard and stealing
+// from the other shards when it is empty. It returns ErrEmpty only
+// when a full scan found every shard empty.
+func (q *Sharded[T]) Dequeue(pid int) (T, error) {
+	k := len(q.shards)
+	home := pid % k
+	for i := 0; i < k; i++ {
+		v, err := q.shards[(home+i)%k].Dequeue(pid)
+		if err == nil {
+			if i > 0 {
+				q.steals.Add(1)
+			}
+			return v, nil
+		}
+		if err != ErrEmpty {
+			return v, err
+		}
+	}
+	var zero T
+	return zero, ErrEmpty
+}
+
+// Steals returns how many dequeues were served by a non-home shard.
+func (q *Sharded[T]) Steals() uint64 { return q.steals.Load() }
+
+// Spills returns how many enqueues overflowed to a non-home shard.
+func (q *Sharded[T]) Spills() uint64 { return q.spills.Load() }
+
+// Len returns the summed length of all shards; quiescent states only.
+func (q *Sharded[T]) Len() int {
+	total := 0
+	for _, s := range q.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// ShardStats returns shard i's combining counters.
+func (q *Sharded[T]) ShardStats(i int) combine.Stats { return q.shards[i].Stats() }
+
+// Progress reports StarvationFree, inherited from the flat-combining
+// shards (each operation touches at most K of them, each
+// starvation-free).
+func (q *Sharded[T]) Progress() core.Progress { return core.StarvationFree }
+
+var _ Strong[int] = (*Sharded[int])(nil)

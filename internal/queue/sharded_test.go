@@ -1,0 +1,137 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestShardedDefaultsAndCapacity(t *testing.T) {
+	q := NewSharded[int](64, 4, 0)
+	if got := q.Shards(); got != 4 {
+		t.Fatalf("Shards = %d, want min(n, 8) = 4", got)
+	}
+	if got := q.Capacity(); got != 64 {
+		t.Fatalf("Capacity = %d, want exactly 64", got)
+	}
+	// Uneven split: capacity is still exactly k.
+	if got := NewSharded[int](10, 4, 3).Capacity(); got != 10 {
+		t.Fatalf("Capacity = %d, want exactly 10", got)
+	}
+	// More shards than capacity: clamped so every shard holds a value.
+	if got := NewSharded[int](3, 16, 8).Shards(); got != 3 {
+		t.Fatalf("Shards = %d, want clamp to capacity 3", got)
+	}
+	// The default shard count is bounded even for many processes.
+	if got := NewSharded[int](1024, 64, 0).Shards(); got != defaultShards {
+		t.Fatalf("Shards = %d, want %d", got, defaultShards)
+	}
+}
+
+func TestShardedPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"capacity": func() { NewSharded[int](0, 4, 2) },
+		"procs":    func() { NewSharded[int](8, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSharded with bad %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShardedK1MatchesSpecSolo(t *testing.T) {
+	// With one shard the queue is globally FIFO: the sequential spec
+	// applies exactly.
+	const k = 4
+	q := NewSharded[uint32](k, 1, 1)
+	tape := []byte{
+		0, 1, 0, 2, 0, 3, 0, 4, 0, 5,
+		1, 0, 1, 0, 1, 0, 1, 0, 1, 0,
+		0, 7, 1, 0, 0, 8, 0, 9, 1, 0,
+	}
+	interpretQueueOps(t, tape, k,
+		func(v uint32) error { return q.Enqueue(0, v) },
+		func() (uint32, error) { return q.Dequeue(0) })
+}
+
+func TestShardedConserves(t *testing.T) {
+	// qconserved also checks that each consumer sees every producer's
+	// values in enqueue order. That holds here because each producer's
+	// values stay in its home shard in FIFO order: the capacity covers
+	// the full workload, so no enqueue ever spills to another shard.
+	const producers, consumers, perProducer = 4, 4, 3000
+	q := NewSharded[uint64](4*producers*perProducer, producers+consumers, 4)
+	qconserved(t, producers, consumers, perProducer, q.Enqueue, q.Dequeue)
+	if got := q.Spills(); got != 0 {
+		t.Fatalf("Spills = %d, want 0 (capacity covers the workload)", got)
+	}
+}
+
+func TestShardedStealsWhenHomeEmpty(t *testing.T) {
+	q := NewSharded[int](8, 4, 2)
+	// pid 0's home shard is 0; pid 1's home is 1 and stays empty.
+	if err := q.Enqueue(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Dequeue(1)
+	if err != nil || v != 42 {
+		t.Fatalf("Dequeue = (%d, %v), want (42, nil)", v, err)
+	}
+	if got := q.Steals(); got != 1 {
+		t.Fatalf("Steals = %d, want 1", got)
+	}
+	if _, err := q.Dequeue(1); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Dequeue on drained queue = %v, want ErrEmpty", err)
+	}
+}
+
+func TestShardedSpillsWhenHomeFull(t *testing.T) {
+	// Total capacity 4 over 2 shards: pid 0's home shard holds 2, the
+	// third and fourth enqueues spill to shard 1, the fifth is ErrFull.
+	q := NewSharded[int](4, 2, 2)
+	for i := 0; i < 4; i++ {
+		if err := q.Enqueue(0, i); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if got := q.Spills(); got != 2 {
+		t.Fatalf("Spills = %d, want 2", got)
+	}
+	if err := q.Enqueue(0, 99); !errors.Is(err, ErrFull) {
+		t.Fatalf("enqueue on full = %v, want ErrFull", err)
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	// Every spilled value is still dequeued exactly once.
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		v, err := q.Dequeue(0)
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShardedShardStats(t *testing.T) {
+	q := NewSharded[int](8, 2, 2)
+	if err := q.Enqueue(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for i := 0; i < q.Shards(); i++ {
+		st := q.ShardStats(i)
+		total += st.Fast + st.Published
+	}
+	if total == 0 {
+		t.Fatal("no shard recorded the operation")
+	}
+}

@@ -1,0 +1,104 @@
+package stack
+
+import (
+	"repro/internal/combine"
+	"repro/internal/core"
+)
+
+// combOp is one published stack request: push (with the value) or pop.
+type combOp[T any] struct {
+	push bool
+	v    T
+}
+
+// combRes is a served request's outcome: the popped value (pop only)
+// and the sentinel error (nil, ErrFull, or ErrEmpty — never
+// ErrAborted).
+type combRes[T any] struct {
+	v   T
+	err error
+}
+
+// Combining is the flat-combining stack: the Figure 3 interface and
+// fast path with a batched contended path. Solo operations still
+// complete on the six-access lock-free shortcut; operations that hit
+// contention publish their request and one combiner serves the whole
+// batch under a single combiner-lock acquisition, instead of every
+// process taking the slow-path lock in turn. See internal/combine.
+type Combining[T any] struct {
+	weak Weak[T]
+	core *combine.Core[combOp[T], combRes[T]]
+}
+
+// NewCombining returns a flat-combining stack of capacity k for n
+// processes (pids in [0, n)) over the paper's Figure 1 weak stack.
+func NewCombining[T any](k, n int) *Combining[T] {
+	return NewCombiningFrom[T](NewAbortable[T](k), n)
+}
+
+// NewCombiningFrom builds the flat-combining construction over any
+// weak stack for n processes.
+func NewCombiningFrom[T any](weak Weak[T], n int) *Combining[T] {
+	s := &Combining[T]{weak: weak}
+	s.core = combine.NewCore[combOp[T], combRes[T]](n, s.attempt)
+	return s
+}
+
+// attempt adapts the weak stack to combine.Core's try shape: one weak
+// attempt, ok=false iff it aborted.
+func (s *Combining[T]) attempt(op combOp[T]) (combRes[T], bool) {
+	if op.push {
+		err := s.weak.TryPush(op.v)
+		return combRes[T]{err: err}, err != ErrAborted
+	}
+	v, err := s.weak.TryPop()
+	return combRes[T]{v: v, err: err}, err != ErrAborted
+}
+
+// Push pushes v on behalf of pid; it returns nil or ErrFull and never
+// aborts.
+func (s *Combining[T]) Push(pid int, v T) error {
+	return s.core.Do(pid, combOp[T]{push: true, v: v}).err
+}
+
+// Pop pops the top value on behalf of pid; it returns the value or
+// ErrEmpty and never aborts.
+func (s *Combining[T]) Pop(pid int) (T, error) {
+	r := s.core.Do(pid, combOp[T]{})
+	return r.v, r.err
+}
+
+// PushContended pushes v entirely on the contended path: the request
+// is published without attempting the lock-free shortcut. Benchmarks
+// (E15) use it to isolate the batched fallback.
+func (s *Combining[T]) PushContended(pid int, v T) error {
+	return s.core.DoContended(pid, combOp[T]{push: true, v: v}).err
+}
+
+// PopContended pops entirely on the contended path; see PushContended.
+func (s *Combining[T]) PopContended(pid int) (T, error) {
+	r := s.core.DoContended(pid, combOp[T]{})
+	return r.v, r.err
+}
+
+// Len returns the weak backend's length when it exposes one
+// (quiescent states only), -1 otherwise.
+func (s *Combining[T]) Len() int {
+	if w, ok := s.weak.(interface{ Len() int }); ok {
+		return w.Len()
+	}
+	return -1
+}
+
+// Stats exposes the fast-path and combining counters.
+func (s *Combining[T]) Stats() combine.Stats { return s.core.Stats() }
+
+// ResetStats zeroes the counters (between quiescent phases only).
+func (s *Combining[T]) ResetStats() { s.core.ResetStats() }
+
+// Progress reports StarvationFree: every published request is served
+// by the current or next combining pass (internal/combine's liveness
+// argument).
+func (s *Combining[T]) Progress() core.Progress { return core.StarvationFree }
+
+var _ Strong[int] = (*Combining[int])(nil)

@@ -73,6 +73,21 @@ func FuzzSensitiveVsSpec(f *testing.F) {
 	})
 }
 
+func FuzzCombiningVsSpec(f *testing.F) {
+	// Drive the contended entry points: a solo run of Push/Pop never
+	// leaves the fast path (covered by TestCombiningMatchesSpecSolo),
+	// so this target forces every op through publish + combine.
+	f.Add([]byte{0, 5, 1, 0, 0, 6, 0, 7, 1, 0, 1, 0})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewCombining[uint32](k, 1)
+		interpretOps(t, data, k,
+			func(v uint32) error { return s.PushContended(0, v) },
+			func() (uint32, error) { return s.PopContended(0) })
+	})
+}
+
 func FuzzBackendsAgree(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {

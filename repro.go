@@ -17,16 +17,26 @@
 //     building the same tower over any abortable object.
 //   - NewStarvationFreeLock — the §4.4 transformation of a
 //     deadlock-free lock into a starvation-free one.
+//   - CombiningStack / CombiningQueue — the scaling tier: the same
+//     interface and lock-free fast path, with the contended path
+//     batched by flat combining (one combiner serves every published
+//     request per lock acquisition) instead of serializing processes
+//     through the fallback lock one at a time.
+//   - ShardedQueue — pid-striping over K flat-combining sub-queues
+//     with owner-first, steal-on-empty dequeue; per-shard FIFO,
+//     relaxed global order, maximal parallelism.
 //
 // Strong operations take a pid in [0, n): the paper's model of n
 // known asynchronous processes. Give each goroutine that touches one
 // object a distinct pid.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction results; cmd/contbench regenerates every table.
+// See README.md for a quickstart, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the reproduction results; cmd/contbench
+// regenerates every table.
 package repro
 
 import (
+	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/deque"
 	"repro/internal/lock"
@@ -126,6 +136,42 @@ func NewAbortableQueue[T any](k int) *AbortableQueue[T] { return queue.NewAborta
 
 // NewNonBlockingQueue returns the retrying FIFO queue of capacity k.
 func NewNonBlockingQueue[T any](k int) *NonBlockingQueue[T] { return queue.NewNonBlocking[T](k) }
+
+// CombiningStack is the flat-combining stack: Stack's interface and
+// lock-free fast path with the contended path batched (see
+// internal/combine). Use NewCombiningStack.
+type CombiningStack[T any] = stack.Combining[T]
+
+// CombiningQueue is the flat-combining FIFO queue. Use
+// NewCombiningQueue.
+type CombiningQueue[T any] = queue.Combining[T]
+
+// ShardedQueue is the pid-striped queue: K flat-combining shards with
+// owner-first, steal-on-empty dequeue. Each shard is FIFO and
+// linearizable; K > 1 relaxes the global order (values that spread
+// across shards — different home shards, a spill on full — may be
+// dequeued out of enqueue order) while every value is still dequeued
+// exactly once. Use NewShardedQueue.
+type ShardedQueue[T any] = queue.Sharded[T]
+
+// CombiningStats is a snapshot of a combining object's path and
+// batching counters (fast-path share, batch sizes, retries).
+type CombiningStats = combine.Stats
+
+// NewCombiningStack returns a flat-combining stack of capacity k for
+// n processes.
+func NewCombiningStack[T any](k, n int) *CombiningStack[T] { return stack.NewCombining[T](k, n) }
+
+// NewCombiningQueue returns a flat-combining FIFO queue of capacity k
+// for n processes.
+func NewCombiningQueue[T any](k, n int) *CombiningQueue[T] { return queue.NewCombining[T](k, n) }
+
+// NewShardedQueue returns a queue of total capacity k for n
+// processes, pid-striped over the given number of shards (0 picks
+// min(n, 8)).
+func NewShardedQueue[T any](k, n, shards int) *ShardedQueue[T] {
+	return queue.NewSharded[T](k, n, shards)
+}
 
 // Deque is the contention-sensitive, starvation-free double-ended
 // queue built over the Herlihy-Luchangco-Moir obstruction-free array
