@@ -1,6 +1,6 @@
 // Benchmarks regenerating the experiment series of DESIGN.md §4 under
 // testing.B. Each BenchmarkE<n> corresponds to experiment E<n>; the
-// correctness experiments (E1, E2, E8, E11) benchmark the measured
+// correctness experiments (E1, E2, E8, E11, E17) benchmark the measured
 // operation or the checking machinery itself, the performance
 // experiments mirror cmd/contbench's tables as sub-benchmarks.
 //
@@ -27,8 +27,10 @@ import (
 // operation pair (push+pop) and reports Theorem 1's shared-access
 // count alongside the wall-clock cost.
 func BenchmarkE1AccessCount(b *testing.B) {
+	b.ReportAllocs()
 	for _, backend := range []string{"boxed", "packed"} {
 		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
 			var st memory.Stats
 			var push func(v uint64) error
 			var pop func() (uint64, error)
@@ -61,7 +63,9 @@ func BenchmarkE1AccessCount(b *testing.B) {
 // BenchmarkE2WeakSolo measures the uncontended weak operation (the
 // paper's five-access attempt) on both backends.
 func BenchmarkE2WeakSolo(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
 		s := stack.NewAbortable[uint64](16)
 		for i := 0; i < b.N; i++ {
 			if err := s.TryPush(uint64(i)); err != nil {
@@ -73,6 +77,7 @@ func BenchmarkE2WeakSolo(b *testing.B) {
 		}
 	})
 	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
 		s := stack.NewPacked(16)
 		for i := 0; i < b.N; i++ {
 			if err := s.TryPush(uint32(i)); err != nil {
@@ -107,6 +112,7 @@ func parallelStack(b *testing.B, push func(pid int, v uint64) error, pop func(pi
 // BenchmarkE3NonBlocking measures the Figure 2 retry loop on a tiny
 // (high-interference) stack.
 func BenchmarkE3NonBlocking(b *testing.B) {
+	b.ReportAllocs()
 	s := stack.NewNonBlocking[uint64](4)
 	parallelStack(b,
 		func(_ int, v uint64) error { return s.Push(v) },
@@ -116,6 +122,7 @@ func BenchmarkE3NonBlocking(b *testing.B) {
 // BenchmarkE4Fairness measures the Figure 3 stack under saturation and
 // reports Jain's index over per-worker completions.
 func BenchmarkE4Fairness(b *testing.B) {
+	b.ReportAllocs()
 	const maxProcs = 64
 	s := stack.NewSensitive[uint64](8, maxProcs)
 	counts := make([]uint64, maxProcs)
@@ -153,6 +160,7 @@ func BenchmarkE4Fairness(b *testing.B) {
 // BenchmarkE5Throughput sweeps the E5 implementation set under
 // RunParallel; use -cpu to sweep parallelism.
 func BenchmarkE5Throughput(b *testing.B) {
+	b.ReportAllocs()
 	const k, maxProcs = 1024, 64
 	impls := []struct {
 		name string
@@ -184,6 +192,7 @@ func BenchmarkE5Throughput(b *testing.B) {
 	}
 	for _, impl := range impls {
 		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
 			push, pop := impl.mk()
 			parallelStack(b, push, pop)
 		})
@@ -193,7 +202,9 @@ func BenchmarkE5Throughput(b *testing.B) {
 // BenchmarkE6Phases contrasts the contention-sensitive stack's solo
 // cost with its contended cost.
 func BenchmarkE6Phases(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("solo", func(b *testing.B) {
+		b.ReportAllocs()
 		s := stack.NewSensitive[uint64](1024, 1)
 		for i := 0; i < b.N; i++ {
 			if i%2 == 0 {
@@ -204,6 +215,7 @@ func BenchmarkE6Phases(b *testing.B) {
 		}
 	})
 	b.Run("storm", func(b *testing.B) {
+		b.ReportAllocs()
 		const maxProcs = 64
 		s := stack.NewSensitive[uint64](1024, maxProcs)
 		var pids atomic.Int64
@@ -224,8 +236,10 @@ func BenchmarkE6Phases(b *testing.B) {
 
 // BenchmarkE7Managers ablates the retry-loop contention managers.
 func BenchmarkE7Managers(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range cmanager.Names() {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			s := stack.NewNonBlockingFrom[uint64](stack.NewAbortable[uint64](4), cmanager.ByName(name))
 			parallelStack(b,
 				func(_ int, v uint64) error { return s.Push(v) },
@@ -238,6 +252,7 @@ func BenchmarkE7Managers(b *testing.B) {
 // replay rate on the ABA schedule (schedules/s drives how large an E8
 // search budget is affordable).
 func BenchmarkE8ModelChecker(b *testing.B) {
+	b.ReportAllocs()
 	build, schedule := sched.ABASchedule(sched.Boxed)
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.Replay(build, schedule, 0); err != nil {
@@ -249,6 +264,7 @@ func BenchmarkE8ModelChecker(b *testing.B) {
 // BenchmarkE9Queue sweeps the queue implementations (E5's FIFO
 // mirror).
 func BenchmarkE9Queue(b *testing.B) {
+	b.ReportAllocs()
 	const k, maxProcs = 1024, 64
 	impls := []struct {
 		name string
@@ -276,6 +292,7 @@ func BenchmarkE9Queue(b *testing.B) {
 	}
 	for _, impl := range impls {
 		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
 			enq, deq := impl.mk()
 			parallelStack(b, enq, deq)
 		})
@@ -285,6 +302,7 @@ func BenchmarkE9Queue(b *testing.B) {
 // BenchmarkE10Locks measures raw critical-section cost per lock,
 // including the §4.4 transformation's overhead.
 func BenchmarkE10Locks(b *testing.B) {
+	b.ReportAllocs()
 	const maxProcs = 64
 	locks := []struct {
 		name string
@@ -300,6 +318,7 @@ func BenchmarkE10Locks(b *testing.B) {
 	}
 	for _, l := range locks {
 		b.Run(l.name, func(b *testing.B) {
+			b.ReportAllocs()
 			lk := l.mk()
 			var shared uint64
 			var pids atomic.Int64
@@ -318,7 +337,9 @@ func BenchmarkE10Locks(b *testing.B) {
 // BenchmarkE12FastMutex measures Lamport's fast mutex solo (the
 // 7-access fast path) and contended.
 func BenchmarkE12FastMutex(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("solo", func(b *testing.B) {
+		b.ReportAllocs()
 		l := lock.NewFastMutex(8)
 		for i := 0; i < b.N; i++ {
 			l.Acquire(0)
@@ -326,6 +347,7 @@ func BenchmarkE12FastMutex(b *testing.B) {
 		}
 	})
 	b.Run("contended", func(b *testing.B) {
+		b.ReportAllocs()
 		const maxProcs = 64
 		l := lock.NewFastMutex(maxProcs)
 		var pids atomic.Int64
@@ -342,6 +364,7 @@ func BenchmarkE12FastMutex(b *testing.B) {
 // BenchmarkE13CrashReplay measures the crash-injection replay rate
 // (how many §5 crash scenarios per second the scheduler can sweep).
 func BenchmarkE13CrashReplay(b *testing.B) {
+	b.ReportAllocs()
 	survivor := []sched.StackOp{{Push: true, Value: 1}, {Push: false}}
 	for i := 0; i < b.N; i++ {
 		build, crashes := sched.CrashPush(sched.Boxed, 8, nil, 77, 3, survivor)
@@ -353,7 +376,9 @@ func BenchmarkE13CrashReplay(b *testing.B) {
 
 // BenchmarkE14Deque measures the deque tower under both-end traffic.
 func BenchmarkE14Deque(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("non-blocking", func(b *testing.B) {
+		b.ReportAllocs()
 		nb := repro.NewNonBlockingDeque(1024)
 		var pids atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
@@ -370,6 +395,7 @@ func BenchmarkE14Deque(b *testing.B) {
 		})
 	})
 	b.Run("cont-sensitive", func(b *testing.B) {
+		b.ReportAllocs()
 		const maxProcs = 64
 		d := repro.NewDeque(1024, maxProcs)
 		var pids atomic.Int64
@@ -391,6 +417,7 @@ func BenchmarkE14Deque(b *testing.B) {
 // BenchmarkE11Checker measures linearizability-checking throughput on
 // freshly recorded histories.
 func BenchmarkE11Checker(b *testing.B) {
+	b.ReportAllocs()
 	tgt := bench.LinTargets()[0] // stack/abortable
 	b.ResetTimer()
 	opsChecked := 0
@@ -407,6 +434,7 @@ func BenchmarkE11Checker(b *testing.B) {
 // BenchmarkPublicAPI keeps the facade honest: the exported
 // constructors must not add overhead over the internal ones.
 func BenchmarkPublicAPI(b *testing.B) {
+	b.ReportAllocs()
 	s := repro.NewStack[int](1024, 1)
 	for i := 0; i < b.N; i++ {
 		if err := s.Push(0, i); err != nil && !errors.Is(err, repro.ErrStackFull) {
@@ -416,4 +444,58 @@ func BenchmarkPublicAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE17AllocFree mirrors experiment E17 under testing.B: the
+// boxed hot paths allocate per operation, the pooled ones must report
+// 0 allocs/op (the -benchmem column is the acceptance bar).
+func BenchmarkE17AllocFree(b *testing.B) {
+	b.Run("treiber-boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		s := stack.NewTreiber[uint64]()
+		for i := 0; i < b.N; i++ {
+			_ = s.Push(uint64(i))
+			_, _ = s.Pop()
+		}
+	})
+	b.Run("treiber-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		s := stack.NewTreiberPooled(1)
+		for i := 0; i < b.N; i++ {
+			_ = s.Push(0, uint64(i))
+			_, _ = s.Pop(0)
+		}
+	})
+	b.Run("michael-scott-boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		q := queue.NewMichaelScott[uint64]()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(uint64(i))
+			_, _ = q.Dequeue()
+		}
+	})
+	b.Run("michael-scott-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		q := queue.NewMichaelScottPooled(1)
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(0, uint64(i))
+			_, _ = q.Dequeue(0)
+		}
+	})
+	b.Run("abortable-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		s := stack.NewAbortablePooled(16, 1)
+		for i := 0; i < b.N; i++ {
+			_ = s.TryPush(0, uint64(i))
+			_, _ = s.TryPop(0)
+		}
+	})
+	b.Run("combining-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		s := stack.NewCombiningPooled(16, 1)
+		for i := 0; i < b.N; i++ {
+			_ = s.Push(0, uint64(i))
+			_, _ = s.Pop(0)
+		}
+	})
 }

@@ -1,6 +1,6 @@
 // Command contbench runs the reproduction experiments of DESIGN.md §4
-// (E1..E16, including the E15/E16 scaling tier) and prints the tables
-// EXPERIMENTS.md quotes.
+// (E1..E17, including the E15/E16 scaling tier and the E17 allocation
+// tier) and prints the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
@@ -8,7 +8,7 @@
 //
 // Each experiment prints its paper claim followed by the measured
 // table; a non-zero exit status means a correctness experiment
-// (E1/E2/E3/E8/E11/E12/E13/E14) observed a violation.
+// (E1/E2/E3/E8/E11/E12/E13/E14/E17) observed a violation.
 package main
 
 import (

@@ -165,14 +165,15 @@ func main() {
 	os.Exit(1)
 }
 
-// runABA replays the handcrafted §2.2 interleaving on all three
-// backends and reports the contrast (experiment E8's deterministic
-// half).
+// runABA replays the handcrafted §2.2 interleaving on the register
+// backends, then the forced-recycle schedules on the pooled backends
+// where a retired node is back at the register when the stale CAS
+// fires (experiment E8's deterministic half).
 func runABA() {
 	for _, backend := range []sched.StackBackend{sched.NaiveABA, sched.Boxed, sched.PackedWords} {
 		build, schedule := sched.ABASchedule(backend)
 		trace, err := sched.Replay(build, schedule, 0)
-		fmt.Printf("backend %-7s: ", backend)
+		fmt.Printf("backend %-16s: ", backend)
 		if err != nil {
 			fmt.Printf("CORRUPTED — %v\n", err)
 		} else {
@@ -187,5 +188,22 @@ func runABA() {
 			os.Exit(1)
 		}
 	}
-	fmt.Println("verdict: sequence tags (§2.2) are necessary and sufficient on this schedule")
+	for _, tc := range []struct {
+		name  string
+		sched func() (sched.Builder, []int)
+	}{
+		{"pooled-treiber", sched.PooledTreiberABASchedule},
+		{"pooled-ms-queue", sched.PooledMSABASchedule},
+	} {
+		build, schedule := tc.sched()
+		trace, err := sched.Replay(build, schedule, 0)
+		fmt.Printf("backend %-16s: ", tc.name)
+		if err != nil {
+			fmt.Printf("CORRUPTED — %v\n", err)
+			fmt.Fprintln(os.Stderr, "modelcheck: a pooled backend was corrupted by recycling")
+			os.Exit(1)
+		}
+		fmt.Printf("survived forced node recycling (%d scheduled accesses)\n", len(trace))
+	}
+	fmt.Println("verdict: sequence tags (§2.2) are necessary and sufficient on these schedules")
 }

@@ -65,7 +65,19 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment to the catalog. Duplicate ids panic at
+// init time with both titles, so an id collision (the E10/E11 clash of
+// PR 1, which silently landed as E15/E16) cannot ship again: pick the
+// next free number instead (see EXPERIMENTS.md's id-allocation note).
+func register(e Experiment) {
+	for _, x := range registry {
+		if x.ID == e.ID {
+			panic(fmt.Sprintf("bench: duplicate experiment id %s (%q vs %q) — allocate the next free id",
+				e.ID, x.Title, e.Title))
+		}
+	}
+	registry = append(registry, e)
+}
 
 // All returns the experiments in id order.
 func All() []Experiment {

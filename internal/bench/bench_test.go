@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -31,6 +31,26 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Fatal("E99 found")
 	}
+}
+
+func TestRegisterRejectsDuplicateIDs(t *testing.T) {
+	before := len(registry)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("register accepted a duplicate experiment id")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "E1") ||
+			!strings.Contains(msg, "contention-free step complexity") ||
+			!strings.Contains(msg, "imposter") {
+			t.Fatalf("duplicate panic must name both experiments, got: %v", r)
+		}
+		if len(registry) != before {
+			t.Fatalf("failed register mutated the registry: %d -> %d", before, len(registry))
+		}
+	}()
+	register(Experiment{ID: "E1", Title: "imposter", Claim: "none", Run: nil})
 }
 
 // runQuick executes one experiment in Quick mode and returns its
@@ -108,6 +128,11 @@ func TestE8ABA(t *testing.T) {
 	if !strings.Contains(out, "reproduces §2.2") || !strings.Contains(out, "tags prevent ABA") {
 		t.Fatalf("E8 output unexpected:\n%s", out)
 	}
+	for _, row := range []string{"pooled-treiber", "pooled-ms-queue", "pooled-abortable", "tags prevent reuse ABA"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E8 missing pooled row %s:\n%s", row, out)
+		}
+	}
 }
 
 func TestE9Queue(t *testing.T) {
@@ -129,7 +154,11 @@ func TestE11Linearizability(t *testing.T) {
 	if strings.Contains(out, "VIOLATION") {
 		t.Fatalf("E11 found a violation:\n%s", out)
 	}
-	for _, impl := range []string{"stack/abortable", "stack/elimination", "queue/michael-scott"} {
+	for _, impl := range []string{
+		"stack/abortable", "stack/elimination", "queue/michael-scott",
+		"stack/treiber-pooled", "stack/abortable-pooled",
+		"queue/michael-scott-pooled", "queue/abortable-pooled",
+	} {
 		if !strings.Contains(out, impl) {
 			t.Fatalf("E11 missing %s:\n%s", impl, out)
 		}
@@ -210,6 +239,35 @@ func TestE16Sharded(t *testing.T) {
 	for _, row := range []string{"cont-sensitive", "sharded K=1", "sharded K=4", "steals/op"} {
 		if !strings.Contains(out, row) {
 			t.Fatalf("E16 missing %s:\n%s", row, out)
+		}
+	}
+}
+
+func TestE17AllocationFreeHotPaths(t *testing.T) {
+	out := runQuick(t, "E17")
+	for _, row := range []string{
+		"stack/treiber(boxed)", "stack/treiber(pooled)",
+		"queue/michael-scott(pooled)", "stack/abortable(pooled)",
+		"stack/combining(pooled)", "queue/abortable(pooled)", "stack/packed",
+		"forced reuse",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E17 missing %s:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("E17 verdicts include FAIL:\n%s", out)
+	}
+	// The acceptance bar: the pooled Treiber and Michael-Scott rows
+	// must report exactly 0.000 steady-state allocs/op (scan only the
+	// steady-state table; the forced-reuse table repeats the names).
+	steady, _, _ := strings.Cut(out, "forced reuse")
+	for _, line := range strings.Split(steady, "\n") {
+		if strings.HasPrefix(line, "stack/treiber(pooled)") ||
+			strings.HasPrefix(line, "queue/michael-scott(pooled)") {
+			if !strings.Contains(line, "0.000") || !strings.Contains(line, "0 allocs/op") {
+				t.Fatalf("pooled hot path still allocates: %s", line)
+			}
 		}
 	}
 }

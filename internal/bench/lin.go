@@ -82,6 +82,24 @@ func LinTargets() []LinTarget {
 				return s.Pop()
 			}, stack.ErrFull, stack.ErrEmpty, nil
 		}},
+		{"stack/treiber-pooled", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewTreiberPooled(procs)
+			return func(pid int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.Push(pid, v)
+				}
+				return s.Pop(pid)
+			}, stack.ErrFull, stack.ErrEmpty, nil
+		}},
+		{"stack/abortable-pooled", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			s := stack.NewAbortablePooled(6, procs)
+			return func(pid int, push bool, v uint64) (uint64, error) {
+				if push {
+					return 0, s.TryPush(pid, v)
+				}
+				return s.TryPop(pid)
+			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
+		}},
 		{"stack/elimination", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			s := stack.NewElimination[uint64](0)
 			return func(_ int, push bool, v uint64) (uint64, error) {
@@ -137,6 +155,25 @@ func LinTargets() []LinTarget {
 				}
 				return q.Dequeue()
 			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+		{"queue/michael-scott-pooled", "queue", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewMichaelScottPooled(procs)
+			return func(pid int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					q.Enqueue(pid, v)
+					return 0, nil
+				}
+				return q.Dequeue(pid)
+			}, queue.ErrFull, queue.ErrEmpty, nil
+		}},
+		{"queue/abortable-pooled", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			q := queue.NewAbortablePooled(5)
+			return func(_ int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.TryEnqueue(v)
+				}
+				return q.TryDequeue()
+			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
 		}},
 		{"queue/combining", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			q := queue.NewCombining[uint64](5, procs)

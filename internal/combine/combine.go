@@ -75,11 +75,15 @@ func (s Stats) BatchMean() float64 {
 // Core is the flat-combining construction over one abortable object.
 // try is the object's weak operation: a single attempt that either
 // takes effect (ok=true) or aborts with no effect (ok=false); a solo
-// attempt must never abort. All strong operations of the object must
-// share one Core, for the same reason all of Figure 3's share one
-// Guard: CONTENTION and the publication list are per-object.
+// attempt must never abort. try receives the pid of the EXECUTING
+// process — the caller on the fast path, the combiner when a request
+// is served from the publication list — so pooled backends can route
+// node recycling through the executor's per-pid free list. All strong
+// operations of the object must share one Core, for the same reason
+// all of Figure 3's share one Guard: CONTENTION and the publication
+// list are per-object.
 type Core[A, R any] struct {
-	try        func(A) (R, bool)
+	try        func(pid int, arg A) (R, bool)
 	contention *memory.Flag
 	combiner   atomic.Uint32
 	slots      []slot[A, R]
@@ -93,7 +97,7 @@ type Core[A, R any] struct {
 }
 
 // NewCore returns a Core for n processes (pids in [0, n)) over try.
-func NewCore[A, R any](n int, try func(A) (R, bool)) *Core[A, R] {
+func NewCore[A, R any](n int, try func(pid int, arg A) (R, bool)) *Core[A, R] {
 	if n < 1 {
 		panic("combine: process count must be >= 1")
 	}
@@ -111,7 +115,7 @@ func NewCore[A, R any](n int, try func(A) (R, bool)) *Core[A, R] {
 // every caller (see the package comment's liveness argument).
 func (c *Core[A, R]) Do(pid int, arg A) R {
 	if !c.contention.Read() {
-		if res, ok := c.try(arg); ok {
+		if res, ok := c.try(pid, arg); ok {
 			c.slots[pid].fast.Add(1)
 			return res
 		}
@@ -141,7 +145,7 @@ func (c *Core[A, R]) DoContended(pid int, arg A) R {
 			// zero-batch scan (and skew BatchMean) in that case —
 			// any still-pending waiter will win the lock itself.
 			if s.state.Load() != slotDone {
-				c.combine()
+				c.combine(pid)
 			}
 			c.combiner.Store(0)
 			// A pass serves every pending slot, ours included (it
@@ -156,11 +160,12 @@ func (c *Core[A, R]) DoContended(pid int, arg A) R {
 }
 
 // combine serves every published request. The caller holds the
-// combiner lock. CONTENTION is raised for the duration so that new
-// arrivals divert to the publication list instead of racing the
-// combiner on the object's registers — the same role it plays in
+// combiner lock; pid is the combiner's own identity, under which every
+// served request executes. CONTENTION is raised for the duration so
+// that new arrivals divert to the publication list instead of racing
+// the combiner on the object's registers — the same role it plays in
 // Figure 3's slow path.
-func (c *Core[A, R]) combine() {
+func (c *Core[A, R]) combine(pid int) {
 	c.combines.Add(1)
 	c.contention.Write(true)
 	batch := uint64(0)
@@ -170,7 +175,7 @@ func (c *Core[A, R]) combine() {
 			if s.state.Load() != slotPending {
 				continue
 			}
-			s.res = c.apply(s.arg)
+			s.res = c.apply(pid, s.arg)
 			s.state.Store(slotDone)
 			batch++
 		}
@@ -185,12 +190,13 @@ func (c *Core[A, R]) combine() {
 	}
 }
 
-// apply retries the weak operation until it takes effect. A failed
-// attempt means a fast-path operation that started before CONTENTION
-// was raised is mid-flight; yielding lets it finish.
-func (c *Core[A, R]) apply(arg A) R {
+// apply retries the weak operation until it takes effect, on behalf of
+// the combiner pid. A failed attempt means a fast-path operation that
+// started before CONTENTION was raised is mid-flight; yielding lets it
+// finish.
+func (c *Core[A, R]) apply(pid int, arg A) R {
 	for attempt := 0; ; attempt++ {
-		if res, ok := c.try(arg); ok {
+		if res, ok := c.try(pid, arg); ok {
 			if attempt > 0 {
 				c.retries.Add(uint64(attempt))
 			}

@@ -13,7 +13,7 @@ type casCounter struct {
 	v atomic.Uint64
 }
 
-func (c *casCounter) tryInc(struct{}) (uint64, bool) {
+func (c *casCounter) tryInc(_ int, _ struct{}) (uint64, bool) {
 	cur := c.v.Load()
 	if c.v.CompareAndSwap(cur, cur+1) {
 		return cur, true
@@ -136,7 +136,7 @@ func TestArgsAndResultsAreDeliveredToTheRightProcess(t *testing.T) {
 	// waiter: echo pid-tagged args through an abortable identity op.
 	const procs, perProc = 8, 3000
 	var word atomic.Uint64
-	try := func(arg uint64) (uint64, bool) {
+	try := func(_ int, arg uint64) (uint64, bool) {
 		cur := word.Load()
 		if word.CompareAndSwap(cur, arg) {
 			return arg, true

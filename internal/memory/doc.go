@@ -4,7 +4,7 @@
 // access can be observed (counted, traced, or gated by a deterministic
 // scheduler).
 //
-// Two register families are provided:
+// Three register families are provided:
 //
 //   - Word and Flag: single 64-bit (resp. boolean) registers backed by
 //     sync/atomic. Multi-field register contents such as the paper's
@@ -14,12 +14,20 @@
 //   - Ref[T]: a register holding an immutable boxed record (*T), for
 //     arbitrary payload types. CAS compares the boxed pointer read
 //     earlier, so a successful CAS proves the register was not written
-//     in between — the GC prevents pointer-level ABA.
+//     in between — the GC prevents pointer-level ABA, at the price of
+//     one heap allocation per published record.
+//   - TaggedRef[T] over Pool[T] (tagged.go, pool.go): a register
+//     holding 〈handle, seqnb〉 in one word, with records recycled
+//     through a type-stable arena (per-pid free lists, bounded shared
+//     overflow). The hot path allocates nothing (experiment E17);
+//     recycling makes ABA real again and the tag, CASed together with
+//     the handle, is what defeats it.
 //
-// Sequence tags are still carried by both families because the paper's
+// Sequence tags are carried by all families because the paper's
 // algorithms use them (§2.2): they make logical ABA detectable and are
 // load-bearing in the packed family, where the same 64-bit pattern can
-// recur.
+// recur, and in the pooled family, where the same handle genuinely
+// returns.
 //
 // Instrumentation. Every register constructor has an Observed variant
 // taking an Observer whose OnAccess method is invoked immediately

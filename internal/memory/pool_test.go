@@ -1,0 +1,211 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTaggedValCodec(t *testing.T) {
+	cases := []struct {
+		h   Handle
+		tag uint32
+	}{
+		{NilHandle, 0},
+		{1, 0},
+		{42, 7},
+		{1<<32 - 1, 1<<32 - 1},
+	}
+	for _, c := range cases {
+		v := PackTagged(c.h, c.tag)
+		if v.Handle() != c.h || v.Tag() != c.tag {
+			t.Fatalf("PackTagged(%d,%d) round-trips to (%d,%d)", c.h, c.tag, v.Handle(), v.Tag())
+		}
+	}
+	v := PackTagged(9, 5)
+	n := v.Next(11)
+	if n.Handle() != 11 || n.Tag() != 6 {
+		t.Fatalf("Next = (%d,%d), want (11,6)", n.Handle(), n.Tag())
+	}
+	// Tag wraparound is modulo 2^32, handle untouched.
+	w := PackTagged(3, 1<<32-1).Next(3)
+	if w.Handle() != 3 || w.Tag() != 0 {
+		t.Fatalf("wrapping Next = (%d,%d), want (3,0)", w.Handle(), w.Tag())
+	}
+}
+
+func TestPoolGetPutRecycles(t *testing.T) {
+	p := NewPool[uint64](2, nil)
+	h1 := p.Get(0)
+	h2 := p.Get(0)
+	if h1 == NilHandle || h2 == NilHandle || h1 == h2 {
+		t.Fatalf("fresh handles: %d, %d", h1, h2)
+	}
+	*p.At(h1) = 111
+	p.Put(0, h1)
+	h3 := p.Get(0) // LIFO: the hottest handle first
+	if h3 != h1 {
+		t.Fatalf("Get after Put = %d, want recycled %d", h3, h1)
+	}
+	if *p.At(h3) != 111 {
+		t.Fatal("recycled record was zeroed; per-node state must survive recycling")
+	}
+	st := p.Stats()
+	if st.Allocs != 2 || st.Reuses != 1 {
+		t.Fatalf("stats = %+v, want 2 allocs, 1 reuse", st)
+	}
+}
+
+func TestPoolInitRunsOncePerArenaRecord(t *testing.T) {
+	inits := 0
+	p := NewPool[uint64](1, func(r *uint64) { inits++; *r = 7 })
+	h := p.Get(0)
+	if inits != 1 || *p.At(h) != 7 {
+		t.Fatalf("init ran %d times, record = %d", inits, *p.At(h))
+	}
+	p.Put(0, h)
+	if got := p.Get(0); got != h || inits != 1 {
+		t.Fatalf("recycled Get reran init (%d times)", inits)
+	}
+}
+
+func TestPoolSpillAndRefill(t *testing.T) {
+	p := NewPool[uint64](2, nil)
+	// Overfill pid 0's local list to force a spill...
+	var hs []Handle
+	for i := 0; i < poolLocalCap+1; i++ {
+		hs = append(hs, p.Get(0))
+	}
+	for _, h := range hs {
+		p.Put(0, h)
+	}
+	st := p.Stats()
+	if st.Spills == 0 {
+		t.Fatalf("no spill after %d puts: %+v", len(hs), st)
+	}
+	// ...then drain through pid 1, which must refill from the overflow
+	// rather than growing the arena.
+	arena := p.ArenaSize()
+	for i := 0; i < poolLocalCap/2; i++ {
+		p.Get(1)
+	}
+	st = p.Stats()
+	if st.Refills == 0 {
+		t.Fatalf("pid 1 never refilled from overflow: %+v", st)
+	}
+	if p.ArenaSize() != arena {
+		t.Fatalf("arena grew from %d to %d with free records available", arena, p.ArenaSize())
+	}
+	if st.Drops != 0 {
+		t.Fatalf("unexpected drops: %+v", st)
+	}
+}
+
+func TestPoolArenaGrowthAcrossBlocks(t *testing.T) {
+	p := NewPool[uint64](1, nil)
+	seen := map[Handle]bool{}
+	n := 3*poolBlockSize + 5
+	for i := 0; i < n; i++ {
+		h := p.Get(0)
+		if seen[h] {
+			t.Fatalf("handle %d issued twice", h)
+		}
+		seen[h] = true
+		*p.At(h) = uint64(i)
+	}
+	for h := range seen {
+		got := *p.At(h)
+		if got >= uint64(n) {
+			t.Fatalf("record %d corrupted: %d", h, got)
+		}
+	}
+	if p.ArenaSize() != n {
+		t.Fatalf("ArenaSize = %d, want %d", p.ArenaSize(), n)
+	}
+}
+
+func TestPoolConcurrentDistinctHandles(t *testing.T) {
+	const procs, rounds = 4, 2000
+	p := NewPool[uint64](procs, nil)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			held := make([]Handle, 0, 8)
+			for i := 0; i < rounds; i++ {
+				h := p.Get(pid)
+				*p.At(h) = uint64(pid) // owner writes while held
+				held = append(held, h)
+				if len(held) == 8 {
+					for _, h := range held {
+						if *p.At(h) != uint64(pid) {
+							t.Errorf("record %d stolen while held", h)
+							return
+						}
+						p.Put(pid, h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				p.Put(pid, h)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Reuses == 0 {
+		t.Fatalf("no recycling under churn: %+v", st)
+	}
+}
+
+func TestTaggedRefCASCatchesRecycledHandle(t *testing.T) {
+	// The §2.2 scenario in miniature: a register returns to an old
+	// handle after recycling, and the tag makes the stale CAS fail.
+	p := NewPool[uint64](1, nil)
+	r := NewTaggedRef(p, PackTagged(NilHandle, 0))
+	h := p.Get(0)
+	old := r.Read()
+	r.Write(old.Next(h)) // install h...
+	stale := r.Read()    // ...a slow process reads 〈h, 1〉...
+	w2 := r.Read()
+	if !r.CAS(w2, w2.Next(NilHandle)) { // ...h is removed and retired...
+		t.Fatal("CAS by the up-to-date process failed")
+	}
+	p.Put(0, h)
+	h2 := p.Get(0) // ...recycled...
+	if h2 != h {
+		t.Fatalf("expected recycled handle %d, got %d", h, h2)
+	}
+	w3 := r.Read()
+	r.Write(w3.Next(h2)) // ...and reinstalled: register holds 〈h, 3〉.
+	if r.CAS(stale, stale.Next(NilHandle)) {
+		t.Fatal("stale CAS succeeded on a recycled handle: tags are not load-bearing")
+	}
+	if got := r.Read(); got.Handle() != h || got.Tag() != 3 {
+		t.Fatalf("register = (%d,%d), want (%d,3)", got.Handle(), got.Tag(), h)
+	}
+}
+
+func TestTaggedRefObserved(t *testing.T) {
+	var st Stats
+	p := NewPool[uint64](1, nil)
+	r := NewTaggedRefObserved(p, PackTagged(NilHandle, 0), &st)
+	w := r.Read()
+	r.Write(w)
+	r.CAS(w, w)
+	if st.Reads() != 1 || st.Writes() != 1 || st.CASes() != 1 {
+		t.Fatalf("observer saw %d/%d/%d", st.Reads(), st.Writes(), st.CASes())
+	}
+	if r.Deref(PackTagged(NilHandle, 9)) != nil {
+		t.Fatal("Deref(nil handle) != nil")
+	}
+	h := p.Get(0)
+	*p.At(h) = 5
+	if got := r.Deref(PackTagged(h, 0)); got == nil || *got != 5 {
+		t.Fatal("Deref missed the pooled record")
+	}
+	if st.Total() != 3 {
+		t.Fatal("Deref must not count as a shared access")
+	}
+}

@@ -23,7 +23,7 @@ func TestCombiningQueueMatchesSpecSolo(t *testing.T) {
 }
 
 func TestCombiningQueueConserves(t *testing.T) {
-	const producers, consumers, perProducer = 4, 4, 3000
+	producers, consumers, perProducer := 4, 4, stressN(3000)
 	q := NewCombining[uint64](64, producers+consumers)
 	qconserved(t, producers, consumers, perProducer, q.Enqueue, q.Dequeue)
 	st := q.Stats()

@@ -2,12 +2,26 @@ package queue
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/lock"
 )
+
+// stressN scales a stress-test iteration budget: the full budget by
+// default, a twentieth (min 100) under -short so `go test -short`
+// finishes fast (the CI race job runs short; full budgets remain the
+// local default).
+func stressN(full int) int {
+	if testing.Short() {
+		if full /= 20; full < 100 {
+			full = 100
+		}
+	}
+	return full
+}
 
 // qconserved drives producers/consumers and verifies multiset
 // conservation plus per-producer FIFO order of the dequeued values.
@@ -35,6 +49,7 @@ func qconserved(t *testing.T, producers, consumers, perProducer int,
 						t.Errorf("enqueue = %v", err)
 						return
 					}
+					runtime.Gosched() // full: let a dequeuer run
 				}
 			}
 		}(p)
@@ -51,6 +66,7 @@ func qconserved(t *testing.T, producers, consumers, perProducer int,
 						t.Errorf("dequeue = %v", err)
 						return
 					}
+					runtime.Gosched() // empty: let a producer run
 					continue
 				}
 				got[cid] = append(got[cid], v)
@@ -86,7 +102,7 @@ func qconserved(t *testing.T, producers, consumers, perProducer int,
 
 func TestNonBlockingQueueConserves(t *testing.T) {
 	q := NewNonBlocking[uint64](32)
-	qconserved(t, 4, 4, 3000,
+	qconserved(t, 4, 4, stressN(3000),
 		func(_ int, v uint64) error { return q.Enqueue(v) },
 		func(_ int) (uint64, error) { return q.Dequeue() },
 	)
@@ -95,7 +111,7 @@ func TestNonBlockingQueueConserves(t *testing.T) {
 func TestSensitiveQueueConserves(t *testing.T) {
 	const producers, consumers = 4, 4
 	q := NewSensitive[uint64](32, producers+consumers)
-	qconserved(t, producers, consumers, 2500, q.Enqueue, q.Dequeue)
+	qconserved(t, producers, consumers, stressN(2500), q.Enqueue, q.Dequeue)
 	if st := q.Guard().Stats(); st.Fast+st.Slow == 0 {
 		t.Fatal("guard saw no operations")
 	}
@@ -103,18 +119,18 @@ func TestSensitiveQueueConserves(t *testing.T) {
 
 func TestSensitiveQueueTicketLockConserves(t *testing.T) {
 	q := NewSensitiveFrom[uint64](NewAbortable[uint64](16), lock.IgnorePid(lock.NewTicket()))
-	qconserved(t, 3, 3, 2000, q.Enqueue, q.Dequeue)
+	qconserved(t, 3, 3, stressN(2000), q.Enqueue, q.Dequeue)
 }
 
 func TestLockBasedQueueConserves(t *testing.T) {
 	const producers, consumers = 4, 4
 	q := NewLockBasedWith[uint64](32, lock.NewRoundRobin(lock.NewTAS(), producers+consumers))
-	qconserved(t, producers, consumers, 2500, q.Enqueue, q.Dequeue)
+	qconserved(t, producers, consumers, stressN(2500), q.Enqueue, q.Dequeue)
 }
 
 func TestMichaelScottConserves(t *testing.T) {
 	q := NewMichaelScott[uint64]()
-	qconserved(t, 4, 4, 3000,
+	qconserved(t, 4, 4, stressN(3000),
 		func(_ int, v uint64) error { q.Enqueue(v); return nil },
 		func(_ int) (uint64, error) { return q.Dequeue() },
 	)
@@ -123,7 +139,7 @@ func TestMichaelScottConserves(t *testing.T) {
 func TestAbortableSingleSlotQueueConcurrent(t *testing.T) {
 	// Capacity 1 maximizes interference on a single slot.
 	q := NewNonBlocking[uint64](1)
-	qconserved(t, 2, 2, 2000,
+	qconserved(t, 2, 2, stressN(2000),
 		func(_ int, v uint64) error { return q.Enqueue(v) },
 		func(_ int) (uint64, error) { return q.Dequeue() },
 	)
@@ -144,7 +160,7 @@ func TestNonInterferenceEnqDeqDisjointEnds(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	const opsPerSide = 100000
+	opsPerSide := stressN(100000)
 	var enqAborts, deqAborts atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -177,10 +193,10 @@ func TestNonInterferenceEnqDeqDisjointEnds(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if a := enqAborts.Load(); a > opsPerSide/100 {
+	if a := enqAborts.Load(); a > int64(opsPerSide/100) {
 		t.Fatalf("enqueue aborted %d/%d times against a disjoint dequeuer", a, opsPerSide)
 	}
-	if a := deqAborts.Load(); a > opsPerSide/100 {
+	if a := deqAborts.Load(); a > int64(opsPerSide/100) {
 		t.Fatalf("dequeue aborted %d/%d times against a disjoint enqueuer", a, opsPerSide)
 	}
 }

@@ -100,6 +100,51 @@ func FuzzCombiningQueueVsSpec(f *testing.F) {
 	})
 }
 
+func FuzzAbortablePooledVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 0, 8, 0, 7, 0, 6, 1, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		q := NewAbortablePooled(k)
+		interpretQueueOps(t, data, k,
+			func(v uint32) error { return q.TryEnqueue(uint64(v)) },
+			func() (uint32, error) { v, err := q.TryDequeue(); return uint32(v), err })
+	})
+}
+
+func FuzzMichaelScottPooledVsSpec(f *testing.F) {
+	// Solo cross-check of the recycled-node queue against the spec: the
+	// single-pid pool maximizes same-address reuse (every retired dummy
+	// comes straight back on the next enqueue), so any tag mistake in
+	// the counted-pointer protocol corrupts the FIFO order here.
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 1, 1, 0, 0, 2, 1, 0, 0, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := NewMichaelScottPooled(1)
+		ref := spec.NewQueue[uint32](1 << 20) // effectively unbounded
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i]%2 == 0 {
+				v := uint32(data[i+1])
+				q.Enqueue(0, uint64(v))
+				ref.Enqueue(v)
+			} else {
+				v, err := q.Dequeue(0)
+				want, ok := ref.Dequeue()
+				if ok {
+					if err != nil || uint32(v) != want {
+						t.Fatalf("op %d: deq = (%d, %v), spec has %d", i, v, err, want)
+					}
+				} else if !errors.Is(err, ErrEmpty) {
+					t.Fatalf("op %d: deq = (%d, %v), spec reports empty", i, v, err)
+				}
+			}
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("final length %d, spec %d", q.Len(), ref.Len())
+		}
+	})
+}
+
 func FuzzShardedQueueVsSpec(f *testing.F) {
 	// K=1 keeps the global FIFO spec exact (striping relaxes it).
 	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})

@@ -1,0 +1,140 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// mspNode is a pooled Michael-Scott link. value is atomic because a
+// stale dequeuer may overlap a recycler rewriting the node (the read
+// is discarded when its head CAS fails, but must be race-free). next
+// holds a packed memory.TaggedVal whose tag is NEVER reset: it
+// accumulates across the node's lives, which is exactly the original
+// algorithm's counted-pointer discipline (Michael & Scott, PODC'96)
+// and what makes a free-list node safe to reuse.
+type mspNode struct {
+	value atomic.Uint64
+	next  atomic.Uint64
+}
+
+// MichaelScottPooled is the Michael-Scott queue with the original
+// paper's free-list memory management restored: nodes are recycled
+// through a memory.Pool and head/tail are tagged 〈handle, seqnb〉
+// registers. The boxed MichaelScott leans on the GC to rule out
+// pointer ABA and allocates a node per enqueue; here reuse makes ABA
+// real (the retired dummy can come back as the tail while a slow
+// dequeue still holds its old handle) and the §2.2 tags — on head,
+// tail, and every node's next field — are load-bearing. The steady
+// state allocates nothing per operation (experiment E17).
+//
+// Values are uint64; operations take the calling pid for the pool's
+// per-pid free lists.
+type MichaelScottPooled struct {
+	head *memory.TaggedRef[mspNode] // dummy; head.next is the front
+	tail *memory.TaggedRef[mspNode] // last or second-to-last node
+	pool *memory.Pool[mspNode]
+}
+
+// NewMichaelScottPooled returns an empty pooled queue for procs
+// processes (pids in [0, procs)).
+func NewMichaelScottPooled(procs int) *MichaelScottPooled {
+	return NewMichaelScottPooledObserved(procs, nil)
+}
+
+// NewMichaelScottPooledObserved returns an instrumented pooled queue:
+// head and tail accesses are reported to obs (nil disables
+// instrumentation). Node next-field traffic and pool traffic are not
+// observed (they are not registers of the paper's model).
+func NewMichaelScottPooledObserved(procs int, obs memory.Observer) *MichaelScottPooled {
+	pool := memory.NewPool[mspNode](procs, nil)
+	dummy := pool.Get(0)
+	init := memory.PackTagged(dummy, 0)
+	return &MichaelScottPooled{
+		head: memory.NewTaggedRefObserved(pool, init, obs),
+		tail: memory.NewTaggedRefObserved(pool, init, obs),
+		pool: pool,
+	}
+}
+
+// Enqueue appends v on behalf of pid. It always succeeds (the queue is
+// unbounded) and is lock-free. The shape is MS'96 with counted
+// pointers: the consistency re-read of tail is REQUIRED here — unlike
+// the boxed variant, a stale tail's node may have been recycled, and
+// only a tail unchanged across the next-read proves the next word
+// belonged to this life of the node.
+func (q *MichaelScottPooled) Enqueue(pid int, v uint64) {
+	h := q.pool.Get(pid)
+	n := q.pool.At(h)
+	n.value.Store(v)
+	// Reset next to nil, advancing its accumulated tag. A node is only
+	// freed after its next was CASed non-nil (the dequeue that retired
+	// it moved head over that successor), so every stale 〈nil, tag〉 a
+	// slow enqueuer may still hold is strictly older than this word and
+	// its CAS on it must fail.
+	old := memory.TaggedVal(n.next.Load())
+	n.next.Store(uint64(old.Next(memory.NilHandle)))
+	for {
+		t := q.tail.Read()
+		tn := q.pool.At(t.Handle())
+		next := memory.TaggedVal(tn.next.Load())
+		if q.tail.Read() != t {
+			continue // tail moved: next may be another life's word
+		}
+		if next.Handle() == memory.NilHandle {
+			if tn.next.CompareAndSwap(uint64(next), uint64(next.Next(h))) {
+				q.tail.CAS(t, t.Next(h)) // swing; failure means someone helped
+				return
+			}
+		} else {
+			q.tail.CAS(t, t.Next(next.Handle())) // help a lagging enqueue
+		}
+	}
+}
+
+// Dequeue removes the oldest value on behalf of pid; it returns the
+// value or ErrEmpty. The retired dummy goes back to pid's free list.
+func (q *MichaelScottPooled) Dequeue(pid int) (uint64, error) {
+	for {
+		hd := q.head.Read()
+		t := q.tail.Read()
+		hn := q.pool.At(hd.Handle())
+		next := memory.TaggedVal(hn.next.Load())
+		if q.head.Read() != hd {
+			continue // head moved: next may be another life's word
+		}
+		if hd.Handle() == t.Handle() {
+			if next.Handle() == memory.NilHandle {
+				return 0, ErrEmpty
+			}
+			q.tail.CAS(t, t.Next(next.Handle())) // help a lagging enqueue
+			continue
+		}
+		if next.Handle() == memory.NilHandle {
+			continue // stale tail read; retry
+		}
+		v := q.pool.At(next.Handle()).value.Load()
+		if q.head.CAS(hd, hd.Next(next.Handle())) {
+			q.pool.Put(pid, hd.Handle())
+			return v, nil
+		}
+	}
+}
+
+// Len counts the elements; quiescent states only (O(n) walk).
+func (q *MichaelScottPooled) Len() int {
+	n := 0
+	h := memory.TaggedVal(q.pool.At(q.head.Read().Handle()).next.Load()).Handle()
+	for h != memory.NilHandle {
+		n++
+		h = memory.TaggedVal(q.pool.At(h).next.Load()).Handle()
+	}
+	return n
+}
+
+// PoolStats exposes the node pool's recycling counters.
+func (q *MichaelScottPooled) PoolStats() memory.PoolStats { return q.pool.Stats() }
+
+// Progress reports NonBlocking (lock-freedom).
+func (q *MichaelScottPooled) Progress() core.Progress { return core.NonBlocking }

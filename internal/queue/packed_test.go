@@ -130,7 +130,7 @@ func TestPackedSnapshot(t *testing.T) {
 }
 
 func TestPackedConcurrentConserves(t *testing.T) {
-	const producers, consumers, perProducer = 4, 4, 2000
+	producers, consumers, perProducer := 4, 4, stressN(2000)
 	q := NewNonBlockingFrom[uint32](NewPacked(16), nil)
 	total := producers * perProducer
 	var mu sync.Mutex

@@ -63,7 +63,7 @@ func TestShardedConserves(t *testing.T) {
 	// values in enqueue order. That holds here because each producer's
 	// values stay in its home shard in FIFO order: the capacity covers
 	// the full workload, so no enqueue ever spills to another shard.
-	const producers, consumers, perProducer = 4, 4, 3000
+	producers, consumers, perProducer := 4, 4, stressN(3000)
 	q := NewSharded[uint64](4*producers*perProducer, producers+consumers, 4)
 	qconserved(t, producers, consumers, perProducer, q.Enqueue, q.Dequeue)
 	if got := q.Spills(); got != 0 {

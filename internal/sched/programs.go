@@ -57,11 +57,24 @@ func queueOutcome(err error) string {
 	}
 }
 
-// weakStack is the common surface of the three model-checked stacks.
+// weakStack is the common surface of the model-checked stacks. The
+// operations take the calling pid: the pooled backends route node
+// recycling through per-pid free lists; the others ignore it.
 type weakStack interface {
-	TryPush(v uint64) error
-	TryPop() (uint64, error)
+	TryPush(pid int, v uint64) error
+	TryPop(pid int) (uint64, error)
 }
+
+// pidlessStack adapts the pid-oblivious weak stacks.
+type pidlessStack struct {
+	s interface {
+		TryPush(v uint64) error
+		TryPop() (uint64, error)
+	}
+}
+
+func (a pidlessStack) TryPush(_ int, v uint64) error { return a.s.TryPush(v) }
+func (a pidlessStack) TryPop(_ int) (uint64, error)  { return a.s.TryPop() }
 
 // packedAdapter lifts the uint32-valued packed stack to uint64.
 type packedAdapter struct{ s *stack.Packed }
@@ -82,6 +95,12 @@ const (
 	PackedWords
 	// NaiveABA is the deliberately untagged strawman of §2.2.
 	NaiveABA
+	// PooledTreiber is the Treiber stack over recycled pooled nodes
+	// with a tagged head register.
+	PooledTreiber
+	// PooledAbortable is the Figure 1 stack over pooled, tagged
+	// registers (validated-snapshot reads).
+	PooledAbortable
 )
 
 // String names the backend.
@@ -93,6 +112,10 @@ func (b StackBackend) String() string {
 		return "packed"
 	case NaiveABA:
 		return "naive"
+	case PooledTreiber:
+		return "pooled-treiber"
+	case PooledAbortable:
+		return "pooled-abortable"
 	default:
 		return "unknown"
 	}
@@ -119,20 +142,31 @@ func SoloNeverAborts(backend StackBackend, k int, initial []uint64, plan []Stack
 }
 
 func weakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]StackOp, forbidAborts bool) Builder {
+	return weakStackBuilderPost(backend, k, initial, plans, forbidAborts, nil)
+}
+
+// weakStackBuilderPost additionally runs post(s) during Check, after
+// the linearizability verdict; the pooled ABA schedules use it to
+// assert that node recycling actually occurred.
+func weakStackBuilderPost(backend StackBackend, k int, initial []uint64, plans [][]StackOp, forbidAborts bool, post func(s weakStack) error) Builder {
 	return func(obs memory.Observer) Run {
 		var s weakStack
 		switch backend {
 		case Boxed:
-			s = stack.NewAbortableObserved[uint64](k, obs)
+			s = pidlessStack{stack.NewAbortableObserved[uint64](k, obs)}
 		case PackedWords:
-			s = packedAdapter{stack.NewPackedObserved(k, obs)}
+			s = pidlessStack{packedAdapter{stack.NewPackedObserved(k, obs)}}
 		case NaiveABA:
-			s = stack.NewNaiveObserved[uint64](k, obs)
+			s = pidlessStack{stack.NewNaiveObserved[uint64](k, obs)}
+		case PooledTreiber:
+			s = stack.NewTreiberPooledObserved(max(len(plans), 1), obs)
+		case PooledAbortable:
+			s = stack.NewAbortablePooledObserved(k, max(len(plans), 1), obs)
 		default:
 			panic("sched: unknown stack backend")
 		}
 		for _, v := range initial {
-			if err := s.TryPush(v); err != nil {
+			if err := s.TryPush(0, v); err != nil {
 				panic(fmt.Sprintf("sched: prefill: %v", err))
 			}
 		}
@@ -150,13 +184,13 @@ func weakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]S
 				if p.Push {
 					ops[pid] = append(ops[pid], func() {
 						pend := rec.Invoke(pid, "push", p.Value)
-						err := s.TryPush(p.Value)
+						err := s.TryPush(pid, p.Value)
 						rec.Return(pend, 0, stackOutcome(err))
 					})
 				} else {
 					ops[pid] = append(ops[pid], func() {
 						pend := rec.Invoke(pid, "pop", 0)
-						v, err := s.TryPop()
+						v, err := s.TryPop(pid)
 						rec.Return(pend, v, stackOutcome(err))
 					})
 				}
@@ -176,16 +210,32 @@ func weakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]S
 			if !res.Ok {
 				return fmt.Errorf("history not linearizable: %v", h)
 			}
+			if post != nil {
+				return post(s)
+			}
 			return nil
 		}}
 	}
 }
 
-// weakQueue is the common surface of the model-checked queues.
+// weakQueue is the common surface of the model-checked queues. The
+// operations take the calling pid (used by the pooled backend's free
+// lists, ignored elsewhere).
 type weakQueue interface {
-	TryEnqueue(v uint64) error
-	TryDequeue() (uint64, error)
+	TryEnqueue(pid int, v uint64) error
+	TryDequeue(pid int) (uint64, error)
 }
+
+// pidlessQueue adapts the pid-oblivious weak queues.
+type pidlessQueue struct {
+	q interface {
+		TryEnqueue(v uint64) error
+		TryDequeue() (uint64, error)
+	}
+}
+
+func (a pidlessQueue) TryEnqueue(_ int, v uint64) error { return a.q.TryEnqueue(v) }
+func (a pidlessQueue) TryDequeue(_ int) (uint64, error) { return a.q.TryDequeue() }
 
 // packedQueueAdapter lifts the uint32-valued packed queue to uint64.
 type packedQueueAdapter struct{ q *queue.Packed }
@@ -196,27 +246,73 @@ func (a packedQueueAdapter) TryDequeue() (uint64, error) {
 	return uint64(v), err
 }
 
+// pooledMSAdapter fits the pooled Michael-Scott queue to the weakQueue
+// shape. Its operations are strong (they retry internally and never
+// abort), so the "weak" enqueue always returns nil.
+type pooledMSAdapter struct{ q *queue.MichaelScottPooled }
+
+func (a pooledMSAdapter) TryEnqueue(pid int, v uint64) error { a.q.Enqueue(pid, v); return nil }
+func (a pooledMSAdapter) TryDequeue(pid int) (uint64, error) { return a.q.Dequeue(pid) }
+
+// QueueBackend selects the implementation a queue Builder checks.
+type QueueBackend int
+
+const (
+	// BoxedQueue is the abortable ring queue on boxed value registers.
+	BoxedQueue QueueBackend = iota
+	// PackedQueue is the abortable ring queue on bit-packed registers.
+	PackedQueue
+	// PooledMSQueue is the Michael-Scott queue over recycled pooled
+	// nodes with tagged head/tail registers (k is ignored: unbounded).
+	PooledMSQueue
+)
+
+// String names the backend.
+func (b QueueBackend) String() string {
+	switch b {
+	case BoxedQueue:
+		return "boxed"
+	case PackedQueue:
+		return "packed"
+	case PooledMSQueue:
+		return "pooled-ms"
+	default:
+		return "unknown"
+	}
+}
+
 // WeakQueueBuilder is WeakStackBuilder's FIFO sibling over the boxed
 // abortable bounded queue.
 func WeakQueueBuilder(k int, initial []uint64, plans [][]QueueOp) Builder {
-	return weakQueueBuilder(k, initial, plans, false)
+	return weakQueueBuilder(BoxedQueue, k, initial, plans, nil)
 }
 
 // WeakPackedQueueBuilder model-checks the packed queue backend.
 func WeakPackedQueueBuilder(k int, initial []uint64, plans [][]QueueOp) Builder {
-	return weakQueueBuilder(k, initial, plans, true)
+	return weakQueueBuilder(PackedQueue, k, initial, plans, nil)
 }
 
-func weakQueueBuilder(k int, initial []uint64, plans [][]QueueOp, packed bool) Builder {
+// WeakPooledMSQueueBuilder model-checks the pooled Michael-Scott
+// queue (unbounded; k only bounds the linearizability model, pass 0).
+func WeakPooledMSQueueBuilder(initial []uint64, plans [][]QueueOp) Builder {
+	return weakQueueBuilder(PooledMSQueue, 0, initial, plans, nil)
+}
+
+func weakQueueBuilder(backend QueueBackend, k int, initial []uint64, plans [][]QueueOp, post func(q weakQueue) error) Builder {
 	return func(obs memory.Observer) Run {
 		var q weakQueue
-		if packed {
-			q = packedQueueAdapter{queue.NewPackedObserved(k, obs)}
-		} else {
-			q = queue.NewAbortableObserved[uint64](k, obs)
+		switch backend {
+		case BoxedQueue:
+			q = pidlessQueue{queue.NewAbortableObserved[uint64](k, obs)}
+		case PackedQueue:
+			q = pidlessQueue{packedQueueAdapter{queue.NewPackedObserved(k, obs)}}
+		case PooledMSQueue:
+			q = pooledMSAdapter{queue.NewMichaelScottPooledObserved(max(len(plans), 1), obs)}
+		default:
+			panic("sched: unknown queue backend")
 		}
 		for _, v := range initial {
-			if err := q.TryEnqueue(v); err != nil {
+			if err := q.TryEnqueue(0, v); err != nil {
 				panic(fmt.Sprintf("sched: prefill: %v", err))
 			}
 		}
@@ -232,13 +328,13 @@ func weakQueueBuilder(k int, initial []uint64, plans [][]QueueOp, packed bool) B
 				if p.Enq {
 					ops[pid] = append(ops[pid], func() {
 						pend := rec.Invoke(pid, "enq", p.Value)
-						err := q.TryEnqueue(p.Value)
+						err := q.TryEnqueue(pid, p.Value)
 						rec.Return(pend, 0, queueOutcome(err))
 					})
 				} else {
 					ops[pid] = append(ops[pid], func() {
 						pend := rec.Invoke(pid, "deq", 0)
-						v, err := q.TryDequeue()
+						v, err := q.TryDequeue(pid)
 						rec.Return(pend, v, queueOutcome(err))
 					})
 				}
@@ -252,6 +348,9 @@ func weakQueueBuilder(k int, initial []uint64, plans [][]QueueOp, packed bool) B
 			}
 			if !res.Ok {
 				return fmt.Errorf("history not linearizable: %v", h)
+			}
+			if post != nil {
+				return post(q)
 			}
 			return nil
 		}}
@@ -349,14 +448,14 @@ func CrashPush(backend StackBackend, k int, initial []uint64, marker uint64, cra
 		var s weakStack
 		switch backend {
 		case Boxed:
-			s = stack.NewAbortableObserved[uint64](k, obs)
+			s = pidlessStack{stack.NewAbortableObserved[uint64](k, obs)}
 		case PackedWords:
-			s = packedAdapter{stack.NewPackedObserved(k, obs)}
+			s = pidlessStack{packedAdapter{stack.NewPackedObserved(k, obs)}}
 		default:
 			panic("sched: CrashPush supports the tagged backends only")
 		}
 		for _, v := range initial {
-			if err := s.TryPush(v); err != nil {
+			if err := s.TryPush(0, v); err != nil {
 				panic(fmt.Sprintf("sched: prefill: %v", err))
 			}
 		}
@@ -369,7 +468,7 @@ func CrashPush(backend StackBackend, k int, initial []uint64, marker uint64, cra
 		crasher := func() {
 			pend := rec.Invoke(0, "push", marker)
 			markerCall = pend.CallTime()
-			_ = s.TryPush(marker) // never completes: p0 crashes inside
+			_ = s.TryPush(0, marker) // never completes: p0 crashes inside
 			// If the crash point is past the op (crashAt too large),
 			// the op completes; record it normally so the check stays
 			// exact.
@@ -382,13 +481,13 @@ func CrashPush(backend StackBackend, k int, initial []uint64, marker uint64, cra
 			if p.Push {
 				ops[1] = append(ops[1], func() {
 					pend := rec.Invoke(1, "push", p.Value)
-					err := s.TryPush(p.Value)
+					err := s.TryPush(1, p.Value)
 					rec.Return(pend, 0, stackOutcome(err))
 				})
 			} else {
 				ops[1] = append(ops[1], func() {
 					pend := rec.Invoke(1, "pop", 0)
-					v, err := s.TryPop()
+					v, err := s.TryPop(1)
 					rec.Return(pend, v, stackOutcome(err))
 				})
 			}
@@ -481,4 +580,88 @@ func ABASchedule(backend StackBackend) (Builder, []int) {
 	}
 	sched = append(sched, 0) // p0's final CAS
 	return build, sched
+}
+
+// PooledTreiberABASchedule returns the builder and handcrafted
+// schedule that force the §2.2 recycled-node scenario on the pooled
+// Treiber stack: process 0 starts a pop of b from [a b], is preempted
+// between its head read and head CAS, while process 1 pops b, pops a,
+// then pushes 30 and 40 — the per-pid free list is LIFO, so 30 reuses
+// a's node and 40 reuses b's, and b's handle is the head again when p0
+// resumes. Without the tag p0's stale CAS would succeed on the
+// recycled handle (returning the long-gone b and unlinking 40); the
+// tag, advanced by p1's four head CASes, makes it fail, so the pop
+// aborts and the history stays linearizable. Check also asserts that
+// recycling really happened (>= 2 reuses).
+//
+// Gate counts: every pooled Treiber attempt performs exactly 2
+// observed accesses (head read, head CAS; node derefs and pool traffic
+// are arena-private). p0's prefix is its head read; p1 runs 4 ops to
+// completion (8 accesses); p0's final grant is the stale CAS.
+func PooledTreiberABASchedule() (Builder, []int) {
+	build := weakStackBuilderPost(PooledTreiber, 4,
+		[]uint64{10, 20}, // a=10, b=20
+		[][]StackOp{
+			{{Push: false}}, // p0: pop
+			{ // p1: pop b, pop a, push 30, push 40
+				{Push: false},
+				{Push: false},
+				{Push: true, Value: 30},
+				{Push: true, Value: 40},
+			},
+		},
+		false,
+		func(s weakStack) error {
+			st := s.(*stack.TreiberPooled).PoolStats()
+			if st.Reuses < 2 {
+				return fmt.Errorf("schedule recycled %d nodes, want >= 2 (no reuse pressure)", st.Reuses)
+			}
+			return nil
+		})
+	sched := []int{0}
+	for i := 0; i < 8; i++ {
+		sched = append(sched, 1)
+	}
+	return build, append(sched, 0)
+}
+
+// PooledMSABASchedule is the queue-shaped sibling on the pooled
+// Michael-Scott queue: process 0 starts a dequeue of [10] (head = the
+// dummy d), is preempted before its head CAS, while process 1
+// dequeues 10 (retiring d), enqueues 30 (recycling d as the new node)
+// and dequeues 30 — moving head THROUGH other nodes and BACK to d's
+// handle. p0's stale CAS then compares equal on the handle — the
+// textbook ABA — and only the tag (advanced by two head CASes) makes
+// it fail; p0 retries and correctly reports empty.
+//
+// Gate counts (observed accesses are head/tail register reads and
+// CASes; node next-words and pool traffic are arena-private): a
+// dequeue attempt gates head read, tail read, head re-read
+// (consistency), head CAS — the empty path stops after the re-read; an
+// enqueue gates tail read, tail re-read, tail swing CAS. So p0
+// prefixes 3 gates, p1 runs deq+enq+deq = 4+3+4 = 11, p0 finishes
+// with its failed CAS plus a 3-gate empty retry.
+func PooledMSABASchedule() (Builder, []int) {
+	build := weakQueueBuilder(PooledMSQueue, 0,
+		[]uint64{10},
+		[][]QueueOp{
+			{{Enq: false}}, // p0: deq
+			{ // p1: deq 10, enq 30, deq 30
+				{Enq: false},
+				{Enq: true, Value: 30},
+				{Enq: false},
+			},
+		},
+		func(q weakQueue) error {
+			st := q.(pooledMSAdapter).q.PoolStats()
+			if st.Reuses < 1 {
+				return fmt.Errorf("schedule recycled %d nodes, want >= 1 (no reuse pressure)", st.Reuses)
+			}
+			return nil
+		})
+	sched := []int{0, 0, 0}
+	for i := 0; i < 11; i++ {
+		sched = append(sched, 1)
+	}
+	return build, append(sched, 0, 0, 0, 0)
 }

@@ -26,8 +26,14 @@ type combRes[T any] struct {
 // batch under a single combiner-lock acquisition, instead of every
 // process taking the slow-path lock in turn. See internal/combine.
 type Combining[T any] struct {
-	weak Weak[T]
-	core *combine.Core[combOp[T], combRes[T]]
+	// tryPush/tryPop are the weak backend's single attempts, taking the
+	// pid of the executing process (the caller on the fast path, the
+	// combiner when serving the publication list) so pooled backends
+	// can recycle through per-pid free lists.
+	tryPush func(pid int, v T) error
+	tryPop  func(pid int) (T, error)
+	length  func() int // nil when the backend exposes no Len
+	core    *combine.Core[combOp[T], combRes[T]]
 }
 
 // NewCombining returns a flat-combining stack of capacity k for n
@@ -39,19 +45,40 @@ func NewCombining[T any](k, n int) *Combining[T] {
 // NewCombiningFrom builds the flat-combining construction over any
 // weak stack for n processes.
 func NewCombiningFrom[T any](weak Weak[T], n int) *Combining[T] {
-	s := &Combining[T]{weak: weak}
+	s := &Combining[T]{
+		tryPush: func(_ int, v T) error { return weak.TryPush(v) },
+		tryPop:  func(_ int) (T, error) { return weak.TryPop() },
+	}
+	if w, ok := weak.(interface{ Len() int }); ok {
+		s.length = w.Len
+	}
 	s.core = combine.NewCore[combOp[T], combRes[T]](n, s.attempt)
 	return s
 }
 
+// NewCombiningPooled returns a flat-combining stack of capacity k for
+// n processes over the pooled abortable backend: the whole strong
+// path — fast-path attempt, published request, combiner service — runs
+// allocation-free (experiment E17).
+func NewCombiningPooled(k, n int) *Combining[uint64] {
+	weak := NewAbortablePooled(k, n)
+	s := &Combining[uint64]{
+		tryPush: weak.TryPush,
+		tryPop:  weak.TryPop,
+		length:  weak.Len,
+	}
+	s.core = combine.NewCore[combOp[uint64], combRes[uint64]](n, s.attempt)
+	return s
+}
+
 // attempt adapts the weak stack to combine.Core's try shape: one weak
-// attempt, ok=false iff it aborted.
-func (s *Combining[T]) attempt(op combOp[T]) (combRes[T], bool) {
+// attempt by pid, ok=false iff it aborted.
+func (s *Combining[T]) attempt(pid int, op combOp[T]) (combRes[T], bool) {
 	if op.push {
-		err := s.weak.TryPush(op.v)
+		err := s.tryPush(pid, op.v)
 		return combRes[T]{err: err}, err != ErrAborted
 	}
-	v, err := s.weak.TryPop()
+	v, err := s.tryPop(pid)
 	return combRes[T]{v: v, err: err}, err != ErrAborted
 }
 
@@ -84,8 +111,8 @@ func (s *Combining[T]) PopContended(pid int) (T, error) {
 // Len returns the weak backend's length when it exposes one
 // (quiescent states only), -1 otherwise.
 func (s *Combining[T]) Len() int {
-	if w, ok := s.weak.(interface{ Len() int }); ok {
-		return w.Len()
+	if s.length != nil {
+		return s.length()
 	}
 	return -1
 }

@@ -24,7 +24,7 @@ func TestCombiningMatchesSpecSolo(t *testing.T) {
 }
 
 func TestCombiningConserves(t *testing.T) {
-	const procs, perProc, k = 8, 2000, 64
+	procs, perProc, k := 8, stressN(2000), 64
 	s := NewCombining[uint64](k, procs)
 	conserved(t, procs, perProc,
 		s.Push,
@@ -52,7 +52,7 @@ func TestCombiningConserves(t *testing.T) {
 func TestCombiningOverTreiber(t *testing.T) {
 	// Like Figure 3, the combining construction composes with any weak
 	// stack — here the unbounded Treiber stack.
-	const procs, perProc = 6, 2000
+	procs, perProc := 6, stressN(2000)
 	s := NewCombiningFrom[uint64](NewTreiber[uint64](), procs)
 	conserved(t, procs, perProc,
 		s.Push,

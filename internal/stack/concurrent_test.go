@@ -8,6 +8,19 @@ import (
 	"repro/internal/lock"
 )
 
+// stressN scales a stress-test iteration budget: the full budget by
+// default, a twentieth (min 100) under -short so `go test -short`
+// finishes fast (the CI race job runs short; full budgets remain the
+// local default).
+func stressN(full int) int {
+	if testing.Short() {
+		if full /= 20; full < 100 {
+			full = 100
+		}
+	}
+	return full
+}
+
 // conserved drives producers and consumers against pid-aware push/pop
 // functions and verifies multiset conservation: every value pushed is
 // popped or left on the stack, exactly once.
@@ -69,7 +82,7 @@ func conserved(t *testing.T, procs, perProc int,
 }
 
 func TestSensitiveConserves(t *testing.T) {
-	const procs, perProc, k = 8, 2000, 64
+	procs, perProc, k := 8, stressN(2000), 64
 	s := NewSensitive[uint64](k, procs)
 	conserved(t, procs, perProc,
 		s.Push,
@@ -93,7 +106,7 @@ func TestSensitiveConserves(t *testing.T) {
 
 func TestSensitiveWithStarvationFreeLockConserves(t *testing.T) {
 	// The §4 Remark variant: a starvation-free lock, no FLAG/TURN.
-	const procs, perProc, k = 6, 1500, 32
+	procs, perProc, k := 6, stressN(1500), 32
 	s := NewSensitiveFrom[uint64](NewAbortable[uint64](k), lock.IgnorePid(lock.NewTicket()))
 	conserved(t, procs, perProc,
 		s.Push,
@@ -112,7 +125,7 @@ func TestSensitiveWithStarvationFreeLockConserves(t *testing.T) {
 }
 
 func TestNonBlockingConserves(t *testing.T) {
-	const procs, perProc, k = 8, 2000, 64
+	procs, perProc, k := 8, stressN(2000), 64
 	s := NewNonBlocking[uint64](k)
 	conserved(t, procs, perProc,
 		func(_ int, v uint64) error { return s.Push(v) },
@@ -133,7 +146,7 @@ func TestNonBlockingConserves(t *testing.T) {
 func TestNonBlockingPackedConserves(t *testing.T) {
 	// The packed backend under the Figure 2 construction. Values must
 	// fit 32 bits, so shrink the id encoding.
-	const procs, perProc, k = 4, 1500, 32
+	procs, perProc, k := 4, stressN(1500), 32
 	s := NewNonBlockingFrom[uint32](NewPacked(k), nil)
 	var wg sync.WaitGroup
 	popped := make([][]uint32, procs)
@@ -180,7 +193,7 @@ func TestNonBlockingPackedConserves(t *testing.T) {
 }
 
 func TestTreiberConserves(t *testing.T) {
-	const procs, perProc = 8, 3000
+	procs, perProc := 8, stressN(3000)
 	s := NewTreiber[uint64]()
 	conserved(t, procs, perProc,
 		func(_ int, v uint64) error { return s.Push(v) },
@@ -199,7 +212,7 @@ func TestTreiberConserves(t *testing.T) {
 }
 
 func TestLockBasedConserves(t *testing.T) {
-	const procs, perProc, k = 8, 2000, 64
+	procs, perProc, k := 8, stressN(2000), 64
 	s := NewLockBasedWith[uint64](k, lock.NewRoundRobin(lock.NewTAS(), procs))
 	conserved(t, procs, perProc,
 		s.Push,
@@ -238,7 +251,7 @@ func TestSensitiveFastPathDominatesWhenSolo(t *testing.T) {
 func TestTreiberUnderSensitiveConstruction(t *testing.T) {
 	// Treiber exposes the weak interface, so Figure 3 composes with it
 	// — an unbounded contention-sensitive stack.
-	const procs, perProc = 6, 2000
+	procs, perProc := 6, stressN(2000)
 	s := NewSensitiveFrom[uint64](NewTreiber[uint64](), lock.NewRoundRobin(lock.NewTTAS(), procs))
 	conserved(t, procs, perProc,
 		s.Push,
@@ -257,7 +270,7 @@ func TestTreiberUnderSensitiveConstruction(t *testing.T) {
 }
 
 func TestNonBlockingCountedReportsAborts(t *testing.T) {
-	const procs, perProc, k = 8, 1000, 8
+	procs, perProc, k := 8, stressN(1000), 8
 	s := NewNonBlocking[uint64](k)
 	var wg sync.WaitGroup
 	var totalAborts int64

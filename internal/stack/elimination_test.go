@@ -30,7 +30,7 @@ func TestEliminationSequentialLIFO(t *testing.T) {
 }
 
 func TestEliminationConserves(t *testing.T) {
-	const procs, perProc = 8, 3000
+	procs, perProc := 8, stressN(3000)
 	s := NewElimination[uint64](4)
 	conserved(t, procs, perProc,
 		func(_ int, v uint64) error { return s.Push(v) },
@@ -81,7 +81,7 @@ func TestEliminationPairCountsAlwaysMatch(t *testing.T) {
 	// Every eliminated push must pair with exactly one eliminated
 	// pop, under any mix.
 	s := NewElimination[uint64](2)
-	const procs, per = 6, 10000
+	procs, per := 6, stressN(10000)
 	var wg sync.WaitGroup
 	for p := 0; p < procs; p++ {
 		wg.Add(1)

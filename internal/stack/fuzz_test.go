@@ -88,6 +88,61 @@ func FuzzCombiningVsSpec(f *testing.F) {
 	})
 }
 
+func FuzzTreiberPooledVsSpec(f *testing.F) {
+	// Solo cross-check of the recycled-node stack against the spec: the
+	// single-pid pool is LIFO, so every pop's node returns on the very
+	// next push — maximum same-address reuse pressure on the head tag.
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 1, 0, 0, 8, 1, 0, 0, 7, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewTreiberPooled(1)
+		interpretOps(t, data, 1<<30, // effectively unbounded
+			func(v uint32) error { return s.TryPush(0, uint64(v)) },
+			func() (uint32, error) { v, err := s.TryPop(0); return uint32(v), err })
+	})
+}
+
+func FuzzAbortablePooledVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{1, 0, 0, 3, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewAbortablePooled(k, 1)
+		interpretOps(t, data, k,
+			func(v uint32) error { return s.TryPush(0, uint64(v)) },
+			func() (uint32, error) { v, err := s.TryPop(0); return uint32(v), err })
+	})
+}
+
+func FuzzPooledBackendsAgree(f *testing.F) {
+	// The three Figure 1 backends — boxed, packed, pooled — must agree
+	// on every solo history.
+	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 3
+		boxed := NewAbortable[uint32](k)
+		packed := NewPacked(k)
+		pooled := NewAbortablePooled(k, 1)
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i]%2 == 0 {
+				v := uint32(data[i+1])
+				be, ke, pe := boxed.TryPush(v), packed.TryPush(v), pooled.TryPush(0, uint64(v))
+				if (be == nil) != (pe == nil) || (be == nil) != (ke == nil) {
+					t.Fatalf("op %d: push disagreement: boxed=%v packed=%v pooled=%v", i, be, ke, pe)
+				}
+			} else {
+				bv, be := boxed.TryPop()
+				kv, ke := packed.TryPop()
+				pv, pe := pooled.TryPop(0)
+				if (be == nil) != (pe == nil) || (be == nil) != (ke == nil) ||
+					(be == nil && (uint64(bv) != pv || kv != bv)) {
+					t.Fatalf("op %d: pop disagreement: (%d,%v) vs (%d,%v) vs (%d,%v)", i, bv, be, kv, ke, pv, pe)
+				}
+			}
+		}
+	})
+}
+
 func FuzzBackendsAgree(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,236 @@
+package stack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// pooledVsSpec cross-checks a solo pid-aware weak stack against the
+// sequential spec (the pooled sibling of interpretOps).
+func pooledVsSpec(t *testing.T, k, ops int,
+	tryPush func(pid int, v uint64) error,
+	tryPop func(pid int) (uint64, error),
+) {
+	t.Helper()
+	ref := spec.NewStack[uint64](k)
+	for i := 0; i < ops; i++ {
+		if i%3 != 1 {
+			v := uint64(i)
+			err := tryPush(0, v)
+			if ref.Push(v) {
+				if err != nil {
+					t.Fatalf("op %d: push(%d) = %v, spec accepted", i, v, err)
+				}
+			} else if !errors.Is(err, ErrFull) {
+				t.Fatalf("op %d: push(%d) = %v, spec reports full", i, v, err)
+			}
+		} else {
+			v, err := tryPop(0)
+			want, ok := ref.Pop()
+			if ok {
+				if err != nil || v != want {
+					t.Fatalf("op %d: pop = (%d, %v), spec has %d", i, v, err, want)
+				}
+			} else if !errors.Is(err, ErrEmpty) {
+				t.Fatalf("op %d: pop = (%d, %v), spec reports empty", i, v, err)
+			}
+		}
+	}
+}
+
+func TestTreiberPooledMatchesSpecSolo(t *testing.T) {
+	s := NewTreiberPooled(1)
+	pooledVsSpec(t, 1<<30, 5000, s.TryPush, s.TryPop)
+	st := s.PoolStats()
+	if st.Reuses == 0 {
+		t.Fatalf("solo churn never recycled a node: %+v", st)
+	}
+}
+
+func TestAbortablePooledMatchesSpecSolo(t *testing.T) {
+	const k = 4
+	s := NewAbortablePooled(k, 1)
+	pooledVsSpec(t, k, 5000, s.TryPush, s.TryPop)
+	if st := s.PoolStats(); st.Reuses == 0 {
+		t.Fatalf("solo churn never recycled a record: %+v", st)
+	}
+}
+
+func TestAbortablePooledAgreesWithBoxed(t *testing.T) {
+	const k = 3
+	boxed := NewAbortable[uint64](k)
+	pooled := NewAbortablePooled(k, 1)
+	for i := 0; i < 4000; i++ {
+		if i%5 < 3 {
+			v := uint64(i)
+			be, pe := boxed.TryPush(v), pooled.TryPush(0, v)
+			if (be == nil) != (pe == nil) {
+				t.Fatalf("op %d: push disagreement: boxed=%v pooled=%v", i, be, pe)
+			}
+		} else {
+			bv, be := boxed.TryPop()
+			pv, pe := pooled.TryPop(0)
+			if (be == nil) != (pe == nil) || (be == nil && bv != pv) {
+				t.Fatalf("op %d: pop disagreement: (%d,%v) vs (%d,%v)", i, bv, be, pv, pe)
+			}
+		}
+	}
+}
+
+func TestTreiberPooledConserves(t *testing.T) {
+	procs, perProc := 8, stressN(3000)
+	s := NewTreiberPooled(procs)
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+	st := s.PoolStats()
+	if st.Reuses == 0 {
+		t.Fatalf("concurrent churn never recycled: %+v", st)
+	}
+}
+
+func TestCombiningPooledConserves(t *testing.T) {
+	// The pooled weak stack under the flat-combining construction:
+	// strong, starvation-free, and allocation-free.
+	procs, perProc, k := 6, stressN(1500), 32
+	s := NewCombiningPooled(k, procs)
+	conserved(t, procs, perProc,
+		s.Push,
+		s.Pop,
+		func() []uint64 {
+			var out []uint64
+			for {
+				v, err := s.Pop(0)
+				if err != nil {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+	)
+}
+
+func TestAbortablePooledSnapshotAndLen(t *testing.T) {
+	s := NewAbortablePooled(8, 1)
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.TryPush(0, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	snap := s.Snapshot()
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", snap, want)
+		}
+	}
+}
+
+// TestTreiberPooledForcedReuseABA keeps the stack near-empty — every
+// worker pops right after it pushes — so nearly every push lands on a
+// just-recycled node: the §2.2 window at maximum pressure.
+// Conservation proves the sequence tags are doing their job (a single
+// wrongly successful stale CAS would duplicate or lose a value).
+func TestTreiberPooledForcedReuseABA(t *testing.T) {
+	procs, perProc := 4, stressN(5000)
+	s := NewTreiberPooled(procs)
+	var wg sync.WaitGroup
+	popped := make([][]uint64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				_ = s.Push(pid, uint64(pid)<<32|uint64(i))
+				if v, err := s.Pop(pid); err == nil {
+					popped[pid] = append(popped[pid], v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for {
+		v, err := s.Pop(0)
+		if err != nil {
+			break
+		}
+		seen[v]++
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("value set size = %d, want %d (lost values)", len(seen), procs*perProc)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %x observed %d times (duplicated)", v, n)
+		}
+	}
+	st := s.PoolStats()
+	if st.Reuses < st.Allocs {
+		t.Fatalf("reuse did not dominate: %+v", st)
+	}
+	if st.Drops != 0 {
+		t.Fatalf("pool dropped %d handles (overflow too small)", st.Drops)
+	}
+}
+
+func BenchmarkTreiberBoxedSolo(b *testing.B) {
+	b.ReportAllocs()
+	s := NewTreiber[uint64]()
+	for i := 0; i < b.N; i++ {
+		_ = s.Push(uint64(i))
+		_, _ = s.Pop()
+	}
+}
+
+func BenchmarkTreiberPooledSolo(b *testing.B) {
+	b.ReportAllocs()
+	s := NewTreiberPooled(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Push(0, uint64(i))
+		_, _ = s.Pop(0)
+	}
+}
+
+func BenchmarkAbortableBoxedSolo(b *testing.B) {
+	b.ReportAllocs()
+	s := NewAbortable[uint64](16)
+	for i := 0; i < b.N; i++ {
+		_ = s.TryPush(uint64(i))
+		_, _ = s.TryPop()
+	}
+}
+
+func BenchmarkAbortablePooledSolo(b *testing.B) {
+	b.ReportAllocs()
+	s := NewAbortablePooled(16, 1)
+	for i := 0; i < b.N; i++ {
+		_ = s.TryPush(0, uint64(i))
+		_, _ = s.TryPop(0)
+	}
+}

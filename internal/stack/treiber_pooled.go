@@ -1,0 +1,126 @@
+package stack
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// ptNode is a pooled Treiber link. Fields are atomics because a stale
+// reader (one whose head word is about to fail its CAS) may overlap a
+// recycler rewriting the node; every such read is discarded, but the
+// access itself must be data-race-free.
+type ptNode struct {
+	value atomic.Uint64
+	next  atomic.Uint64 // Handle of the node below (no tag needed: see TryPop)
+}
+
+// TreiberPooled is the Treiber stack over recycled nodes: the same
+// algorithm as Treiber, but nodes come from a memory.Pool and the head
+// register is a tagged 〈handle, seqnb〉 word instead of a GC-protected
+// pointer. Reuse makes ABA a real possibility again — a popped node
+// can return as the head while a slow pop still holds its old handle —
+// and the §2.2 sequence tag CASed together with the handle is what
+// makes the stale CAS fail. The steady state allocates nothing per
+// operation (experiment E17).
+//
+// Values are uint64 (the node fields must be atomics; compare the
+// packed backend's uint32 restriction). Operations take the calling
+// pid for the pool's per-pid free lists.
+type TreiberPooled struct {
+	head *memory.TaggedRef[ptNode]
+	pool *memory.Pool[ptNode]
+}
+
+// NewTreiberPooled returns an empty pooled Treiber stack for procs
+// processes (pids in [0, procs)).
+func NewTreiberPooled(procs int) *TreiberPooled {
+	return NewTreiberPooledObserved(procs, nil)
+}
+
+// NewTreiberPooledObserved returns a pooled Treiber stack whose
+// head-register accesses are reported to obs (nil disables
+// instrumentation). Pool traffic is arena-private and not observed.
+func NewTreiberPooledObserved(procs int, obs memory.Observer) *TreiberPooled {
+	pool := memory.NewPool[ptNode](procs, nil)
+	return &TreiberPooled{
+		head: memory.NewTaggedRefObserved(pool, memory.PackTagged(memory.NilHandle, 0), obs),
+		pool: pool,
+	}
+}
+
+// TryPush is a single push attempt by pid; it aborts iff the head CAS
+// loses a race. The node is recycled immediately on abort (it was
+// never published).
+func (s *TreiberPooled) TryPush(pid int, v uint64) error {
+	h := s.pool.Get(pid)
+	n := s.pool.At(h)
+	n.value.Store(v)
+	top := s.head.Read()
+	n.next.Store(uint64(top.Handle()))
+	if s.head.CAS(top, top.Next(h)) {
+		return nil
+	}
+	s.pool.Put(pid, h)
+	return ErrAborted
+}
+
+// TryPop is a single pop attempt by pid. The value and successor are
+// read before the CAS; if the node was recycled in between, the head
+// tag has necessarily advanced (recycling requires the node to have
+// been popped, and every pop CASes the head), so the CAS fails and the
+// garbage reads are discarded. This is why the node's next field needs
+// no tag of its own: it is only trusted when the head CAS succeeds.
+func (s *TreiberPooled) TryPop(pid int) (uint64, error) {
+	top := s.head.Read()
+	if top.Handle() == memory.NilHandle {
+		return 0, ErrEmpty
+	}
+	n := s.pool.At(top.Handle())
+	v := n.value.Load()
+	next := memory.Handle(n.next.Load())
+	if s.head.CAS(top, top.Next(next)) {
+		s.pool.Put(pid, top.Handle())
+		return v, nil
+	}
+	return 0, ErrAborted
+}
+
+// Push pushes v on behalf of pid, retrying aborted attempts (never
+// returns an error; the stack is unbounded).
+func (s *TreiberPooled) Push(pid int, v uint64) error {
+	for {
+		if err := s.TryPush(pid, v); err != ErrAborted {
+			return err
+		}
+	}
+}
+
+// Pop pops the top value on behalf of pid, retrying aborted attempts;
+// it returns the value or ErrEmpty.
+func (s *TreiberPooled) Pop(pid int) (uint64, error) {
+	for {
+		v, err := s.TryPop(pid)
+		if err != ErrAborted {
+			return v, err
+		}
+	}
+}
+
+// Len counts the elements; quiescent states only (O(n) walk).
+func (s *TreiberPooled) Len() int {
+	n := 0
+	for h := s.head.Read().Handle(); h != memory.NilHandle; {
+		n++
+		h = memory.Handle(s.pool.At(h).next.Load())
+	}
+	return n
+}
+
+// PoolStats exposes the node pool's recycling counters (E17's
+// forced-reuse table).
+func (s *TreiberPooled) PoolStats() memory.PoolStats { return s.pool.Stats() }
+
+// Progress reports NonBlocking (the retry loop is lock-free).
+func (s *TreiberPooled) Progress() core.Progress { return core.NonBlocking }

@@ -25,6 +25,10 @@
 //   - ShardedQueue — pid-striping over K flat-combining sub-queues
 //     with owner-first, steal-on-empty dequeue; per-shard FIFO,
 //     relaxed global order, maximal parallelism.
+//   - PooledStack / PooledQueue — the allocation tier: Treiber and
+//     Michael-Scott over recycled pooled nodes with §2.2 sequence
+//     tags, 0 steady-state allocs/op (experiment E17; see DESIGN.md's
+//     memory-reclamation section).
 //
 // Strong operations take a pid in [0, n): the paper's model of n
 // known asynchronous processes. Give each goroutine that touches one
@@ -40,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deque"
 	"repro/internal/lock"
+	"repro/internal/memory"
 	"repro/internal/queue"
 	"repro/internal/stack"
 )
@@ -171,6 +176,44 @@ func NewCombiningQueue[T any](k, n int) *CombiningQueue[T] { return queue.NewCom
 // min(n, 8)).
 func NewShardedQueue[T any](k, n, shards int) *ShardedQueue[T] {
 	return queue.NewSharded[T](k, n, shards)
+}
+
+// PooledStack is the unbounded lock-free Treiber stack over recycled
+// pooled nodes: zero steady-state allocations per operation, with the
+// §2.2 sequence tags (CASed together with the node handle) making the
+// recycling ABA-safe. Values are uint64; operations take the calling
+// pid. Use NewPooledStack.
+type PooledStack = stack.TreiberPooled
+
+// PooledQueue is the unbounded lock-free Michael-Scott queue over
+// recycled pooled nodes (the original paper's free-list discipline,
+// counted pointers included). Values are uint64; operations take the
+// calling pid. Use NewPooledQueue.
+type PooledQueue = queue.MichaelScottPooled
+
+// PoolStats is a snapshot of a pooled structure's recycling counters.
+type PoolStats = memory.PoolStats
+
+// NewPooledStack returns an empty pooled Treiber stack for n processes
+// (pids in [0, n)).
+func NewPooledStack(n int) *PooledStack { return stack.NewTreiberPooled(n) }
+
+// NewPooledQueue returns an empty pooled Michael-Scott queue for n
+// processes (pids in [0, n)).
+func NewPooledQueue(n int) *PooledQueue { return queue.NewMichaelScottPooled(n) }
+
+// NewCombiningPooledStack returns a flat-combining stack of capacity k
+// for n processes whose entire strong path — fast path, publication,
+// combiner service — runs allocation-free over the pooled Figure 1
+// backend.
+func NewCombiningPooledStack(k, n int) *CombiningStack[uint64] {
+	return stack.NewCombiningPooled(k, n)
+}
+
+// NewCombiningPooledQueue is NewCombiningPooledStack's FIFO sibling
+// over the in-place ring backend.
+func NewCombiningPooledQueue(k, n int) *CombiningQueue[uint64] {
+	return queue.NewCombiningPooled(k, n)
 }
 
 // Deque is the contention-sensitive, starvation-free double-ended

@@ -189,3 +189,62 @@ func TestTicketLockPublic(t *testing.T) {
 	lk.Unlock()
 	<-done
 }
+
+func TestPublicPooledStackAndQueue(t *testing.T) {
+	const procs = 4
+	s := repro.NewPooledStack(procs)
+	q := repro.NewPooledQueue(procs)
+	for i := uint64(0); i < 100; i++ {
+		if err := s.Push(int(i)%procs, i); err != nil {
+			t.Fatal(err)
+		}
+		q.Enqueue(int(i)%procs, i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, err := s.Pop(0); err != nil || v != 99-i {
+			t.Fatalf("stack pop %d = (%d, %v)", i, v, err)
+		}
+		if v, err := q.Dequeue(0); err != nil || v != i {
+			t.Fatalf("queue dequeue %d = (%d, %v)", i, v, err)
+		}
+	}
+	if _, err := s.Pop(0); !errors.Is(err, repro.ErrStackEmpty) {
+		t.Fatalf("pop on empty = %v", err)
+	}
+	if _, err := q.Dequeue(0); !errors.Is(err, repro.ErrQueueEmpty) {
+		t.Fatalf("dequeue on empty = %v", err)
+	}
+	// The facade exposes the recycling counters: a push/enqueue after
+	// the drain must reuse a retired node, not grow the arena.
+	if err := s.Push(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(0, 7)
+	var st repro.PoolStats = s.PoolStats()
+	if st.Reuses == 0 || q.PoolStats().Reuses == 0 {
+		t.Fatalf("no recycling observed: stack %+v, queue %+v", st, q.PoolStats())
+	}
+	if st.Drops != 0 {
+		t.Fatalf("stack pool dropped handles: %+v", st)
+	}
+}
+
+func TestPublicCombiningPooled(t *testing.T) {
+	const procs = 2
+	s := repro.NewCombiningPooledStack(8, procs)
+	q := repro.NewCombiningPooledQueue(8, procs)
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Push(0, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Enqueue(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := s.Pop(1); err != nil || v != 5 {
+		t.Fatalf("combining pooled stack pop = (%d, %v)", v, err)
+	}
+	if v, err := q.Dequeue(0); err != nil || v != 1 {
+		t.Fatalf("combining pooled queue dequeue = (%d, %v)", v, err)
+	}
+}
