@@ -1,6 +1,6 @@
-// Command contbench runs the reproduction experiments of DESIGN.md §4
-// (E1..E17, including the E15/E16 scaling tier and the E17 allocation
-// tier) and prints the tables EXPERIMENTS.md quotes.
+// Command contbench runs the reproduction experiments (E1..E18,
+// including the E15/E16 scaling tier, the E17 allocation tier, and the
+// E18 set tier) and prints the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
@@ -8,7 +8,7 @@
 //
 // Each experiment prints its paper claim followed by the measured
 // table; a non-zero exit status means a correctness experiment
-// (E1/E2/E3/E8/E11/E12/E13/E14/E17) observed a violation.
+// (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18) observed a violation.
 package main
 
 import (

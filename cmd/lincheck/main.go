@@ -1,5 +1,5 @@
-// Command lincheck records concurrent histories of the stack and
-// queue implementations and checks them for linearizability (the
+// Command lincheck records concurrent histories of the stack, queue,
+// and set implementations and checks them for linearizability (the
 // paper's safety condition, §1.1) against sequential models.
 //
 // Usage:
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
 )
 
@@ -32,8 +33,12 @@ func main() {
 	flag.Parse()
 
 	targets := bench.LinTargets()
+	setTargets := bench.SetLinTargets()
 	if *listI {
 		for _, t := range targets {
+			fmt.Println(t.Name)
+		}
+		for _, t := range setTargets {
 			fmt.Println(t.Name)
 		}
 		return
@@ -41,27 +46,40 @@ func main() {
 
 	violations := 0
 	tb := metrics.NewTable("implementation", "seed", "ops checked", "aborts dropped", "states", "verdict")
+	// report classifies one seeded run and prints a violation's segment.
+	report := func(name string, seed, n, aborts int, res lin.Result) {
+		verdict := "linearizable"
+		switch {
+		case res.Exhausted:
+			verdict = "UNDECIDED (budget)"
+		case !res.Ok:
+			verdict = "VIOLATION"
+			violations++
+		}
+		tb.AddRow(name, seed, n, aborts, res.States, verdict)
+		if !res.Ok && !res.Exhausted {
+			fmt.Fprintf(os.Stderr, "violation in %s (seed %d); offending segment:\n", name, seed)
+			for _, op := range res.FailedSegment {
+				fmt.Fprintf(os.Stderr, "  %v\n", op)
+			}
+		}
+	}
 	for _, tgt := range targets {
 		if *impl != "all" && *impl != tgt.Name {
 			continue
 		}
 		for seed := 1; seed <= *seeds; seed++ {
 			n, aborts, res := bench.RunLin(tgt, *procs, *rounds, *ops, uint64(seed)*0x9e37)
-			verdict := "linearizable"
-			switch {
-			case res.Exhausted:
-				verdict = "UNDECIDED (budget)"
-			case !res.Ok:
-				verdict = "VIOLATION"
-				violations++
-			}
-			tb.AddRow(tgt.Name, seed, n, aborts, res.States, verdict)
-			if !res.Ok && !res.Exhausted {
-				fmt.Fprintf(os.Stderr, "violation in %s (seed %d); offending segment:\n", tgt.Name, seed)
-				for _, op := range res.FailedSegment {
-					fmt.Fprintf(os.Stderr, "  %v\n", op)
-				}
-			}
+			report(tgt.Name, seed, n, aborts, res)
+		}
+	}
+	for _, tgt := range setTargets {
+		if *impl != "all" && *impl != tgt.Name {
+			continue
+		}
+		for seed := 1; seed <= *seeds; seed++ {
+			n, aborts, res := bench.RunSetLin(tgt, *procs, *rounds, *ops, uint64(seed)*0x9e37)
+			report(tgt.Name, seed, n, aborts, res)
 		}
 	}
 	fmt.Print(tb.String())

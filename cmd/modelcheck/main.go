@@ -1,7 +1,8 @@
 // Command modelcheck drives the deterministic scheduler over the weak
-// stack/queue implementations: exhaustive interleaving enumeration for
-// small configurations, random schedule sampling for larger ones, and
-// the deterministic ABA reproduction of §2.2.
+// stack/queue/set implementations: exhaustive interleaving enumeration
+// for small configurations, random schedule sampling for larger ones,
+// and the deterministic ABA reproductions of §2.2 (register, pooled,
+// and recycled-list-node variants).
 //
 // Usage:
 //
@@ -93,6 +94,18 @@ func targets() []target {
 					{{Push: false}, {Push: false}, {Push: true, Value: 30}, {Push: true, Value: 40}},
 				}),
 			expectFail: true,
+		},
+		{
+			name:        "set-add-remove",
+			description: "COW abortable set: add vs remove over overlapping keys",
+			build: sched.WeakSetBuilder(sched.CowSet, []uint64{10},
+				[][]sched.SetOp{{{Kind: "add", Key: 20}}, {{Kind: "rem", Key: 10}}}),
+		},
+		{
+			name:        "harris-window-race",
+			description: "lock-free list: racing add and remove in one window",
+			build: sched.WeakSetBuilder(sched.HarrisSet, []uint64{10, 20},
+				[][]sched.SetOp{{{Kind: "add", Key: 15}}, {{Kind: "rem", Key: 10}}}),
 		},
 	}
 }
@@ -194,6 +207,7 @@ func runABA() {
 	}{
 		{"pooled-treiber", sched.PooledTreiberABASchedule},
 		{"pooled-ms-queue", sched.PooledMSABASchedule},
+		{"harris-set", sched.HarrisABASchedule},
 	} {
 		build, schedule := tc.sched()
 		trace, err := sched.Replay(build, schedule, 0)

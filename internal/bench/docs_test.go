@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// expEntry matches an experiment catalog entry in EXPERIMENTS.md: a
+// bold "**E<n> — title**" heading (prose references like "E8's" do not
+// match). The same ids must be registered in this package, and vice
+// versa — a new experiment must ship with its catalog entry, and a
+// documented experiment must actually exist.
+var expEntry = regexp.MustCompile(`\*\*(E\d+) — `)
+
+func TestRegistryMatchesExperimentsDoc(t *testing.T) {
+	raw, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("reading EXPERIMENTS.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range expEntry.FindAllStringSubmatch(string(raw), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no **E<n> — ...** entries found in EXPERIMENTS.md (pattern drift?)")
+	}
+	registered := map[string]bool{}
+	for _, e := range All() {
+		registered[e.ID] = true
+	}
+	for id := range registered {
+		if !documented[id] {
+			t.Errorf("experiment %s is registered in internal/bench but has no EXPERIMENTS.md entry", id)
+		}
+	}
+	for id := range documented {
+		if !registered[id] {
+			t.Errorf("EXPERIMENTS.md documents %s but internal/bench does not register it", id)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
 	"repro/internal/queue"
+	"repro/internal/set"
 	"repro/internal/stack"
 	"repro/internal/workload"
 )
@@ -199,6 +200,108 @@ func LinTargets() []LinTarget {
 	}
 }
 
+// SetLinTarget is one set-tier implementation checked by E11 and by
+// cmd/lincheck: a named builder returning a uniform do(pid, op, key)
+// driver — op is 0 for add, 1 for remove, 2 for contains — plus the
+// implementation's abort sentinel (nil for strong backends).
+type SetLinTarget struct {
+	Name  string
+	Build func(procs int) (do func(pid int, op int, k uint64) (bool, error), aborted error)
+}
+
+// SetLinTargets returns the set implementations the linearizability
+// experiments cover.
+func SetLinTargets() []SetLinTarget {
+	return []SetLinTarget{
+		{"set/abortable", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewAbortable()
+			return func(_ int, op int, k uint64) (bool, error) {
+				switch op {
+				case 0:
+					return s.TryAdd(k)
+				case 1:
+					return s.TryRemove(k)
+				default:
+					return s.TryContains(k)
+				}
+			}, set.ErrAborted
+		}},
+		{"set/sensitive", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewSensitive(procs)
+			return strongSetDriver(s), nil
+		}},
+		{"set/non-blocking", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewNonBlocking()
+			return strongSetDriver(s), nil
+		}},
+		{"set/harris", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewHarris(procs)
+			return strongSetDriver(s), nil
+		}},
+		{"set/combining", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewCombining(procs)
+			return strongSetDriver(s), nil
+		}},
+	}
+}
+
+func strongSetDriver(s set.Strong) func(int, int, uint64) (bool, error) {
+	return func(pid int, op int, k uint64) (bool, error) {
+		switch op {
+		case 0:
+			return s.Add(pid, k), nil
+		case 1:
+			return s.Remove(pid, k), nil
+		default:
+			return s.Contains(pid, k), nil
+		}
+	}
+}
+
+// setKinds maps the op code to the history kind the set model steps.
+var setKinds = [3]string{"add", "rem", "has"}
+
+// RunSetLin is RunLin's set-tier sibling: keys are drawn from a small
+// range so windows overlap constantly, and every answer (the boolean,
+// as Output 0/1) must admit a legal linearization of the sorted-set
+// model. Aborted weak attempts are dropped.
+func RunSetLin(tgt SetLinTarget, procs, rounds, perRound int, seed uint64) (ops, aborts int, res lin.Result) {
+	do, aborted := tgt.Build(procs)
+	rec := lin.NewRecorder(procs)
+	const keyRange = 8
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid, round int) {
+				defer wg.Done()
+				rng := workload.NewRNG(seed + uint64(round*procs+pid))
+				for i := 0; i < perRound; i++ {
+					op := rng.Intn(3)
+					k := uint64(rng.Intn(keyRange))
+					pend := rec.Invoke(pid, setKinds[op], k)
+					got, err := do(pid, op, k)
+					out := uint64(0)
+					if got {
+						out = 1
+					}
+					switch {
+					case err == nil:
+						rec.Return(pend, out, lin.OutcomeOK)
+					case aborted != nil && errors.Is(err, aborted):
+						rec.Return(pend, 0, lin.OutcomeAborted)
+					default:
+						panic(err)
+					}
+				}
+			}(p, round)
+		}
+		wg.Wait()
+	}
+	h := rec.History()
+	return len(h), rec.Aborts(), lin.CheckSegmented(lin.SetModel(), h, 0, 0)
+}
+
 // RunLin records concurrent histories of one target (rounds bursts of
 // perRound ops by each of procs processes, with quiescent joins
 // between bursts) and checks them against the sequential model. It
@@ -249,18 +352,31 @@ func runE11(cfg Config, w io.Writer) error {
 		rounds = 15
 	}
 	tb := metrics.NewTable("implementation", "ops checked", "aborts dropped", "search states", "verdict")
-	for _, tgt := range LinTargets() {
-		ops, aborts, res := RunLin(tgt, procs, rounds, perRound, cfg.Seed)
+	// row adds one target's result and reports a hard violation.
+	row := func(name string, ops, aborts int, res lin.Result) error {
 		verdict := "linearizable"
 		if res.Exhausted {
 			verdict = "UNDECIDED (budget)"
 		} else if !res.Ok {
 			verdict = "VIOLATION"
 		}
-		tb.AddRow(tgt.Name, ops, aborts, res.States, verdict)
+		tb.AddRow(name, ops, aborts, res.States, verdict)
 		if !res.Ok && !res.Exhausted {
 			fprintf(w, "%s", tb.String())
-			return fmt.Errorf("E11: %s produced a non-linearizable history", tgt.Name)
+			return fmt.Errorf("E11: %s produced a non-linearizable history", name)
+		}
+		return nil
+	}
+	for _, tgt := range LinTargets() {
+		ops, aborts, res := RunLin(tgt, procs, rounds, perRound, cfg.Seed)
+		if err := row(tgt.Name, ops, aborts, res); err != nil {
+			return err
+		}
+	}
+	for _, tgt := range SetLinTargets() {
+		ops, aborts, res := RunSetLin(tgt, procs, rounds, perRound, cfg.Seed)
+		if err := row(tgt.Name, ops, aborts, res); err != nil {
+			return err
 		}
 	}
 	return fprintf(w, "%s", tb.String())

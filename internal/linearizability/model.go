@@ -182,6 +182,59 @@ func (m dequeModel) Step(state string, op Op) (string, bool) {
 	return state, false
 }
 
+// setModel is the sequential sorted set over uint64 keys: Kind "add"
+// (Input = key, Output = 1 iff newly inserted), "rem" (Output = 1 iff
+// the key was present), "has" (Output = 1 iff present). All three are
+// total: the only outcome is OutcomeOK (weak attempts that abort are
+// dropped by the recorder before checking).
+type setModel struct{}
+
+// SetModel returns the sequential specification of the sorted set
+// (internal/set, spec.Set).
+func SetModel() Model { return setModel{} }
+
+func (setModel) Init() string { return "" }
+
+// setFind returns the byte offset where key sits (or would sit) in the
+// sorted encoded state, and whether it is present.
+func setFind(state string, key uint64) (int, bool) {
+	for i := 0; i < len(state); i += 8 {
+		k, _ := firstVal(state[i:])
+		if k == key {
+			return i, true
+		}
+		if k > key {
+			return i, false
+		}
+	}
+	return len(state), false
+}
+
+func (m setModel) Step(state string, op Op) (string, bool) {
+	if op.Outcome != OutcomeOK {
+		return state, false
+	}
+	i, present := setFind(state, op.Input)
+	switch op.Kind {
+	case "add":
+		if present {
+			return state, op.Output == 0
+		}
+		return state[:i] + appendVal("", op.Input) + state[i:], op.Output == 1
+	case "rem":
+		if !present {
+			return state, op.Output == 0
+		}
+		return state[:i] + state[i+8:], op.Output == 1
+	case "has":
+		if present {
+			return state, op.Output == 1
+		}
+		return state, op.Output == 0
+	}
+	return state, false
+}
+
 // registerModel is a sequential read/write/CAS register: Kind "read"
 // (Output = value), "write" (Input = value), "cas" (Input packs
 // old<<32|new in the low bits, Output = 1 on success, 0 on failure).

@@ -136,15 +136,19 @@ func (p *Pool[T]) Get(pid int) Handle {
 		return h
 	}
 	h := Handle(p.next)
+	// The handle field of a TaggedVal reserves its top bit for the
+	// TaggedMark deletion flag, so the last valid handle is 2^31-1 —
+	// enforced here, where every handle is born, rather than letting a
+	// larger handle silently alias the mark.
+	if uint64(h)>>(TagBits-1) != 0 {
+		p.mu.Unlock()
+		panic("memory: pool arena exhausted (2^31-1 records)")
+	}
 	if p.next>>poolBlockBits >= uint64(len(*p.blocks.Load())) {
 		grown := append(append([]*poolBlock[T]{}, *p.blocks.Load()...), new(poolBlock[T]))
 		p.blocks.Store(&grown)
 	}
 	p.next++
-	if p.next>>TagBits != 0 {
-		p.mu.Unlock()
-		panic("memory: pool arena exhausted (2^32 records)")
-	}
 	p.mu.Unlock()
 	l.allocs.Add(1)
 	rec := p.At(h)

@@ -13,7 +13,9 @@ func TestTaggedValCodec(t *testing.T) {
 		{NilHandle, 0},
 		{1, 0},
 		{42, 7},
-		{1<<32 - 1, 1<<32 - 1},
+		// The top handle bit is the TaggedMark deletion flag, so the
+		// largest addressable handle is 2^31-1.
+		{1<<31 - 1, 1<<32 - 1},
 	}
 	for _, c := range cases {
 		v := PackTagged(c.h, c.tag)
@@ -30,6 +32,35 @@ func TestTaggedValCodec(t *testing.T) {
 	w := PackTagged(3, 1<<32-1).Next(3)
 	if w.Handle() != 3 || w.Tag() != 0 {
 		t.Fatalf("wrapping Next = (%d,%d), want (3,0)", w.Handle(), w.Tag())
+	}
+}
+
+func TestTaggedMark(t *testing.T) {
+	v := PackTagged(42, 7)
+	if v.Marked() {
+		t.Fatal("fresh word is marked")
+	}
+	m := v.WithMark()
+	if !m.Marked() {
+		t.Fatal("WithMark did not mark")
+	}
+	// The mark changes the word (a CAS expecting the unmarked word
+	// must fail) but not its handle or tag decode.
+	if m == v {
+		t.Fatal("marked word equals unmarked word")
+	}
+	if m.Handle() != 42 || m.Tag() != 7 {
+		t.Fatalf("marked word decodes to (%d,%d), want (42,7)", m.Handle(), m.Tag())
+	}
+	if m.WithoutMark() != v {
+		t.Fatal("WithoutMark does not restore the original word")
+	}
+	// Next always returns an unmarked word with an advanced tag, which
+	// is what keeps recycled-node words strictly newer than any stale
+	// pre-mark word.
+	n := m.Next(42)
+	if n.Marked() || n.Tag() != 8 {
+		t.Fatalf("Next over a marked word = (marked=%v, tag=%d), want (false, 8)", n.Marked(), n.Tag())
 	}
 }
 

@@ -38,19 +38,38 @@ func PackTagged(h Handle, tag uint32) TaggedVal {
 	return TaggedVal(uint64(h)<<TagBits | uint64(tag))
 }
 
-// Handle returns the pooled-record handle of the word.
-func (v TaggedVal) Handle() Handle { return Handle(v >> TagBits) }
+// Handle returns the pooled-record handle of the word (mark excluded).
+func (v TaggedVal) Handle() Handle { return Handle((v &^ TaggedMark) >> TagBits) }
 
 // Tag returns the sequence tag of the word.
 func (v TaggedVal) Tag() uint32 { return uint32(v & TagMask) }
 
 // Next returns the word that installs h over v: same register, handle
-// h, tag advanced by one. Every successful CAS on a tagged register
-// installs a Next word, which is what keeps tags strictly monotonic
-// (modulo 2^32) and recycled handles distinguishable.
+// h, tag advanced by one, mark cleared. Every successful CAS on a
+// tagged register installs a Next word (possibly re-marked via
+// WithMark), which is what keeps tags strictly monotonic (modulo 2^32)
+// and recycled handles distinguishable.
 func (v TaggedVal) Next(h Handle) TaggedVal {
 	return PackTagged(h, v.Tag()+1)
 }
+
+// TaggedMark is the Harris/Michael deletion mark: list-shaped
+// structures (internal/set) flag a node as logically deleted by
+// setting this bit in the node's next word, atomically with the
+// handle and tag. The bit is the top bit of the handle field, so
+// handles are limited to 2^31-1 — Pool.Get enforces exactly that
+// boundary (far beyond any real arena), so a live handle can never
+// alias the mark.
+const TaggedMark TaggedVal = 1 << 63
+
+// Marked reports whether the word carries the deletion mark.
+func (v TaggedVal) Marked() bool { return v&TaggedMark != 0 }
+
+// WithMark returns the word with the deletion mark set.
+func (v TaggedVal) WithMark() TaggedVal { return v | TaggedMark }
+
+// WithoutMark returns the word with the deletion mark cleared.
+func (v TaggedVal) WithoutMark() TaggedVal { return v &^ TaggedMark }
 
 // TaggedRef is an atomic register holding a TaggedVal over records of
 // type T allocated from one Pool. It supports the model's three base
@@ -85,6 +104,19 @@ func NewTaggedRefObserved[T any](pool *Pool[T], init TaggedVal, obs Observer) *T
 	r := &TaggedRef[T]{pool: pool, obs: obs}
 	r.w.Store(uint64(init))
 	return r
+}
+
+// Init initializes r in place over pool holding init, reporting to
+// obs. It exists for registers embedded inside pooled records (a list
+// node's next register, say), which cannot be assigned from a
+// constructed TaggedRef because the atomic word must not be copied.
+// Call it only while no other process can reach r — in practice from a
+// Pool's init hook, once per freshly carved record; recycled records
+// keep their accumulated tag and are never re-Init'ed.
+func (r *TaggedRef[T]) Init(pool *Pool[T], init TaggedVal, obs Observer) {
+	r.pool = pool
+	r.obs = obs
+	r.w.Store(uint64(init))
 }
 
 // Read returns the current 〈handle, tag〉 word.

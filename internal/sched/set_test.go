@@ -1,0 +1,90 @@
+package sched
+
+import "testing"
+
+// TestHarrisABAScheduleReplays verifies the set tier's recycled-node
+// ABA window deterministically: a node retired by Remove comes back at
+// the same handle holding a different key while a slow Add still holds
+// its old next word; the sequence tag makes the stale link CAS fail,
+// and the builder checks linearizability, the final sorted contents,
+// and that recycling actually happened.
+func TestHarrisABAScheduleReplays(t *testing.T) {
+	build, schedule := HarrisABASchedule()
+	trace, err := Replay(build, schedule, 0)
+	if err != nil {
+		t.Fatalf("harris ABA schedule failed: %v (trace %v)", err, trace)
+	}
+	if len(trace) != len(schedule) {
+		t.Fatalf("trace has %d steps, schedule %d (gate-count drift)", len(trace), len(schedule))
+	}
+}
+
+// TestSetSoloNeverAborts extends the E2 obligation to the set tier:
+// exhaustive solo schedules over add/remove/contains — duplicate adds
+// and absent removes included — must never abort.
+func TestSetSoloNeverAborts(t *testing.T) {
+	plan := []SetOp{
+		{Kind: "add", Key: 5}, {Kind: "add", Key: 3}, {Kind: "add", Key: 5},
+		{Kind: "has", Key: 3}, {Kind: "rem", Key: 5}, {Kind: "has", Key: 5},
+		{Kind: "rem", Key: 5}, {Kind: "rem", Key: 3},
+	}
+	for _, backend := range []SetBackend{CowSet, HarrisSet} {
+		rep := Explore(SoloSetNeverAborts(backend, nil, plan), Options{})
+		if rep.Failure != nil {
+			t.Fatalf("%v: %v", backend, rep.Failure.Err)
+		}
+		if rep.Schedules == 0 {
+			t.Fatalf("%v: no schedules explored", backend)
+		}
+	}
+}
+
+// TestCowSetRandomWalks hammers the copy-on-write abortable set with
+// random schedules of a contended plan: every interleaving must stay
+// linearizable, with aborted attempts taking no effect.
+func TestCowSetRandomWalks(t *testing.T) {
+	runs := 400
+	if testing.Short() {
+		runs = 80
+	}
+	build := WeakSetBuilder(CowSet, []uint64{10, 20},
+		[][]SetOp{
+			{{Kind: "rem", Key: 10}, {Kind: "add", Key: 15}, {Kind: "has", Key: 20}},
+			{{Kind: "add", Key: 15}, {Kind: "rem", Key: 20}, {Kind: "has", Key: 10}},
+		})
+	rep := Walk(build, runs, 0x5e7, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("cow set violated linearizability: %v (schedule %v)",
+			rep.Failure.Err, rep.Failure.Schedule)
+	}
+}
+
+// TestHarrisRandomWalks walks the lock-free list under a plan mixing
+// overlapping windows and recycling (removes feeding later adds
+// through the per-pid free lists).
+func TestHarrisRandomWalks(t *testing.T) {
+	runs := 300
+	if testing.Short() {
+		runs = 60
+	}
+	build := WeakSetBuilder(HarrisSet, []uint64{10, 20, 30},
+		[][]SetOp{
+			{{Kind: "rem", Key: 20}, {Kind: "add", Key: 25}, {Kind: "has", Key: 30}},
+			{{Kind: "rem", Key: 30}, {Kind: "add", Key: 20}, {Kind: "rem", Key: 10}},
+		})
+	rep := Walk(build, runs, 0xaba5e7, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("harris set violated linearizability: %v (schedule %v)",
+			rep.Failure.Err, rep.Failure.Schedule)
+	}
+}
+
+func TestSetBackendNames(t *testing.T) {
+	for b, want := range map[SetBackend]string{
+		CowSet: "cow", HarrisSet: "harris",
+	} {
+		if got := b.String(); got != want {
+			t.Fatalf("SetBackend(%d).String() = %q, want %q", b, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package set
+
+import (
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// cowNode is one immutable cell of the copy-on-write sorted list.
+// Nodes are never mutated after publication: an update path-copies the
+// prefix it changes and shares the untouched suffix.
+type cowNode struct {
+	key  uint64
+	next *cowNode
+}
+
+// Abortable is the set tier's Figure 1 analogue: an abortable sorted
+// set whose entire state hangs off one boxed root register. Because
+// nodes are immutable and suffixes are shared, pointer identity of the
+// root implies identity of the whole abstract state — so a single CAS
+// on the root is a correct "compare the set, swap the set", the exact
+// role TOP plays for the paper's weak stack. A mutating attempt that
+// loses the root CAS returns ErrAborted with no effect; a solo attempt
+// never aborts.
+//
+// TryContains (and the read-only outcomes of TryAdd/TryRemove — key
+// already present / already absent) linearize at the single root read
+// and never abort: membership checks are wait-free. The flip side is
+// that all updates interfere at the root even on disjoint keys; Harris
+// is the backend that trades the simple abort discipline for
+// disjoint-window parallelism.
+type Abortable struct {
+	root *memory.Ref[cowNode]
+}
+
+// NewAbortable returns an empty abortable set.
+func NewAbortable() *Abortable {
+	return NewAbortableObserved(nil)
+}
+
+// NewAbortableObserved returns an abortable set whose root accesses
+// are reported to obs first (nil disables instrumentation); the
+// deterministic scheduler gates on them. Node memory is private and
+// immutable, so the root is the object's only shared register.
+func NewAbortableObserved(obs memory.Observer) *Abortable {
+	return &Abortable{root: memory.NewRefObserved[cowNode](nil, obs)}
+}
+
+// search walks the immutable list from head to k's window: it returns
+// the node holding k (or nil) and the nodes strictly before k, oldest
+// first, for path copying.
+func search(head *cowNode, k uint64) (prefix []*cowNode, at *cowNode, suffix *cowNode) {
+	n := head
+	for n != nil && n.key < k {
+		prefix = append(prefix, n)
+		n = n.next
+	}
+	if n != nil && n.key == k {
+		return prefix, n, n.next
+	}
+	return prefix, nil, n
+}
+
+// rebuild copies prefix (in order) onto tail and returns the new head.
+func rebuild(prefix []*cowNode, tail *cowNode) *cowNode {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		tail = &cowNode{key: prefix[i].key, next: tail}
+	}
+	return tail
+}
+
+// TryAdd is one attempt to insert k. It returns (true, nil) when k was
+// inserted, (false, nil) when k was already present (a read-only
+// outcome, linearized at the root read), and (false, ErrAborted) when
+// a concurrent update won the root CAS.
+func (s *Abortable) TryAdd(k uint64) (bool, error) {
+	old := s.root.Read()
+	prefix, at, suffix := search(old, k)
+	if at != nil {
+		return false, nil
+	}
+	head := rebuild(prefix, &cowNode{key: k, next: suffix})
+	if s.root.CAS(old, head) {
+		return true, nil
+	}
+	return false, ErrAborted
+}
+
+// TryRemove is one attempt to delete k. It returns (true, nil) when k
+// was removed, (false, nil) when k was absent, and (false, ErrAborted)
+// on interference.
+func (s *Abortable) TryRemove(k uint64) (bool, error) {
+	old := s.root.Read()
+	prefix, at, suffix := search(old, k)
+	if at == nil {
+		return false, nil
+	}
+	head := rebuild(prefix, suffix)
+	if s.root.CAS(old, head) {
+		return true, nil
+	}
+	return false, ErrAborted
+}
+
+// TryContains reports whether k is in the set. It reads one shared
+// register and then walks private immutable memory: wait-free,
+// allocation-free (unlike the update paths it never accumulates a
+// prefix), and the error is always nil (it satisfies Weak so the
+// strong constructions can treat the three operations uniformly).
+func (s *Abortable) TryContains(k uint64) (bool, error) {
+	n := s.root.Read()
+	for n != nil && n.key < k {
+		n = n.next
+	}
+	return n != nil && n.key == k, nil
+}
+
+// Contains is TryContains without the vestigial error.
+func (s *Abortable) Contains(k uint64) bool {
+	ok, _ := s.TryContains(k)
+	return ok
+}
+
+// Len returns the number of keys (a wait-free snapshot walk).
+func (s *Abortable) Len() int {
+	n := 0
+	for c := s.root.Read(); c != nil; c = c.next {
+		n++
+	}
+	return n
+}
+
+// Snapshot returns the keys in ascending order, from one atomic root
+// read.
+func (s *Abortable) Snapshot() []uint64 {
+	var out []uint64
+	for c := s.root.Read(); c != nil; c = c.next {
+		out = append(out, c.key)
+	}
+	return out
+}
+
+// Progress classifies the weak set: abortable, hence on the
+// obstruction-free rung of the paper's hierarchy (§1.2).
+func (s *Abortable) Progress() core.Progress { return core.ObstructionFree }
+
+var _ Weak = (*Abortable)(nil)

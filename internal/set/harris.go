@@ -1,0 +1,205 @@
+package set
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// hmNode is one pooled list node. key is atomic because a stale
+// traverser may overlap a recycler rewriting the node (the read is
+// discarded when validation fails, but must be data-race-free). next
+// is a full tagged register: unlike the pooled Michael-Scott queue,
+// where head/tail are the model's registers and node links are private
+// plumbing, here the next words ARE the object's shared registers —
+// every traversal step reads one, every update CASes one — so they are
+// observed (the deterministic scheduler gates on them) and their tags
+// accumulate across node lives.
+type hmNode struct {
+	key  atomic.Uint64
+	next memory.TaggedRef[hmNode]
+}
+
+// Harris is the lock-free sorted linked-list set (Harris, DISC 2001,
+// in Michael's SPAA 2002 tagged-pointer formulation, which is the one
+// compatible with free-list node recycling) over a memory.Pool arena.
+// Each node's next register packs 〈successor handle, sequence tag〉
+// with the memory.TaggedMark deletion bit; Remove first marks the
+// victim's next word (logical delete, atomic with the tag) and then
+// unlinks it, and traversals help unlink marked nodes they pass.
+//
+// Recycling makes §2.2's ABA concrete on every link: a removed node
+// goes back to a per-pid free list and can reappear anywhere in the
+// list — same handle, different key — while a slow traverser still
+// holds its old next word. Two disciplines keep that safe, both from
+// DESIGN.md §3: every CAS is tag-validated (a stale word's tag can
+// never match, because marks and reuses always advance it), and every
+// traversal step is snapshot-validated — after reading the current
+// node's fields, the predecessor's register is re-read; if it moved,
+// the walk restarts from the head.
+//
+// Unlike Abortable's copy-on-write root, disjoint windows of the list
+// update in parallel; the price is that Contains shares find's
+// validated (hence restartable) traversal, so it is lock-free rather
+// than wait-free. Operations take the calling pid for the pool's
+// per-pid free lists.
+type Harris struct {
+	head *memory.TaggedRef[hmNode]
+	pool *memory.Pool[hmNode]
+}
+
+// NewHarris returns an empty lock-free set for procs processes (pids
+// in [0, procs)).
+func NewHarris(procs int) *Harris {
+	return NewHarrisObserved(procs, nil)
+}
+
+// NewHarrisObserved returns an instrumented lock-free set: head and
+// node next-register accesses are reported to obs (nil disables
+// instrumentation). Key loads and pool traffic are arena-private and
+// not observed.
+func NewHarrisObserved(procs int, obs memory.Observer) *Harris {
+	var pool *memory.Pool[hmNode]
+	pool = memory.NewPool[hmNode](procs, func(n *hmNode) {
+		// Fresh arena records only: recycled nodes keep their
+		// accumulated next tag (monotonic across lives, like the pooled
+		// Michael-Scott queue's counted pointers).
+		n.next.Init(pool, memory.PackTagged(memory.NilHandle, 0), obs)
+	})
+	return &Harris{
+		head: memory.NewTaggedRefObserved(pool, memory.PackTagged(memory.NilHandle, 0), obs),
+		pool: pool,
+	}
+}
+
+// find walks to k's window. It returns the register holding the window
+// (the head register or a node's next register), that register's word
+// predW — whose handle is the first node with key >= k, or nil — the
+// current content currW of that node's next register (meaningful only
+// when such a node exists), and whether the node's key equals k.
+// Marked nodes met on the way are unlinked (and retired to pid's free
+// list when this process's unlink CAS wins).
+//
+// The verdict linearizes at the last validation read: at that instant
+// pred's register still held predW, so the chain up to and including
+// the current node was intact and the key read belongs to this life of
+// the node.
+func (s *Harris) find(pid int, k uint64) (pred *memory.TaggedRef[hmNode], predW, currW memory.TaggedVal, found bool) {
+restart:
+	for {
+		pred = s.head
+		predW = pred.Read()
+		for {
+			curr := predW.Handle()
+			if curr == memory.NilHandle {
+				return pred, predW, 0, false
+			}
+			cn := s.pool.At(curr)
+			currW = cn.next.Read()
+			ckey := cn.key.Load()
+			if pred.Read() != predW {
+				continue restart // pred moved: curr may be another life
+			}
+			if currW.Marked() {
+				// curr is logically deleted: unlink it from pred. A
+				// marked node's next register is frozen (every CAS on
+				// it expects an unmarked word), so its successor is
+				// stable until the node is recycled — and recycling
+				// waits for this unlink.
+				unlinked := predW.Next(currW.Handle())
+				if !pred.CAS(predW, unlinked) {
+					continue restart
+				}
+				s.pool.Put(pid, curr)
+				predW = unlinked
+				continue
+			}
+			if ckey >= k {
+				return pred, predW, currW, ckey == k
+			}
+			pred, predW = &cn.next, currW
+		}
+	}
+}
+
+// Add inserts k on behalf of pid; it reports whether k was newly
+// inserted. Lock-free: a failed link CAS means some concurrent update
+// succeeded.
+func (s *Harris) Add(pid int, k uint64) bool {
+	for {
+		pred, predW, _, found := s.find(pid, k)
+		if found {
+			return false
+		}
+		h := s.pool.Get(pid)
+		n := s.pool.At(h)
+		n.key.Store(k)
+		// The node is private until the link CAS below publishes it;
+		// advancing the next word off the register's current content
+		// keeps the tag monotonic across the node's lives, so a stale
+		// CAS from a previous life can never match.
+		n.next.Write(n.next.Read().Next(predW.Handle()))
+		if pred.CAS(predW, predW.Next(h)) {
+			return true
+		}
+		s.pool.Put(pid, h) // never published: safe to recycle directly
+	}
+}
+
+// Remove deletes k on behalf of pid; it reports whether k was present.
+// The two-step Harris discipline: mark the victim's next word (the
+// linearization point), then unlink it — leaving the unlink to a later
+// traversal if the CAS is lost.
+func (s *Harris) Remove(pid int, k uint64) bool {
+	for {
+		pred, predW, currW, found := s.find(pid, k)
+		if !found {
+			return false
+		}
+		curr := predW.Handle()
+		cn := s.pool.At(curr)
+		if !cn.next.CAS(currW, currW.Next(currW.Handle()).WithMark()) {
+			continue // curr changed under us: retry the whole window
+		}
+		if pred.CAS(predW, predW.Next(currW.Handle())) {
+			s.pool.Put(pid, curr) // this process unlinked it: retire
+		}
+		return true
+	}
+}
+
+// Contains reports membership of k on behalf of pid. It shares find's
+// validated traversal (including the helping unlinks), so it is
+// lock-free; see Abortable for the wait-free alternative.
+func (s *Harris) Contains(pid int, k uint64) bool {
+	_, _, _, found := s.find(pid, k)
+	return found
+}
+
+// Len returns the number of unmarked keys; quiescent states only.
+func (s *Harris) Len() int { return len(s.Snapshot()) }
+
+// Snapshot returns the unmarked keys in ascending order; quiescent
+// states only.
+func (s *Harris) Snapshot() []uint64 {
+	var out []uint64
+	w := s.head.Read()
+	for w.Handle() != memory.NilHandle {
+		n := s.pool.At(w.Handle())
+		nw := n.next.Read()
+		if !nw.Marked() {
+			out = append(out, n.key.Load())
+		}
+		w = nw
+	}
+	return out
+}
+
+// PoolStats exposes the node pool's recycling counters.
+func (s *Harris) PoolStats() memory.PoolStats { return s.pool.Stats() }
+
+// Progress reports NonBlocking (lock-freedom).
+func (s *Harris) Progress() core.Progress { return core.NonBlocking }
+
+var _ Strong = (*Harris)(nil)

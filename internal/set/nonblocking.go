@@ -1,0 +1,58 @@
+package set
+
+import (
+	"repro/internal/core"
+)
+
+// NonBlocking is the Figure 2 construction over a weak set: retry each
+// weak attempt until it returns non-⊥. Operations never abort; under
+// contention at least one concurrent operation always terminates, but
+// an individual update may retry unboundedly. A contention manager
+// (§5) may pace the retries; the paper's bare loop is the nil manager.
+type NonBlocking struct {
+	weak Weak
+	m    core.Manager
+}
+
+// NewNonBlocking returns a non-blocking set over a fresh abortable
+// set, with the paper's bare retry loop.
+func NewNonBlocking() *NonBlocking {
+	return NewNonBlockingFrom(NewAbortable(), nil)
+}
+
+// NewNonBlockingFrom builds the Figure 2 construction over any weak
+// set, pacing retries with m (nil for the bare loop).
+func NewNonBlockingFrom(weak Weak, m core.Manager) *NonBlocking {
+	return &NonBlocking{weak: weak, m: m}
+}
+
+// Add inserts k, retrying aborted attempts; it reports whether k was
+// newly inserted. The pid is unused (kept for the Strong shape).
+func (s *NonBlocking) Add(_ int, k uint64) bool {
+	return core.Retry(s.m, func() (bool, bool) {
+		added, err := s.weak.TryAdd(k)
+		return added, err == nil
+	})
+}
+
+// Remove deletes k, retrying aborted attempts; it reports whether k
+// was present.
+func (s *NonBlocking) Remove(_ int, k uint64) bool {
+	return core.Retry(s.m, func() (bool, bool) {
+		removed, err := s.weak.TryRemove(k)
+		return removed, err == nil
+	})
+}
+
+// Contains reports membership: the weak check never aborts, so the
+// "retry loop" is a single wait-free attempt.
+func (s *NonBlocking) Contains(_ int, k uint64) bool {
+	ok, _ := s.weak.TryContains(k)
+	return ok
+}
+
+// Progress reports NonBlocking: at least one concurrent operation
+// terminates.
+func (s *NonBlocking) Progress() core.Progress { return core.NonBlocking }
+
+var _ Strong = (*NonBlocking)(nil)

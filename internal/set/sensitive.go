@@ -1,0 +1,66 @@
+package set
+
+import (
+	"repro/internal/core"
+	"repro/internal/lock"
+)
+
+// Sensitive is the contention-sensitive, starvation-free set: the
+// Figure 3 construction (core.Guard/Do) over a weak abortable set.
+// Mutating operations invoked in a contention-free context complete on
+// the lock-free shortcut (one CONTENTION read plus one weak attempt);
+// under contention they serialize behind the starvation-free
+// round-robin lock. Contains bypasses the guard entirely: the weak
+// set's membership check never aborts, so wrapping it in the protocol
+// would only add the CONTENTION read and, worse, park wait-free
+// readers on the slow-path lock — reads stay wait-free instead.
+type Sensitive struct {
+	weak  Weak
+	guard *core.Guard
+}
+
+// NewSensitive returns the paper's exact configuration for n processes
+// over a fresh abortable set: round-robin over a deadlock-free
+// test-and-set lock. Callers pass pids in [0, n).
+func NewSensitive(n int) *Sensitive {
+	return NewSensitiveFrom(NewAbortable(), lock.NewRoundRobin(lock.NewTAS(), n))
+}
+
+// NewSensitiveFrom builds Figure 3 over any weak set and any PidLock.
+func NewSensitiveFrom(weak Weak, lk lock.PidLock) *Sensitive {
+	return &Sensitive{weak: weak, guard: core.NewGuard(lk)}
+}
+
+// Add inserts k on behalf of pid; it reports whether k was newly
+// inserted, never aborts, and terminates for every caller.
+func (s *Sensitive) Add(pid int, k uint64) bool {
+	return core.Do(s.guard, pid, func() (bool, bool) {
+		added, err := s.weak.TryAdd(k)
+		return added, err == nil
+	})
+}
+
+// Remove deletes k on behalf of pid; it reports whether k was present.
+func (s *Sensitive) Remove(pid int, k uint64) bool {
+	return core.Do(s.guard, pid, func() (bool, bool) {
+		removed, err := s.weak.TryRemove(k)
+		return removed, err == nil
+	})
+}
+
+// Contains reports membership of k. It goes straight to the weak
+// set's wait-free check — no guard, no lock, whatever the contention.
+func (s *Sensitive) Contains(_ int, k uint64) bool {
+	ok, _ := s.weak.TryContains(k)
+	return ok
+}
+
+// Guard exposes the guard's fast/slow-path counters for tests and
+// experiments.
+func (s *Sensitive) Guard() *core.Guard { return s.guard }
+
+// Progress reports StarvationFree for updates (Theorem 1's argument);
+// Contains is wait-free.
+func (s *Sensitive) Progress() core.Progress { return core.StarvationFree }
+
+var _ Strong = (*Sensitive)(nil)

@@ -1,0 +1,34 @@
+package set
+
+import "errors"
+
+// Set operations are total: Add and Remove report whether they changed
+// the set, Contains reports membership — nothing blocks and there is
+// no full/empty condition. Weak operations may additionally abort.
+var (
+	// ErrAborted is the paper's ⊥: the weak operation detected
+	// interference and had no effect. Only Try* operations return it;
+	// strong operations never do (Lemma 1).
+	ErrAborted = errors.New("set: aborted by contention")
+)
+
+// Strong is the interface of total, never-aborting sets whose
+// operations take the calling process identity (needed by the
+// starvation-free slow path and the pooled free lists). Add reports
+// true iff k was newly inserted, Remove true iff k was present,
+// Contains membership.
+type Strong interface {
+	Add(pid int, k uint64) bool
+	Remove(pid int, k uint64) bool
+	Contains(pid int, k uint64) bool
+}
+
+// Weak is the interface of abortable sets: single attempts that may
+// return ErrAborted, in which case the operation had no effect and may
+// be retried. The boolean carries the operation's answer when err is
+// nil.
+type Weak interface {
+	TryAdd(k uint64) (bool, error)
+	TryRemove(k uint64) (bool, error)
+	TryContains(k uint64) (bool, error)
+}

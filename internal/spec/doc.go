@@ -1,0 +1,7 @@
+// Package spec provides plain sequential reference implementations of
+// the bounded stack, queue, deque, and the sorted set. They are the
+// ground truth for differential and fuzz tests: any solo run of a
+// concurrent implementation must agree with these op-for-op, and the
+// linearizability models in internal/linearizability encode the same
+// semantics over immutable states.
+package spec

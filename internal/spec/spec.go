@@ -1,10 +1,6 @@
-// Package spec provides plain sequential reference implementations of
-// the bounded stack and queue. They are the ground truth for
-// differential and fuzz tests: any solo run of a concurrent
-// implementation must agree with these op-for-op, and the
-// linearizability models in internal/linearizability encode the same
-// semantics over immutable states.
 package spec
+
+import "slices"
 
 // Stack is a sequential bounded LIFO stack. Not safe for concurrent
 // use — that is the point.
@@ -120,6 +116,53 @@ func (d *Deque[T]) Len() int { return len(d.items) }
 func (d *Deque[T]) Snapshot() []T {
 	out := make([]T, len(d.items))
 	copy(out, d.items)
+	return out
+}
+
+// Set is a sequential sorted set of uint64 keys. Not safe for
+// concurrent use. It is the ground truth of the set tier
+// (internal/set): Add and Remove report whether they changed the set,
+// Contains reports membership.
+type Set struct {
+	keys []uint64 // sorted ascending, no duplicates
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// Add inserts k and reports true iff it was not already present.
+func (s *Set) Add(k uint64) bool {
+	i, ok := slices.BinarySearch(s.keys, k)
+	if ok {
+		return false
+	}
+	s.keys = slices.Insert(s.keys, i, k)
+	return true
+}
+
+// Remove deletes k and reports true iff it was present.
+func (s *Set) Remove(k uint64) bool {
+	i, ok := slices.BinarySearch(s.keys, k)
+	if !ok {
+		return false
+	}
+	s.keys = slices.Delete(s.keys, i, i+1)
+	return true
+}
+
+// Contains reports whether k is in the set.
+func (s *Set) Contains(k uint64) bool {
+	_, ok := slices.BinarySearch(s.keys, k)
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *Set) Len() int { return len(s.keys) }
+
+// Snapshot returns the keys in ascending order.
+func (s *Set) Snapshot() []uint64 {
+	out := make([]uint64, len(s.keys))
+	copy(out, s.keys)
 	return out
 }
 

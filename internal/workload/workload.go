@@ -51,6 +51,45 @@ var (
 // NextIsPush draws the next operation kind from the mix.
 func (m Mix) NextIsPush(r *RNG) bool { return r.Float64() < m.PushFraction }
 
+// SetOpKind is one of the set tier's three operations.
+type SetOpKind int
+
+// Set operation kinds drawn by SetMix.
+const (
+	SetAdd SetOpKind = iota
+	SetRemove
+	SetContains
+)
+
+// SetMix is an operation mix for the set tier's three-operation
+// shape; the remainder after adds and removes is membership checks.
+type SetMix struct {
+	// AddFraction is the probability that the next operation inserts.
+	AddFraction float64
+	// RemoveFraction is the probability that it deletes.
+	RemoveFraction float64
+}
+
+// The E18 mixes: a Contains-dominated 90/9/1 read-mostly workload and
+// a 50/25/25 update-heavy one.
+var (
+	SetReadMostly = SetMix{AddFraction: 0.09, RemoveFraction: 0.01}
+	SetMixed      = SetMix{AddFraction: 0.25, RemoveFraction: 0.25}
+)
+
+// Next draws the next set operation kind from the mix.
+func (m SetMix) Next(r *RNG) SetOpKind {
+	f := r.Float64()
+	switch {
+	case f < m.AddFraction:
+		return SetAdd
+	case f < m.AddFraction+m.RemoveFraction:
+		return SetRemove
+	default:
+		return SetContains
+	}
+}
+
 // Value encodes a collision-free payload for operation i of process
 // pid, so conservation checks can attribute every value.
 func Value(pid int, i int) uint64 { return uint64(pid)<<32 | uint64(uint32(i)) }

@@ -29,6 +29,12 @@
 //     Michael-Scott over recycled pooled nodes with §2.2 sequence
 //     tags, 0 steady-state allocs/op (experiment E17; see DESIGN.md's
 //     memory-reclamation section).
+//   - Set / AbortableSet / NonBlockingSet / LockFreeSet /
+//     CombiningSet — the set tier: a sorted list-based set carried
+//     through the same ladder, opening the read-mostly membership
+//     workload (experiment E18). Contains is wait-free on the
+//     copy-on-write backends; LockFreeSet is the Harris/Michael list
+//     over recycled tagged nodes.
 //
 // Strong operations take a pid in [0, n): the paper's model of n
 // known asynchronous processes. Give each goroutine that touches one
@@ -46,6 +52,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/memory"
 	"repro/internal/queue"
+	"repro/internal/set"
 	"repro/internal/stack"
 )
 
@@ -247,6 +254,55 @@ func NewAbortableDeque(max int) *AbortableDeque { return deque.NewAbortable(max)
 
 // NewNonBlockingDeque returns the retrying deque of capacity max.
 func NewNonBlockingDeque(max int) *NonBlockingDeque { return deque.NewNonBlocking(max) }
+
+// Set is the contention-sensitive, starvation-free sorted set: the
+// Figure 3 construction over the abortable copy-on-write list.
+// Updates are starvation-free; Contains is wait-free (one shared read
+// plus a walk of immutable private memory) and bypasses the guard.
+// Keys are uint64 throughout the set tier. Use NewSet.
+type Set = set.Sensitive
+
+// AbortableSet is the weak sorted set: single attempts that may
+// return ErrSetAborted with no effect. TryContains never aborts. Use
+// NewAbortableSet.
+type AbortableSet = set.Abortable
+
+// NonBlockingSet is the Figure 2 retry construction over the weak
+// set. Use NewNonBlockingSet.
+type NonBlockingSet = set.NonBlocking
+
+// LockFreeSet is the Harris/Michael lock-free linked-list set over
+// pooled, recycled nodes with tagged markable next registers: disjoint
+// windows update in parallel, and the §2.2 sequence tags keep node
+// recycling ABA-safe (see DESIGN.md's set-tier section). Use
+// NewLockFreeSet.
+type LockFreeSet = set.Harris
+
+// CombiningSet is the flat-combining set: the same interface with the
+// contended path batched by one combiner per lock acquisition. Use
+// NewCombiningSet.
+type CombiningSet = set.Combining
+
+// ErrSetAborted is the set tier's ⊥: the weak attempt detected
+// interference and had no effect.
+var ErrSetAborted = set.ErrAborted
+
+// NewSet returns a contention-sensitive, starvation-free sorted set
+// for n processes (pids in [0, n)).
+func NewSet(n int) *Set { return set.NewSensitive(n) }
+
+// NewAbortableSet returns the weak copy-on-write sorted set.
+func NewAbortableSet() *AbortableSet { return set.NewAbortable() }
+
+// NewNonBlockingSet returns the retrying sorted set.
+func NewNonBlockingSet() *NonBlockingSet { return set.NewNonBlocking() }
+
+// NewLockFreeSet returns the Harris/Michael lock-free list-based set
+// for n processes (pids in [0, n)).
+func NewLockFreeSet(n int) *LockFreeSet { return set.NewHarris(n) }
+
+// NewCombiningSet returns a flat-combining sorted set for n processes.
+func NewCombiningSet(n int) *CombiningSet { return set.NewCombining(n) }
 
 // NewGuard returns the Figure 3 protocol state over the given lock;
 // combine with Do to make any abortable operation contention-sensitive

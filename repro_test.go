@@ -248,3 +248,47 @@ func TestPublicCombiningPooled(t *testing.T) {
 		t.Fatalf("combining pooled queue dequeue = (%d, %v)", v, err)
 	}
 }
+
+func TestPublicSetTier(t *testing.T) {
+	const procs = 4
+	builders := map[string]interface {
+		Add(pid int, k uint64) bool
+		Remove(pid int, k uint64) bool
+		Contains(pid int, k uint64) bool
+	}{
+		"sensitive": repro.NewSet(procs),
+		"lock-free": repro.NewLockFreeSet(procs),
+		"combining": repro.NewCombiningSet(procs),
+		"retrying":  repro.NewNonBlockingSet(),
+	}
+	for name, s := range builders {
+		if !s.Add(0, 7) || s.Add(1, 7) {
+			t.Fatalf("%s: duplicate Add answers wrong", name)
+		}
+		if !s.Contains(2, 7) || s.Contains(2, 8) {
+			t.Fatalf("%s: Contains answers wrong", name)
+		}
+		if !s.Remove(3, 7) || s.Remove(3, 7) {
+			t.Fatalf("%s: Remove answers wrong", name)
+		}
+	}
+}
+
+func TestPublicAbortableSet(t *testing.T) {
+	s := repro.NewAbortableSet()
+	if added, err := s.TryAdd(5); err != nil || !added {
+		t.Fatalf("solo TryAdd = (%v, %v)", added, err)
+	}
+	if added, err := s.TryAdd(5); err != nil || added {
+		t.Fatalf("duplicate TryAdd = (%v, %v), want (false, nil)", added, err)
+	}
+	if !s.Contains(5) {
+		t.Fatal("Contains(5) = false")
+	}
+	if removed, err := s.TryRemove(5); err != nil || !removed {
+		t.Fatalf("solo TryRemove = (%v, %v)", removed, err)
+	}
+	if errors.Is(repro.ErrSetAborted, repro.ErrStackAborted) {
+		t.Fatal("set and stack abort sentinels must be distinct")
+	}
+}
