@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -498,4 +499,48 @@ func BenchmarkE17AllocFree(b *testing.B) {
 			_, _ = s.Pop(0)
 		}
 	})
+}
+
+// BenchmarkE19SetAtRange mirrors experiment E19 under testing.B: a
+// solo read-mostly loop (3 Contains, 1 Add, 1 Remove per iteration)
+// over a resident population of the given size. The Harris rows grow
+// linearly with the range — every operation walks the sorted prefix —
+// while the split-ordered hash rows stay flat: the bucket index caps
+// the expected walk at the load factor. Both run the same pooled
+// recycled-node engine, so the allocs/op column stays at the pool's
+// steady-state zero on both.
+func BenchmarkE19SetAtRange(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		build func() (add func(int, uint64) bool, remove func(int, uint64) bool, contains func(int, uint64) bool)
+	}{
+		{"harris", func() (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
+			s := repro.NewLockFreeSet(1)
+			return s.Add, s.Remove, s.Contains
+		}},
+		{"hash", func() (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
+			s := repro.NewHashSet(1)
+			return s.Add, s.Remove, s.Contains
+		}},
+	} {
+		for _, keys := range []uint64{64, 4096} {
+			b.Run(fmt.Sprintf("%s/keys=%d", tc.name, keys), func(b *testing.B) {
+				b.ReportAllocs()
+				add, remove, contains := tc.build()
+				for k := uint64(0); k < keys; k += 2 {
+					add(0, k)
+				}
+				rng := workload.NewRNG(0x5eed)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k := uint64(rng.Intn(int(keys)))
+					contains(0, k)
+					contains(0, (k+1)%keys)
+					contains(0, (k+2)%keys)
+					add(0, k)
+					remove(0, (k+3)%keys)
+				}
+			})
+		}
+	}
 }

@@ -1,17 +1,21 @@
-// Command contbench runs the reproduction experiments (E1..E18,
+// Command contbench runs the reproduction experiments (E1..E19,
 // including the E15/E16 scaling tier, the E17 allocation tier, and the
-// E18 set tier) and prints the tables EXPERIMENTS.md quotes.
+// E18/E19 set tier) and prints the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
-//	contbench [-run E1,E5,...|all] [-procs N] [-duration D] [-seed S] [-quick]
+//	contbench [-run E1,E5,...|all] [-procs N] [-duration D] [-seed S] [-quick] [-json path]
 //
 // Each experiment prints its paper claim followed by the measured
 // table; a non-zero exit status means a correctness experiment
-// (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18) observed a violation.
+// (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18/E19) observed a violation.
+// With -json, the same result rows are additionally written to the
+// given path as machine-readable JSON (the BENCH_*.json perf
+// trajectory files are produced this way), whatever the exit status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +25,18 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonDoc is the -json output shape: the run's configuration plus one
+// structured record per executed experiment.
+type jsonDoc struct {
+	Generated  string                   `json:"generated"`
+	Procs      int                      `json:"procs"`
+	DurationMS float64                  `json:"duration_ms"`
+	Quick      bool                     `json:"quick"`
+	Seed       uint64                   `json:"seed"`
+	Failed     int                      `json:"failed"`
+	Experiment []bench.ExperimentResult `json:"experiments"`
+}
+
 func main() {
 	var (
 		run      = flag.String("run", "all", "comma-separated experiment ids (e.g. E1,E5) or 'all'")
@@ -29,6 +45,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		quick    = flag.Bool("quick", false, "shrink all budgets (smoke test)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "also write result rows as JSON to this path")
 	)
 	flag.Parse()
 
@@ -44,6 +61,11 @@ func main() {
 		Duration: *duration,
 		Quick:    *quick,
 		Seed:     *seed,
+	}
+	var log *bench.ResultLog
+	if *jsonPath != "" {
+		log = &bench.ResultLog{}
+		cfg.Log = log
 	}
 
 	var selected []bench.Experiment
@@ -65,15 +87,49 @@ func main() {
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("paper claim: %s\n\n", e.Claim)
+		if log != nil {
+			log.Begin(e)
+		}
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		err := e.Run(cfg, os.Stdout)
+		elapsed := time.Since(start)
+		if log != nil {
+			log.End(err, float64(elapsed.Microseconds())/1000)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "\n%s FAILED: %v\n", e.ID, err)
 			failed++
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	if log != nil {
+		if err := writeJSON(*jsonPath, cfg, failed, log); err != nil {
+			fmt.Fprintf(os.Stderr, "contbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "contbench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeJSON dumps the structured results. The effective (defaulted)
+// duration is not visible here for experiments that apply their own
+// defaults, so the configured value is recorded as given (0 = default).
+func writeJSON(path string, cfg bench.Config, failed int, log *bench.ResultLog) error {
+	doc := jsonDoc{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Procs:      cfg.Procs,
+		DurationMS: float64(cfg.Duration.Microseconds()) / 1000,
+		Quick:      cfg.Quick,
+		Seed:       cfg.Seed,
+		Failed:     failed,
+		Experiment: log.Results(),
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

@@ -107,6 +107,12 @@ func targets() []target {
 			build: sched.WeakSetBuilder(sched.HarrisSet, []uint64{10, 20},
 				[][]sched.SetOp{{{Kind: "add", Key: 15}}, {{Kind: "rem", Key: 10}}}),
 		},
+		{
+			name:        "hash-split-race",
+			description: "split-ordered hash: racing bucket splits and a remove",
+			build: sched.WeakSetBuilder(sched.HashSet, []uint64{4, 6},
+				[][]sched.SetOp{{{Kind: "add", Key: 1}}, {{Kind: "rem", Key: 6}, {Kind: "add", Key: 3}}}),
+		},
 	}
 }
 
@@ -208,6 +214,7 @@ func runABA() {
 		{"pooled-treiber", sched.PooledTreiberABASchedule},
 		{"pooled-ms-queue", sched.PooledMSABASchedule},
 		{"harris-set", sched.HarrisABASchedule},
+		{"hash-set-split", sched.HashSplitABASchedule},
 	} {
 		build, schedule := tc.sched()
 		trace, err := sched.Replay(build, schedule, 0)

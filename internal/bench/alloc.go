@@ -221,6 +221,7 @@ func runE17(cfg Config, w io.Writer) error {
 	}
 
 	tb := metrics.NewTable("backend", "allocs/op", "B/op", "GC cycles", "ops/s", "verdict")
+	defer cfg.logTable("E17 steady state", tb)
 	var failed []string
 	for _, be := range allocBackends(procs) {
 		res := measureAllocs(procs, warmup, ops, cfg.Seed, be.push, be.pop)
@@ -284,6 +285,7 @@ func runE17ForcedReuse(cfg Config, w io.Writer) error {
 	}
 
 	tb := metrics.NewTable("backend", "ops", "reuses/op", "arena records", "drops", "verdict")
+	defer cfg.logTable("E17 forced reuse", tb)
 	for _, tgt := range targets {
 		var wg sync.WaitGroup
 		popped := make([][]uint64, procs)

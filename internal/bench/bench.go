@@ -26,6 +26,9 @@ type Config struct {
 	Quick bool
 	// Seed seeds the deterministic workload generators.
 	Seed uint64
+	// Log, when non-nil, collects every experiment's tables in
+	// structured form for machine-readable export (contbench -json).
+	Log *ResultLog
 }
 
 func (c Config) withDefaults() Config {

@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -158,6 +158,7 @@ func TestE11Linearizability(t *testing.T) {
 		"stack/abortable", "stack/elimination", "queue/michael-scott",
 		"stack/treiber-pooled", "stack/abortable-pooled",
 		"queue/michael-scott-pooled", "queue/abortable-pooled",
+		"set/harris", "set/hashset",
 	} {
 		if !strings.Contains(out, impl) {
 			t.Fatalf("E11 missing %s:\n%s", impl, out)
@@ -240,6 +241,21 @@ func TestE16Sharded(t *testing.T) {
 		if !strings.Contains(out, row) {
 			t.Fatalf("E16 missing %s:\n%s", row, out)
 		}
+	}
+}
+
+func TestE19SplitOrderedHash(t *testing.T) {
+	out := runQuick(t, "E19")
+	for _, row := range []string{
+		"cow(non-blocking)", "lock-free(harris)", "hash(split-ordered)",
+		"flatness", "resizes",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E19 missing %s:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("E19 verdicts include FAIL:\n%s", out)
 	}
 }
 

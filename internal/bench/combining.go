@@ -41,6 +41,7 @@ func runE15(cfg Config, w io.Writer) error {
 	const k = 1024
 
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(steps)...)...)
+	defer cfg.logTable("E15 scaling", tb)
 
 	// The lock-based fallback baselines and the paper's sensitive
 	// tower, via the shared E5 implementation set.
@@ -63,6 +64,7 @@ func runE15(cfg Config, w io.Writer) error {
 	// the diagnostics table.
 	row := []interface{}{"flat-combining"}
 	diags := metrics.NewTable("procs", "fast share", "batch mean", "max batch")
+	defer cfg.logTable("E15 diagnostics", diags)
 	for _, procs := range steps {
 		s := stack.NewCombining[uint64](k, procs)
 		counts := hammer(procs, cfg.Duration, cfg.Seed, s.Push, s.Pop)
@@ -136,6 +138,7 @@ func runE15Contended(cfg Config, steps []int, w io.Writer) error {
 	}
 
 	iso := metrics.NewTable(append([]string{"contended path"}, procLabels(steps)...)...)
+	defer cfg.logTable("E15 contended isolation", iso)
 	for _, impl := range impls {
 		row := []interface{}{impl.name}
 		for _, procs := range steps {
@@ -155,6 +158,7 @@ func runE16(cfg Config, w io.Writer) error {
 	shardCounts := []int{1, 2, 4, 8}
 
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(steps)...)...)
+	defer cfg.logTable("E16 sharded scaling", tb)
 
 	// Single-queue baseline: the Figure 3 sensitive queue.
 	row := []interface{}{"cont-sensitive"}
@@ -168,6 +172,7 @@ func runE16(cfg Config, w io.Writer) error {
 	// K shards; K=1 is the plain flat-combining queue, the degenerate
 	// stripe that keeps global FIFO order.
 	rates := metrics.NewTable("shards", "procs", "steals/op", "spills/op")
+	defer cfg.logTable("E16 steal rates", rates)
 	for _, shards := range shardCounts {
 		row := []interface{}{"sharded K=" + itoa(shards)}
 		for _, procs := range steps {

@@ -39,6 +39,7 @@ func init() {
 func runE1(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("backend", "operation", "reads", "writes", "cas", "total", "paper", "lock taken")
+	defer cfg.logTable("E1 access counts", tb)
 
 	type probe struct {
 		backend string
@@ -147,6 +148,7 @@ func runE1(cfg Config, w io.Writer) error {
 func runE2(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("backend", "method", "ops", "aborts", "verdict")
+	defer cfg.logTable("E2 solo aborts", tb)
 
 	// Exhaustive half: every schedule of a solo process (there is
 	// exactly one) across the full/empty boundaries.
@@ -212,6 +214,7 @@ func runE2(cfg Config, w io.Writer) error {
 func runE8(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("backend", "schedule", "outcome", "verdict")
+	defer cfg.logTable("E8 ABA outcomes", tb)
 
 	// Deterministic half: the handcrafted §2.2 interleaving.
 	for _, backend := range []sched.StackBackend{sched.NaiveABA, sched.Boxed, sched.PackedWords} {

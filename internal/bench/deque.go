@@ -62,6 +62,7 @@ func runE14(cfg Config, w io.Writer) error {
 		}},
 	}
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	defer cfg.logTable("E14 deque scaling", tb)
 	for _, im := range impls {
 		row := []interface{}{im.name}
 		for _, procs := range procSteps(cfg.Procs) {
@@ -153,6 +154,7 @@ func runE14(cfg Config, w io.Writer) error {
 	}()
 	wg.Wait()
 	tb2 := metrics.NewTable("pattern", "ops/side", "cross-end abort rate")
+	defer cfg.logTable("E14 cross-end aborts", tb2)
 	tb2.AddRow("left vs right on half-full deque", side, float64(aborts.Load())/float64(2*side))
 	if err := fprintf(w, "%s\n", tb2.String()); err != nil {
 		return err
@@ -221,6 +223,7 @@ func runE14(cfg Config, w io.Writer) error {
 		verdict = "VIOLATION"
 	}
 	tb3 := metrics.NewTable("implementation", "ops checked", "search states", "verdict")
+	defer cfg.logTable("E14 linearizability", tb3)
 	tb3.AddRow("deque/sensitive", len(h), res.States, verdict)
 	if err := fprintf(w, "%s", tb3.String()); err != nil {
 		return err

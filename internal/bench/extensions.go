@@ -31,6 +31,7 @@ func runE12(cfg Config, w io.Writer) error {
 	// Solo cost, for growing n: the defining property is that the
 	// count is 7 regardless of n.
 	tb := metrics.NewTable("n", "entry accesses", "entry+exit", "paper", "verdict")
+	defer cfg.logTable("E12 entry cost", tb)
 	for _, n := range []int{1, 2, 8, 64, 512} {
 		var st memory.Stats
 		l := lock.NewFastMutexObserved(n, &st)
@@ -56,6 +57,7 @@ func runE12(cfg Config, w io.Writer) error {
 	// contention grows (the paper: "depends on the number of
 	// processes and the actual concurrency pattern").
 	tb2 := metrics.NewTable("procs", "sections", "mean accesses/section")
+	defer cfg.logTable("E12 sections", tb2)
 	for _, procs := range procSteps(cfg.Procs) {
 		var st memory.Stats
 		l := lock.NewFastMutexObserved(procs, &st)
@@ -77,6 +79,7 @@ func runE12(cfg Config, w io.Writer) error {
 func runE13(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("backend", "crash point (accesses into weak_push)", "survivor ops", "verdict")
+	defer cfg.logTable("E13 crash survival", tb)
 	survivor := []sched.StackOp{
 		{Push: true, Value: 100},
 		{Push: false},

@@ -30,6 +30,7 @@ func runE4(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	procs := cfg.Procs
 	tb := metrics.NewTable("configuration", "total ops", "min/proc", "max/proc", "jain")
+	defer cfg.logTable("E4 fairness", tb)
 
 	type variant struct {
 		name string
@@ -70,6 +71,7 @@ func runE10(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	procs := cfg.Procs
 	tb := metrics.NewTable("lock", "liveness", "sections/s", "min/proc", "max/proc", "jain", "longest dry spell")
+	defer cfg.logTable("E10 lock liveness", tb)
 
 	type variant struct {
 		name string

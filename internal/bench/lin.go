@@ -238,6 +238,13 @@ func SetLinTargets() []SetLinTarget {
 			s := set.NewHarris(procs)
 			return strongSetDriver(s), nil
 		}},
+		// The hash target starts at hashInitialBuckets, and RunSetLin's
+		// 8-key range over the 2-bucket fresh table keeps every lazy
+		// split and sentinel adoption inside the recorded histories.
+		{"set/hashset", func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := set.NewHash(procs)
+			return strongSetDriver(s), nil
+		}},
 		{"set/combining", func(procs int) (func(int, int, uint64) (bool, error), error) {
 			s := set.NewCombining(procs)
 			return strongSetDriver(s), nil
@@ -352,6 +359,7 @@ func runE11(cfg Config, w io.Writer) error {
 		rounds = 15
 	}
 	tb := metrics.NewTable("implementation", "ops checked", "aborts dropped", "search states", "verdict")
+	defer cfg.logTable("E11 linearizability", tb)
 	// row adds one target's result and reports a hard violation.
 	row := func(name string, ops, aborts int, res lin.Result) error {
 		verdict := "linearizable"

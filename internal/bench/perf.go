@@ -52,6 +52,7 @@ func init() {
 func runE3(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("procs", "ops/s", "aborts/op", "min window ops", "windows")
+	defer cfg.logTable("E3 contention windows", tb)
 	for _, procs := range procSteps(cfg.Procs) {
 		s := stack.NewNonBlocking[uint64](4) // tiny stack maximizes interference
 		var stop atomic.Bool
@@ -110,6 +111,7 @@ func runE5(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	const k = 1024
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	defer cfg.logTable("E5 stack scaling", tb)
 	for _, impl := range stackImpls() {
 		row := []interface{}{impl.name}
 		for _, procs := range procSteps(cfg.Procs) {
@@ -164,6 +166,7 @@ func runE6(cfg Config, w io.Writer) error {
 	}
 	phases := workload.SoloThenStorm(cfg.Procs, opsPerPhase)
 	tb := metrics.NewTable("impl", "phase", "procs", "accesses/op", "mean latency", "p99")
+	defer cfg.logTable("E6 latency phases", tb)
 
 	type cfgRow struct {
 		name  string
@@ -240,6 +243,7 @@ func phaseName(i int) string {
 func runE7(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	tb := metrics.NewTable("manager", "procs", "ops/s", "aborts/op")
+	defer cfg.logTable("E7 contention managers", tb)
 	procs := cfg.Procs
 
 	// measure drives procs goroutines, each retrying weak ops through
@@ -319,6 +323,7 @@ func runE9(cfg Config, w io.Writer) error {
 		}},
 	}
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
+	defer cfg.logTable("E9 queue scaling", tb)
 	for _, impl := range impls {
 		row := []interface{}{impl.name}
 		for _, procs := range procSteps(cfg.Procs) {
@@ -404,6 +409,7 @@ func runE9(cfg Config, w io.Writer) error {
 	wg.Wait()
 
 	tb2 := metrics.NewTable("pattern", "ops/side", "abort rate")
+	defer cfg.logTable("E9 non-interference", tb2)
 	tb2.AddRow("enq vs deq (disjoint ends)", side,
 		float64(enqAborts.Load()+deqAborts.Load())/float64(2*side))
 	tb2.AddRow("enq vs enq (same end)", side,

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ResultLog collects every experiment's result rows in structured form
+// while the text tables stream to the console. cmd/contbench attaches
+// one via Config.Log when asked for -json output: the same
+// metrics.Table an experiment prints is recorded as headers+rows under
+// the experiment's id, and the driver wraps them with pass/fail and
+// timing metadata. Experiments run sequentially, but the log is
+// mutex-guarded anyway so a table emitted from a helper goroutine
+// cannot corrupt it.
+type ResultLog struct {
+	mu      sync.Mutex
+	current *ExperimentResult
+	results []ExperimentResult
+}
+
+// ExperimentResult is one experiment's structured outcome.
+type ExperimentResult struct {
+	ID         string        `json:"id"`
+	Title      string        `json:"title"`
+	Claim      string        `json:"claim"`
+	Passed     bool          `json:"passed"`
+	Error      string        `json:"error,omitempty"`
+	DurationMS float64       `json:"duration_ms"`
+	Tables     []TableResult `json:"tables"`
+}
+
+// TableResult is one metrics table in structured form. Caption names
+// the table within its experiment (most experiments emit exactly one,
+// captioned with the experiment id).
+type TableResult struct {
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Begin opens the record for one experiment; subsequent Table calls
+// attach to it until End.
+func (l *ResultLog) Begin(e Experiment) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.current = &ExperimentResult{ID: e.ID, Title: e.Title, Claim: e.Claim}
+}
+
+// Table records one emitted metrics table under the open experiment.
+// Without an open experiment (a table printed outside the driver loop)
+// the call is dropped.
+func (l *ResultLog) Table(caption string, t *metrics.Table) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.current == nil {
+		return
+	}
+	l.current.Tables = append(l.current.Tables, TableResult{
+		Caption: caption,
+		Headers: t.Headers(),
+		Rows:    t.Rows(),
+	})
+}
+
+// End closes the open experiment record with its verdict and timing.
+func (l *ResultLog) End(err error, durationMS float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.current == nil {
+		return
+	}
+	l.current.Passed = err == nil
+	if err != nil {
+		l.current.Error = err.Error()
+	}
+	l.current.DurationMS = durationMS
+	l.results = append(l.results, *l.current)
+	l.current = nil
+}
+
+// Results returns the completed experiment records.
+func (l *ResultLog) Results() []ExperimentResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ExperimentResult(nil), l.results...)
+}
+
+// logTable records tb under the caption when a ResultLog is attached;
+// every experiment defers it at table creation, so -json output
+// carries exactly the rows the console shows. Tables are identified
+// by caption — defer ordering means an experiment's Tables array is
+// not guaranteed to match its console print order.
+func (c Config) logTable(caption string, tb *metrics.Table) {
+	if c.Log != nil {
+		c.Log.Table(caption, tb)
+	}
+}

@@ -89,21 +89,22 @@ func setImpls() []setImpl {
 	}
 }
 
-// hammerSet drives procs goroutines of the given mix over keys in
-// [0, keyRange) for the duration, with per-key accounting of
-// successful adds and removes. It returns the completed-op count and
-// verifies conservation at quiescence: adds(k) - removes(k) must be 1
-// exactly when k ended in the set (a recycled-node tag mistake or a
-// lost update breaks the balance).
-func hammerSet(procs int, d time.Duration, seed uint64, keyRange int, mix workload.SetMix,
-	add, remove, contains func(pid int, k uint64) bool) (total uint64, err error) {
-	// Prefill every other key so membership checks split between hits
-	// and misses from the start.
-	for k := 0; k < keyRange; k += 2 {
+// driveSetMix prefills every other key (descending, so the insert
+// position is always the current front and prefilling stays O(1) per
+// key even on the COW backend), then drives procs goroutines of the
+// given mix over keys in [0, keyRange) for the duration with per-key
+// accounting of successful adds and removes. It returns the
+// completed-op count and the accounting arrays for the caller's
+// conservation check; at return the object is quiescent and
+// adds[k]-removes[k] ∈ {0, 1} is the invariant every verifier tests.
+// Shared by E18 and E19.
+func driveSetMix(procs int, d time.Duration, seed uint64, keyRange int, mix workload.SetMix,
+	add, remove, contains func(pid int, k uint64) bool) (total uint64, adds, removes []atomic.Int64) {
+	for k := (keyRange - 1) &^ 1; k >= 0; k -= 2 { // largest even key first, odd ranges included
 		add(0, uint64(k))
 	}
-	adds := make([]atomic.Int64, keyRange)
-	removes := make([]atomic.Int64, keyRange)
+	adds = make([]atomic.Int64, keyRange)
+	removes = make([]atomic.Int64, keyRange)
 	for k := 0; k < keyRange; k += 2 {
 		adds[k].Add(1)
 	}
@@ -141,6 +142,18 @@ func hammerSet(procs int, d time.Duration, seed uint64, keyRange int, mix worklo
 	for _, n := range counts {
 		total += n
 	}
+	return total, adds, removes
+}
+
+// hammerSet is E18's driver: driveSetMix plus conservation verified by
+// probing every key — adds(k) - removes(k) must be 1 exactly when k
+// ended in the set (a recycled-node tag mistake or a lost update
+// breaks the balance). The per-key probe is itself O(n) on the list
+// backends, which is fine at E18's ranges; E19's wider sweep verifies
+// against one snapshot walk instead.
+func hammerSet(procs int, d time.Duration, seed uint64, keyRange int, mix workload.SetMix,
+	add, remove, contains func(pid int, k uint64) bool) (total uint64, err error) {
+	total, adds, removes := driveSetMix(procs, d, seed, keyRange, mix, add, remove, contains)
 	for k := 0; k < keyRange; k++ {
 		diff := adds[k].Load() - removes[k].Load()
 		if diff != 0 && diff != 1 {
@@ -171,6 +184,7 @@ func runE18(cfg Config, w io.Writer) error {
 		fmt.Sprintf("keys=%d ops/s", smallKeys),
 		fmt.Sprintf("keys=%d ops/s", largeKeys),
 		"verdict")
+	defer cfg.logTable("E18 set throughput", tb)
 	var failed []string
 	for _, impl := range setImpls() {
 		implFailed := false

@@ -32,6 +32,21 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.rows = append(t.rows, row)
 }
 
+// Headers returns the column headers, for machine-readable export.
+func (t *Table) Headers() []string {
+	return append([]string(nil), t.headers...)
+}
+
+// Rows returns a copy of the accumulated rows (cells as rendered), for
+// machine-readable export alongside the String form.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.headers))

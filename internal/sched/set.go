@@ -56,6 +56,18 @@ func (a harrisAdapter) TryContains(pid int, k uint64) (bool, error) {
 	return a.s.Contains(pid, k), nil
 }
 
+// hashAdapter fits the split-ordered hash set to the schedSet shape;
+// like the Harris list its operations are strong.
+type hashAdapter struct{ s *set.Hash }
+
+func (a hashAdapter) TryAdd(pid int, k uint64) (bool, error) { return a.s.Add(pid, k), nil }
+func (a hashAdapter) TryRemove(pid int, k uint64) (bool, error) {
+	return a.s.Remove(pid, k), nil
+}
+func (a hashAdapter) TryContains(pid int, k uint64) (bool, error) {
+	return a.s.Contains(pid, k), nil
+}
+
 // SetBackend selects the implementation a set Builder checks.
 type SetBackend int
 
@@ -66,6 +78,10 @@ const (
 	// HarrisSet is the Harris/Michael lock-free list over pooled,
 	// tagged, markable next registers.
 	HarrisSet
+	// HashSet is the split-ordered hash layer over the same list:
+	// bucket-shortcut words plus per-bucket sentinel nodes, all on the
+	// one pool, so bucket initialization shares the recycling hazards.
+	HashSet
 )
 
 // String names the backend.
@@ -75,6 +91,8 @@ func (b SetBackend) String() string {
 		return "cow"
 	case HarrisSet:
 		return "harris"
+	case HashSet:
+		return "hash"
 	default:
 		return "unknown"
 	}
@@ -106,6 +124,8 @@ func weakSetBuilder(backend SetBackend, initial []uint64, plans [][]SetOp, forbi
 			s = pidlessSet{set.NewAbortableObserved(obs)}
 		case HarrisSet:
 			s = harrisAdapter{set.NewHarrisObserved(max(len(plans), 1), obs)}
+		case HashSet:
+			s = hashAdapter{set.NewHashObserved(max(len(plans), 1), obs)}
 		default:
 			panic("sched: unknown set backend")
 		}
@@ -232,6 +252,99 @@ func HarrisABASchedule() (Builder, []int) {
 		sched = append(sched, 1)
 	}
 	for i := 0; i < 9; i++ {
+		sched = append(sched, 0)
+	}
+	return build, sched
+}
+
+// HashSplitABASchedule returns the builder and handcrafted schedule
+// that force the recycled-sentinel ABA window on the split-ordered
+// hash set's bucket-initialization path. The set starts as {4, 6}
+// (both bucket 0 of the 2-bucket initial table); sentinel₀ → 4 → 6 in
+// split order, bucket 1 uninitialized.
+//
+// Process 0 runs Add(1): key 1 is bucket 1, so it starts the split —
+// walks to sentinel 1's window (node 6's next register, holding
+// 〈nil, t〉), prepares its own would-be sentinel node, and is preempted
+// one step before the link CAS. Process 1 then runs Remove(6) — which
+// marks and unlinks node 6 and retires its handle to p1's free list —
+// and Contains(5): key 5 is also bucket 1, so p1 re-runs the split,
+// and its pool Get hands back node 6's just-retired handle: the
+// RECYCLED handle becomes bucket 1's published sentinel, linked in
+// node 6's old position, its next register again holding a nil
+// successor — 〈nil, t+2〉.
+//
+// When p0 resumes, its stale sentinel-link CAS targets that register
+// with the old 〈nil, t〉 word. Handle part equal (nil, the very §2.2
+// shape): without the sequence tag the CAS would succeed and chain a
+// DUPLICATE bucket-1 sentinel after the real one, corrupting the
+// bucket skeleton. The tag — advanced by node 6's deletion mark and by
+// the recycled node's re-preparation — makes it fail; p0 re-finds the
+// published sentinel, adopts it, loses the (equally stale) bucket-word
+// CAS, recycles its never-published node, and inserts key 1 through
+// the adopted sentinel — reusing its own retired handle for the
+// regular node. Check asserts the history linearizes, the final set is
+// exactly {1, 4}, both recycles actually happened, and no resize
+// interfered.
+//
+// Gate counts (observed accesses are bucket-shortcut words and node
+// next registers; key loads, the table pointer, and pool traffic are
+// unobserved): a find from a start register costs 1 gate for the start
+// read plus 2 per node crossed (next read + predecessor re-read);
+// preparing a fresh node costs 2 (its next read + write). p0's prefix
+// is bucket-1 word read (1) + bucket-0 word read (1) + find over
+// nodes 4, 6 (5) + prep (2) = 9, parking it at the link CAS. p1's
+// Remove(6) is bucket-0 read (1) + find stopping at 6 (5) + mark (1)
+// + unlink (1) = 8, and its Contains(5) is bucket-1 read (1) +
+// bucket-0 read (1) + find over node 4 only (3) + prep of the recycled
+// handle (2) + link CAS (1) + bucket-word CAS (1) + the membership
+// find from the new sentinel (1) = 10 — 18 total. p0 finishes with the
+// failed stale CAS (1), the re-find that adopts the sentinel (5), the
+// failed bucket-word CAS (1), the insert find from the sentinel (1),
+// re-prep of its recycled node (2) and the winning link CAS (1) — 11.
+func HashSplitABASchedule() (Builder, []int) {
+	build := weakSetBuilder(HashSet,
+		[]uint64{4, 6},
+		[][]SetOp{
+			{{Kind: "add", Key: 1}}, // p0: triggers the bucket-1 split
+			{ // p1: retires node 6, then re-splits bucket 1 on its handle
+				{Kind: "rem", Key: 6},
+				{Kind: "has", Key: 5},
+			},
+		},
+		false,
+		func(s schedSet) error {
+			h := s.(hashAdapter).s
+			st := h.PoolStats()
+			if st.Reuses < 2 {
+				return fmt.Errorf("schedule recycled %d nodes, want >= 2 (sentinel and regular reuse)", st.Reuses)
+			}
+			if n := h.Resizes(); n != 0 {
+				return fmt.Errorf("schedule resized %d times, want 0 (gate counts assume a fixed table)", n)
+			}
+			if got, want := h.Size(), 2; got != want {
+				return fmt.Errorf("Size() = %d, want %d", got, want)
+			}
+			want := []uint64{1, 4}
+			got := h.Snapshot()
+			if len(got) != len(want) {
+				return fmt.Errorf("final set %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("final set %v, want %v", got, want)
+				}
+			}
+			return nil
+		})
+	sched := make([]int, 0, 38)
+	for i := 0; i < 9; i++ {
+		sched = append(sched, 0)
+	}
+	for i := 0; i < 18; i++ {
+		sched = append(sched, 1)
+	}
+	for i := 0; i < 11; i++ {
 		sched = append(sched, 0)
 	}
 	return build, sched

@@ -19,6 +19,26 @@ func TestHarrisABAScheduleReplays(t *testing.T) {
 	}
 }
 
+// TestHashSplitABAScheduleReplays verifies the split-ordered hash
+// set's bucket-initialization ABA window deterministically: a node
+// retired by Remove comes back at the same handle as the bucket's
+// published sentinel while a slow splitter still holds the register's
+// old word; handle parts are equal (both nil successors), so only the
+// sequence tag makes the stale link CAS fail — without it a duplicate
+// sentinel would corrupt the bucket skeleton. The builder checks
+// linearizability, the final contents, and that both recycles (the
+// sentinel's and the loser's never-published node) actually happened.
+func TestHashSplitABAScheduleReplays(t *testing.T) {
+	build, schedule := HashSplitABASchedule()
+	trace, err := Replay(build, schedule, 0)
+	if err != nil {
+		t.Fatalf("hash split ABA schedule failed: %v (trace %v)", err, trace)
+	}
+	if len(trace) != len(schedule) {
+		t.Fatalf("trace has %d steps, schedule %d (gate-count drift)", len(trace), len(schedule))
+	}
+}
+
 // TestSetSoloNeverAborts extends the E2 obligation to the set tier:
 // exhaustive solo schedules over add/remove/contains — duplicate adds
 // and absent removes included — must never abort.
@@ -28,7 +48,7 @@ func TestSetSoloNeverAborts(t *testing.T) {
 		{Kind: "has", Key: 3}, {Kind: "rem", Key: 5}, {Kind: "has", Key: 5},
 		{Kind: "rem", Key: 5}, {Kind: "rem", Key: 3},
 	}
-	for _, backend := range []SetBackend{CowSet, HarrisSet} {
+	for _, backend := range []SetBackend{CowSet, HarrisSet, HashSet} {
 		rep := Explore(SoloSetNeverAborts(backend, nil, plan), Options{})
 		if rep.Failure != nil {
 			t.Fatalf("%v: %v", backend, rep.Failure.Err)
@@ -79,9 +99,30 @@ func TestHarrisRandomWalks(t *testing.T) {
 	}
 }
 
+// TestHashRandomWalks walks the split-ordered hash set under a plan
+// that mixes same-bucket contention (keys 1, 3, 5 all live in bucket 1
+// of the initial 2-bucket table, so splits, adoptions and window CASes
+// collide) with cross-bucket traffic and recycling.
+func TestHashRandomWalks(t *testing.T) {
+	runs := 300
+	if testing.Short() {
+		runs = 60
+	}
+	build := WeakSetBuilder(HashSet, []uint64{4, 6},
+		[][]SetOp{
+			{{Kind: "add", Key: 1}, {Kind: "rem", Key: 6}, {Kind: "has", Key: 3}},
+			{{Kind: "add", Key: 3}, {Kind: "rem", Key: 1}, {Kind: "add", Key: 5}},
+		})
+	rep := Walk(build, runs, 0x5b117, Options{})
+	if rep.Failure != nil {
+		t.Fatalf("hash set violated linearizability: %v (schedule %v)",
+			rep.Failure.Err, rep.Failure.Schedule)
+	}
+}
+
 func TestSetBackendNames(t *testing.T) {
 	for b, want := range map[SetBackend]string{
-		CowSet: "cow", HarrisSet: "harris",
+		CowSet: "cow", HarrisSet: "harris", HashSet: "hash",
 	} {
 		if got := b.String(); got != want {
 			t.Fatalf("SetBackend(%d).String() = %q, want %q", b, got, want)

@@ -135,6 +135,61 @@ func TestCombiningContendedAccounting(t *testing.T) {
 		s.AddContended, s.RemoveContended, s.ContainsContended)
 }
 
+func TestHashAccounting(t *testing.T) {
+	const procs = 4
+	s := NewHash(procs)
+	// Key range 256 forces several table doublings mid-stress, so the
+	// conservation invariant also vets operations racing a publish
+	// (stale-mask walks, lost shortcut caches).
+	accounted(t, procs, stressN(6000), 256, s.Add, s.Remove, s.Contains)
+	if st := s.PoolStats(); st.Reuses == 0 {
+		t.Fatal("stress run never recycled a node")
+	}
+	if s.Resizes() == 0 {
+		t.Fatalf("stress over 256 keys never resized (buckets %d)", s.Buckets())
+	}
+}
+
+// TestHashSingleBucketWar concentrates every process on keys of one
+// bucket (stride = a large power of two, so all keys share low bits):
+// maximal split-chain contention plus recycle pressure on one window.
+func TestHashSingleBucketWar(t *testing.T) {
+	const procs = 4
+	s := NewHash(procs)
+	perProc := stressN(4000)
+	var wg sync.WaitGroup
+	adds := make([]int64, procs)
+	removes := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(pid)*0xb1c + 7)
+			for i := 0; i < perProc; i++ {
+				k := uint64(rng.Intn(4)) << 40 // same bucket at every realistic mask
+				if rng.Intn(2) == 0 {
+					if s.Add(pid, k) {
+						adds[pid]++
+					}
+				} else if s.Remove(pid, k) {
+					removes[pid]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	var a, r int64
+	for p := 0; p < procs; p++ {
+		a, r = a+adds[p], r+removes[p]
+	}
+	if got := int64(s.Len()); a-r != got {
+		t.Fatalf("adds %d - removes %d = %d, but %d keys resident", a, r, a-r, got)
+	}
+	if got, want := s.Len(), s.Size(); got != want {
+		t.Fatalf("Len() = %d disagrees with Size() = %d at quiescence", got, want)
+	}
+}
+
 // TestHarrisSingleKeyWar pits every process against ONE key — the
 // densest possible recycle-and-relink pressure on a single window:
 // each successful add hands the node to a remover, whose free list

@@ -26,7 +26,15 @@
 //     node recycling makes §2.2's ABA real on every next register and
 //     the tags are load-bearing, as in the allocation tier.
 //
-// Experiment E18 measures the tier across read ratios and key ranges;
-// sched.HarrisABASchedule replays the recycled-node ABA window
-// deterministically.
+// Both lists pay per-operation work that grows with the resident key
+// count. Hash is the exit: the split-ordered hash layer (Shalev &
+// Shavit, J.ACM 2006) over the same Harris engine — one list in
+// bit-reversed key order, a lazily split, CAS-doubled bucket array of
+// sentinel shortcuts into it — bringing Add/Remove/Contains to O(1)
+// expected while reusing the mark/unlink, tag-validation and
+// recycling disciplines unchanged (keys < 2^63; one reserved bit).
+//
+// Experiments E18/E19 measure the tier across read ratios and key
+// ranges; sched.HarrisABASchedule and sched.HashSplitABASchedule
+// replay the recycled-node ABA windows deterministically.
 package set

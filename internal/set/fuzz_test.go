@@ -10,9 +10,11 @@ import (
 // and cross-checks every set backend against spec.Set on each answer.
 // Byte 2i selects the op (mod 3: add, remove, contains); byte 2i+1 is
 // the key (a small range, so duplicate adds, absent removes and
-// membership flips all occur). The Harris backend runs with a
-// single-pid pool, so every remove's node returns on the very next add
-// — maximum same-handle reuse pressure on the next-register tags.
+// membership flips all occur). The Harris and split-ordered hash
+// backends run with single-pid pools, so every remove's node returns
+// on the very next add — maximum same-handle reuse pressure on the
+// next-register tags (for the hash backend that includes handles that
+// once carried bucket sentinels' would-be nodes).
 func FuzzSetBackendsAgree(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 2, 1})
 	f.Add([]byte{0, 5, 0, 3, 1, 5, 0, 4, 1, 3, 2, 4})
@@ -45,6 +47,60 @@ func FuzzSetBackendsAgree(f *testing.F) {
 					t.Fatalf("op %d: %s disagrees with spec on key %d: got %v want %v",
 						i, be.name, k, got, want)
 				}
+			}
+		}
+	})
+}
+
+// FuzzHashVsSpec runs the split-ordered hash set in lockstep with
+// spec.Set across table resizes: byte 2i picks the op, byte 2i+1 the
+// key over a 256-key range — wide enough that a long input crosses
+// several doublings (the load threshold is hashMaxLoad per bucket
+// starting from hashInitialBuckets buckets), so answers are checked on
+// both sides of every publish, through lazy bucket splits and adopted
+// sentinels. The final Snapshot/Size must match the reference exactly.
+func FuzzHashVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 2, 1})
+	seed := make([]byte, 0, 128)
+	for i := byte(0); i < 64; i++ { // forces at least one resize
+		seed = append(seed, 0, i)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewHash(1)
+		ref := spec.NewSet()
+		for i := 0; i+1 < len(data); i += 2 {
+			k := uint64(data[i+1])
+			var got, want bool
+			switch data[i] % 3 {
+			case 0:
+				got, want = s.Add(0, k), ref.Add(k)
+			case 1:
+				got, want = s.Remove(0, k), ref.Remove(k)
+			default:
+				got, want = s.Contains(0, k), ref.Contains(k)
+			}
+			if got != want {
+				t.Fatalf("op %d key %d: hash %v, spec %v (buckets %d, resizes %d)",
+					i, k, got, want, s.Buckets(), s.Resizes())
+			}
+		}
+		if got, want := s.Size(), ref.Len(); got != want {
+			t.Fatalf("Size() = %d, spec %d", got, want)
+		}
+		// Bidirectional final-state check: same length and strictly
+		// ascending makes snapshot ⊆ spec imply snapshot == spec (a
+		// duplicated key plus a dropped one cannot cancel out).
+		snap := s.Snapshot()
+		if got, want := len(snap), ref.Len(); got != want {
+			t.Fatalf("Snapshot has %d keys, spec %d", got, want)
+		}
+		for i, k := range snap {
+			if i > 0 && snap[i-1] >= k {
+				t.Fatalf("Snapshot not strictly ascending at %d: %v", i, snap[i-1:i+1])
+			}
+			if !ref.Contains(k) {
+				t.Fatalf("Snapshot holds %d, spec does not", k)
 			}
 		}
 	})

@@ -21,6 +21,142 @@ type hmNode struct {
 	next memory.TaggedRef[hmNode]
 }
 
+// list is the Harris/Michael engine shared by the plain sorted list
+// (Harris) and the split-ordered hash set (Hash): the find / insert /
+// delete / search window primitives over one pool of recycled nodes,
+// parameterized by the register the traversal starts from. Harris
+// always starts at its head register; Hash starts at a bucket
+// sentinel's next register, which is what turns the O(n) walk into an
+// O(1) expected one — the primitives themselves are identical, so the
+// mark/unlink, tag-validation, and recycling disciplines are written
+// (and model-checked) exactly once.
+type list struct {
+	pool *memory.Pool[hmNode]
+	obs  memory.Observer
+}
+
+// newList returns the shared engine for procs processes (pids in
+// [0, procs)), reporting node next-register accesses to obs (nil
+// disables instrumentation).
+func newList(procs int, obs memory.Observer) *list {
+	l := &list{obs: obs}
+	l.pool = memory.NewPool[hmNode](procs, func(n *hmNode) {
+		// Fresh arena records only: recycled nodes keep their
+		// accumulated next tag (monotonic across lives, like the pooled
+		// Michael-Scott queue's counted pointers).
+		n.next.Init(l.pool, memory.PackTagged(memory.NilHandle, 0), obs)
+	})
+	return l
+}
+
+// find walks from the start register to k's window. It returns the
+// register holding the window (start itself or a node's next
+// register), that register's word predW — whose handle is the first
+// node with key >= k, or nil — the current content currW of that
+// node's next register (meaningful only when such a node exists), and
+// whether the node's key equals k. Marked nodes met on the way are
+// unlinked (and retired to pid's free list when this process's unlink
+// CAS wins). start must be a register that k's node can only ever
+// appear after (the list head, or a bucket sentinel's next register
+// for a key belonging to that bucket): a failed validation restarts
+// from start, not from any global head.
+//
+// The verdict linearizes at the last validation read: at that instant
+// pred's register still held predW, so the chain up to and including
+// the current node was intact and the key read belongs to this life of
+// the node.
+func (l *list) find(pid int, start *memory.TaggedRef[hmNode], k uint64) (pred *memory.TaggedRef[hmNode], predW, currW memory.TaggedVal, found bool) {
+restart:
+	for {
+		pred = start
+		predW = pred.Read()
+		for {
+			curr := predW.Handle()
+			if curr == memory.NilHandle {
+				return pred, predW, 0, false
+			}
+			cn := l.pool.At(curr)
+			currW = cn.next.Read()
+			ckey := cn.key.Load()
+			if pred.Read() != predW {
+				continue restart // pred moved: curr may be another life
+			}
+			if currW.Marked() {
+				// curr is logically deleted: unlink it from pred. A
+				// marked node's next register is frozen (every CAS on
+				// it expects an unmarked word), so its successor is
+				// stable until the node is recycled — and recycling
+				// waits for this unlink.
+				unlinked := predW.Next(currW.Handle())
+				if !pred.CAS(predW, unlinked) {
+					continue restart
+				}
+				l.pool.Put(pid, curr)
+				predW = unlinked
+				continue
+			}
+			if ckey >= k {
+				return pred, predW, currW, ckey == k
+			}
+			pred, predW = &cn.next, currW
+		}
+	}
+}
+
+// insert adds a node with key k into the window found from start; it
+// reports whether k was newly inserted. Lock-free: a failed link CAS
+// means some concurrent update succeeded.
+func (l *list) insert(pid int, start *memory.TaggedRef[hmNode], k uint64) bool {
+	for {
+		pred, predW, _, found := l.find(pid, start, k)
+		if found {
+			return false
+		}
+		h := l.pool.Get(pid)
+		n := l.pool.At(h)
+		n.key.Store(k)
+		// The node is private until the link CAS below publishes it;
+		// advancing the next word off the register's current content
+		// keeps the tag monotonic across the node's lives, so a stale
+		// CAS from a previous life can never match.
+		n.next.Write(n.next.Read().Next(predW.Handle()))
+		if pred.CAS(predW, predW.Next(h)) {
+			return true
+		}
+		l.pool.Put(pid, h) // never published: safe to recycle directly
+	}
+}
+
+// delete removes k's node from the window found from start; it reports
+// whether k was present. The two-step Harris discipline: mark the
+// victim's next word (the linearization point), then unlink it —
+// leaving the unlink to a later traversal if the CAS is lost.
+func (l *list) delete(pid int, start *memory.TaggedRef[hmNode], k uint64) bool {
+	for {
+		pred, predW, currW, found := l.find(pid, start, k)
+		if !found {
+			return false
+		}
+		curr := predW.Handle()
+		cn := l.pool.At(curr)
+		if !cn.next.CAS(currW, currW.Next(currW.Handle()).WithMark()) {
+			continue // curr changed under us: retry the whole window
+		}
+		if pred.CAS(predW, predW.Next(currW.Handle())) {
+			l.pool.Put(pid, curr) // this process unlinked it: retire
+		}
+		return true
+	}
+}
+
+// search reports whether k is reachable from start. It shares find's
+// validated traversal (including the helping unlinks), so it is
+// lock-free rather than wait-free.
+func (l *list) search(pid int, start *memory.TaggedRef[hmNode], k uint64) bool {
+	_, _, _, found := l.find(pid, start, k)
+	return found
+}
+
 // Harris is the lock-free sorted linked-list set (Harris, DISC 2001,
 // in Michael's SPAA 2002 tagged-pointer formulation, which is the one
 // compatible with free-list node recycling) over a memory.Pool arena.
@@ -43,10 +179,12 @@ type hmNode struct {
 // update in parallel; the price is that Contains shares find's
 // validated (hence restartable) traversal, so it is lock-free rather
 // than wait-free. Operations take the calling pid for the pool's
-// per-pid free lists.
+// per-pid free lists. Every operation walks the whole prefix before
+// its key — O(n) per operation; Hash is the same engine behind a
+// split-ordered bucket index, at O(1) expected.
 type Harris struct {
+	l    *list
 	head *memory.TaggedRef[hmNode]
-	pool *memory.Pool[hmNode]
 }
 
 // NewHarris returns an empty lock-free set for procs processes (pids
@@ -60,121 +198,29 @@ func NewHarris(procs int) *Harris {
 // instrumentation). Key loads and pool traffic are arena-private and
 // not observed.
 func NewHarrisObserved(procs int, obs memory.Observer) *Harris {
-	var pool *memory.Pool[hmNode]
-	pool = memory.NewPool[hmNode](procs, func(n *hmNode) {
-		// Fresh arena records only: recycled nodes keep their
-		// accumulated next tag (monotonic across lives, like the pooled
-		// Michael-Scott queue's counted pointers).
-		n.next.Init(pool, memory.PackTagged(memory.NilHandle, 0), obs)
-	})
+	l := newList(procs, obs)
 	return &Harris{
-		head: memory.NewTaggedRefObserved(pool, memory.PackTagged(memory.NilHandle, 0), obs),
-		pool: pool,
-	}
-}
-
-// find walks to k's window. It returns the register holding the window
-// (the head register or a node's next register), that register's word
-// predW — whose handle is the first node with key >= k, or nil — the
-// current content currW of that node's next register (meaningful only
-// when such a node exists), and whether the node's key equals k.
-// Marked nodes met on the way are unlinked (and retired to pid's free
-// list when this process's unlink CAS wins).
-//
-// The verdict linearizes at the last validation read: at that instant
-// pred's register still held predW, so the chain up to and including
-// the current node was intact and the key read belongs to this life of
-// the node.
-func (s *Harris) find(pid int, k uint64) (pred *memory.TaggedRef[hmNode], predW, currW memory.TaggedVal, found bool) {
-restart:
-	for {
-		pred = s.head
-		predW = pred.Read()
-		for {
-			curr := predW.Handle()
-			if curr == memory.NilHandle {
-				return pred, predW, 0, false
-			}
-			cn := s.pool.At(curr)
-			currW = cn.next.Read()
-			ckey := cn.key.Load()
-			if pred.Read() != predW {
-				continue restart // pred moved: curr may be another life
-			}
-			if currW.Marked() {
-				// curr is logically deleted: unlink it from pred. A
-				// marked node's next register is frozen (every CAS on
-				// it expects an unmarked word), so its successor is
-				// stable until the node is recycled — and recycling
-				// waits for this unlink.
-				unlinked := predW.Next(currW.Handle())
-				if !pred.CAS(predW, unlinked) {
-					continue restart
-				}
-				s.pool.Put(pid, curr)
-				predW = unlinked
-				continue
-			}
-			if ckey >= k {
-				return pred, predW, currW, ckey == k
-			}
-			pred, predW = &cn.next, currW
-		}
+		l:    l,
+		head: memory.NewTaggedRefObserved(l.pool, memory.PackTagged(memory.NilHandle, 0), obs),
 	}
 }
 
 // Add inserts k on behalf of pid; it reports whether k was newly
-// inserted. Lock-free: a failed link CAS means some concurrent update
-// succeeded.
+// inserted.
 func (s *Harris) Add(pid int, k uint64) bool {
-	for {
-		pred, predW, _, found := s.find(pid, k)
-		if found {
-			return false
-		}
-		h := s.pool.Get(pid)
-		n := s.pool.At(h)
-		n.key.Store(k)
-		// The node is private until the link CAS below publishes it;
-		// advancing the next word off the register's current content
-		// keeps the tag monotonic across the node's lives, so a stale
-		// CAS from a previous life can never match.
-		n.next.Write(n.next.Read().Next(predW.Handle()))
-		if pred.CAS(predW, predW.Next(h)) {
-			return true
-		}
-		s.pool.Put(pid, h) // never published: safe to recycle directly
-	}
+	return s.l.insert(pid, s.head, k)
 }
 
 // Remove deletes k on behalf of pid; it reports whether k was present.
-// The two-step Harris discipline: mark the victim's next word (the
-// linearization point), then unlink it — leaving the unlink to a later
-// traversal if the CAS is lost.
 func (s *Harris) Remove(pid int, k uint64) bool {
-	for {
-		pred, predW, currW, found := s.find(pid, k)
-		if !found {
-			return false
-		}
-		curr := predW.Handle()
-		cn := s.pool.At(curr)
-		if !cn.next.CAS(currW, currW.Next(currW.Handle()).WithMark()) {
-			continue // curr changed under us: retry the whole window
-		}
-		if pred.CAS(predW, predW.Next(currW.Handle())) {
-			s.pool.Put(pid, curr) // this process unlinked it: retire
-		}
-		return true
-	}
+	return s.l.delete(pid, s.head, k)
 }
 
 // Contains reports membership of k on behalf of pid. It shares find's
 // validated traversal (including the helping unlinks), so it is
 // lock-free; see Abortable for the wait-free alternative.
 func (s *Harris) Contains(pid int, k uint64) bool {
-	_, _, _, found := s.find(pid, k)
-	return found
+	return s.l.search(pid, s.head, k)
 }
 
 // Len returns the number of unmarked keys; quiescent states only.
@@ -186,7 +232,7 @@ func (s *Harris) Snapshot() []uint64 {
 	var out []uint64
 	w := s.head.Read()
 	for w.Handle() != memory.NilHandle {
-		n := s.pool.At(w.Handle())
+		n := s.l.pool.At(w.Handle())
 		nw := n.next.Read()
 		if !nw.Marked() {
 			out = append(out, n.key.Load())
@@ -197,7 +243,7 @@ func (s *Harris) Snapshot() []uint64 {
 }
 
 // PoolStats exposes the node pool's recycling counters.
-func (s *Harris) PoolStats() memory.PoolStats { return s.pool.Stats() }
+func (s *Harris) PoolStats() memory.PoolStats { return s.l.pool.Stats() }
 
 // Progress reports NonBlocking (lock-freedom).
 func (s *Harris) Progress() core.Progress { return core.NonBlocking }

@@ -1,0 +1,187 @@
+package set
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// TestSplitOrderKeys pins the sort-key encoding: sentinels even,
+// regulars odd, bijective, and every bucket's sentinel strictly before
+// every key of that bucket at any power-of-two table size.
+func TestSplitOrderKeys(t *testing.T) {
+	for _, k := range []uint64{0, 1, 2, 3, 6, 255, 1 << 40, hashMaxKey} {
+		sk := regularSkey(k)
+		if sk&1 != 1 {
+			t.Fatalf("regularSkey(%d) = %#x, want odd", k, sk)
+		}
+		if got := keyOfSkey(sk); got != k {
+			t.Fatalf("keyOfSkey(regularSkey(%d)) = %d", k, got)
+		}
+	}
+	for mask := uint64(1); mask <= 15; mask = mask<<1 | 1 {
+		for k := uint64(0); k < 64; k++ {
+			b := k & mask
+			if sentinelSkey(b)&1 != 0 {
+				t.Fatalf("sentinelSkey(%d) odd", b)
+			}
+			if sentinelSkey(b) >= regularSkey(k) {
+				t.Fatalf("mask %d: sentinel %d (%#x) not before key %d (%#x)",
+					mask, b, sentinelSkey(b), k, regularSkey(k))
+			}
+			// No foreign bucket's sentinel falls between b's sentinel
+			// and k: k's walk from its sentinel crosses only its own
+			// bucket (plus child sentinels of that bucket).
+			for o := uint64(0); o <= mask; o++ {
+				if o != b && sentinelSkey(o) > sentinelSkey(b) && sentinelSkey(o) < regularSkey(k) {
+					t.Fatalf("mask %d: sentinel %d inside bucket %d's run before key %d", mask, o, b, k)
+				}
+			}
+		}
+	}
+}
+
+// TestHashKeyRangePanics checks the reserved-bit boundary.
+func TestHashKeyRangePanics(t *testing.T) {
+	s := NewHash(1)
+	if !s.Add(0, hashMaxKey) {
+		t.Fatal("Add(2^63-1) = false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(2^63) did not panic")
+		}
+	}()
+	s.Add(0, 1<<63)
+}
+
+// TestHashSoloVsSpec drives the hash set through a seeded solo stream
+// wide enough to force several table doublings and cross-checks every
+// answer against the sequential reference.
+func TestHashSoloVsSpec(t *testing.T) {
+	s := NewHash(1)
+	ref := spec.NewSet()
+	rng := workload.NewRNG(0xba5e)
+	for i := 0; i < 6000; i++ {
+		k := uint64(rng.Intn(512))
+		var got, want bool
+		switch rng.Intn(3) {
+		case 0:
+			got, want = s.Add(0, k), ref.Add(k)
+		case 1:
+			got, want = s.Remove(0, k), ref.Remove(k)
+		default:
+			got, want = s.Contains(0, k), ref.Contains(k)
+		}
+		if got != want {
+			t.Fatalf("op %d key %d: hash %v, spec %v", i, k, got, want)
+		}
+	}
+	if s.Resizes() == 0 {
+		t.Fatalf("512-key stream never resized (buckets %d)", s.Buckets())
+	}
+	if got, want := s.Size(), ref.Len(); got != want {
+		t.Fatalf("Size() = %d, spec %d", got, want)
+	}
+	if got, want := s.Len(), ref.Len(); got != want {
+		t.Fatalf("Len() = %d, spec %d", got, want)
+	}
+	snap := s.Snapshot()
+	for i, k := range snap {
+		if i > 0 && snap[i-1] >= k {
+			t.Fatalf("Snapshot not ascending at %d: %v", i, snap[i:])
+		}
+		if !ref.Contains(k) {
+			t.Fatalf("Snapshot holds %d, spec does not", k)
+		}
+	}
+}
+
+// TestHashGrowth checks the doubling trigger and that growth preserves
+// contents: every key stays reachable across every resize, including
+// through stale-table windows (operations racing the publish).
+func TestHashGrowth(t *testing.T) {
+	s := NewHash(1)
+	if s.Buckets() != hashInitialBuckets {
+		t.Fatalf("fresh table has %d buckets, want %d", s.Buckets(), hashInitialBuckets)
+	}
+	const n = 1 << 10
+	for k := uint64(0); k < n; k++ {
+		if !s.Add(0, k) {
+			t.Fatalf("Add(%d) = false", k)
+		}
+	}
+	if s.Buckets() < n/(2*hashMaxLoad) {
+		t.Fatalf("after %d adds: %d buckets (load %d) — doubling never kept up",
+			n, s.Buckets(), hashMaxLoad)
+	}
+	if s.Resizes() == 0 {
+		t.Fatal("no resize recorded")
+	}
+	for k := uint64(0); k < n; k++ {
+		if !s.Contains(0, k) {
+			t.Fatalf("key %d lost across resizes", k)
+		}
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if !s.Remove(0, k) {
+			t.Fatalf("Remove(%d) = false", k)
+		}
+	}
+	if got := s.Size(); got != n/2 {
+		t.Fatalf("Size() = %d after removing half, want %d", got, n/2)
+	}
+	if got := s.Len(); got != n/2 {
+		t.Fatalf("Len() = %d after removing half, want %d", got, n/2)
+	}
+}
+
+// TestHashRecyclesNodes checks that the hash layer inherits the pool
+// discipline: removed nodes come back through the per-pid free lists.
+func TestHashRecyclesNodes(t *testing.T) {
+	s := NewHash(1)
+	for i := 0; i < 200; i++ {
+		k := uint64(i % 8)
+		s.Add(0, k)
+		s.Remove(0, k)
+	}
+	if st := s.PoolStats(); st.Reuses == 0 {
+		t.Fatal("churn never recycled a node")
+	}
+}
+
+// TestHashWalkFlat measures the structural point of split ordering: a
+// membership walk from the bucket sentinel touches O(load factor)
+// nodes regardless of the resident population, where the plain list
+// walks O(n). Counted via the observer (next-register reads only grow
+// with chain length).
+func TestHashWalkFlat(t *testing.T) {
+	costOf := func(n uint64) uint64 {
+		var st obsCounter
+		s := NewHashObserved(1, &st)
+		for k := uint64(0); k < n; k++ {
+			s.Add(0, k)
+		}
+		st.n = 0
+		const probes = 64
+		for k := uint64(0); k < probes; k++ {
+			s.Contains(0, k*(n/probes))
+		}
+		return st.n / probes
+	}
+	small, large := costOf(1<<8), costOf(1<<14)
+	// 64× the keys should not cost anywhere near 64× the accesses;
+	// allow generous constant-factor noise (lazy child sentinels etc.).
+	if large > 4*small {
+		t.Fatalf("per-Contains access cost grew %d → %d across a 64× population (not O(1))",
+			small, large)
+	}
+}
+
+// obsCounter counts observed shared accesses without gating them
+// (solo use only; the bench/sched observers are the concurrent ones).
+type obsCounter struct{ n uint64 }
+
+func (o *obsCounter) OnAccess(memory.Kind) { o.n++ }

@@ -21,6 +21,7 @@ func backends(procs int) []struct {
 	sn := NewSensitive(procs)
 	hr := NewHarris(procs)
 	cb := NewCombining(procs)
+	hs := NewHash(procs)
 	return []struct {
 		name     string
 		add      func(pid int, k uint64) bool
@@ -34,6 +35,7 @@ func backends(procs int) []struct {
 		{"sensitive", sn.Add, sn.Remove, sn.Contains},
 		{"harris", hr.Add, hr.Remove, hr.Contains},
 		{"combining", cb.Add, cb.Remove, cb.Contains},
+		{"hash", hs.Add, hs.Remove, hs.Contains},
 	}
 }
 

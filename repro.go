@@ -35,6 +35,11 @@
 //     workload (experiment E18). Contains is wait-free on the
 //     copy-on-write backends; LockFreeSet is the Harris/Michael list
 //     over recycled tagged nodes.
+//   - HashSet — the split-ordered (Shalev-Shavit) hash layer over the
+//     same pooled lock-free list: O(1) expected Add/Remove/Contains
+//     whatever the key range, with CAS-published table doubling and
+//     per-bucket sentinel shortcuts (experiment E19). Keys must be
+//     < 2^63 (one reserved bit).
 //
 // Strong operations take a pid in [0, n): the paper's model of n
 // known asynchronous processes. Give each goroutine that touches one
@@ -283,6 +288,14 @@ type LockFreeSet = set.Harris
 // NewCombiningSet.
 type CombiningSet = set.Combining
 
+// HashSet is the split-ordered hash set: the same pooled Harris list
+// as LockFreeSet behind a lazily split, CAS-doubled bucket index, so
+// operations touch O(1) expected nodes instead of walking the whole
+// sorted prefix. Lock-free; keys must be < 2^63 (one bit is reserved
+// to keep bucket sentinels and regular keys apart in split order).
+// Use NewHashSet.
+type HashSet = set.Hash
+
 // ErrSetAborted is the set tier's ⊥: the weak attempt detected
 // interference and had no effect.
 var ErrSetAborted = set.ErrAborted
@@ -303,6 +316,10 @@ func NewLockFreeSet(n int) *LockFreeSet { return set.NewHarris(n) }
 
 // NewCombiningSet returns a flat-combining sorted set for n processes.
 func NewCombiningSet(n int) *CombiningSet { return set.NewCombining(n) }
+
+// NewHashSet returns the split-ordered hash set for n processes (pids
+// in [0, n)).
+func NewHashSet(n int) *HashSet { return set.NewHash(n) }
 
 // NewGuard returns the Figure 3 protocol state over the given lock;
 // combine with Do to make any abortable operation contention-sensitive

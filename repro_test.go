@@ -260,6 +260,7 @@ func TestPublicSetTier(t *testing.T) {
 		"lock-free": repro.NewLockFreeSet(procs),
 		"combining": repro.NewCombiningSet(procs),
 		"retrying":  repro.NewNonBlockingSet(),
+		"hash":      repro.NewHashSet(procs),
 	}
 	for name, s := range builders {
 		if !s.Add(0, 7) || s.Add(1, 7) {
@@ -270,6 +271,28 @@ func TestPublicSetTier(t *testing.T) {
 		}
 		if !s.Remove(3, 7) || s.Remove(3, 7) {
 			t.Fatalf("%s: Remove answers wrong", name)
+		}
+	}
+}
+
+func TestPublicHashSet(t *testing.T) {
+	const procs = 2
+	s := repro.NewHashSet(procs)
+	// Wide enough to force table doublings through the public surface.
+	for k := uint64(0); k < 300; k++ {
+		if !s.Add(int(k)%procs, k) {
+			t.Fatalf("Add(%d) = false", k)
+		}
+	}
+	if s.Size() != 300 {
+		t.Fatalf("Size() = %d, want 300", s.Size())
+	}
+	if s.Resizes() == 0 {
+		t.Fatal("300 keys never doubled the table")
+	}
+	for k := uint64(0); k < 300; k++ {
+		if !s.Contains(0, k) {
+			t.Fatalf("key %d lost across resizes", k)
 		}
 	}
 }
