@@ -1,0 +1,895 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/deque"
+	"repro/internal/queue"
+	"repro/internal/set"
+	"repro/internal/stack"
+)
+
+// The backend catalog: one descriptor per exported backend, carrying
+// the metadata the README table quotes and the constructor closures
+// the harnesses consume. internal/bench, cmd/lincheck, and the
+// lockstep fuzzers iterate Catalog() instead of keeping their own
+// backend lists, so a backend's name is written exactly once — here.
+
+// Object kinds, the values of Backend.Kind.
+const (
+	KindStack = "stack"
+	KindQueue = "queue"
+	KindDeque = "deque"
+	KindSet   = "set"
+)
+
+// Catalog names, one constant per exported backend. The string after
+// the kind prefix is also accepted bare by the options constructors
+// (NewStackBackend("treiber") == NewStackBackend("stack/treiber")).
+const (
+	nameStackSensitive     = "stack/sensitive"
+	nameStackAbortable     = "stack/abortable"
+	nameStackNonBlocking   = "stack/non-blocking"
+	nameStackTreiber       = "stack/treiber"
+	nameStackElimination   = "stack/elimination"
+	nameStackCombining     = "stack/combining"
+	nameStackTreiberPooled = "stack/treiber-pooled"
+	nameStackCombiningPool = "stack/combining-pooled"
+	nameQueueSensitive     = "queue/sensitive"
+	nameQueueAbortable     = "queue/abortable"
+	nameQueueNonBlocking   = "queue/non-blocking"
+	nameQueueCombining     = "queue/combining"
+	nameQueueSharded       = "queue/sharded"
+	nameQueueMSPooled      = "queue/michael-scott-pooled"
+	nameQueueCombiningPool = "queue/combining-pooled"
+	nameDequeSensitive     = "deque/sensitive"
+	nameDequeAbortable     = "deque/abortable"
+	nameDequeNonBlocking   = "deque/non-blocking"
+	nameSetSensitive       = "set/sensitive"
+	nameSetAbortable       = "set/abortable"
+	nameSetNonBlocking     = "set/non-blocking"
+	nameSetCombining       = "set/combining"
+	nameSetHarris          = "set/harris"
+	nameSetHash            = "set/hashset"
+)
+
+// Ops is a uniform op-indexed driver over one backend instance: Do
+// executes op code op (see below) with value v on behalf of pid and
+// returns the popped/dequeued value (or 1/0 for set booleans) plus
+// the backend's error. Op codes per kind:
+//
+//	stack, queue:  0 push/enqueue(v), 1 pop/dequeue
+//	deque:         0 pushL(v), 1 pushR(v), 2 popL, 3 popR
+//	set:           0 add(v), 1 remove(v), 2 contains(v)
+//
+// N is the number of op codes the kind has.
+type Ops struct {
+	N  int
+	Do func(pid, op int, v uint64) (uint64, error)
+}
+
+// Backend describes one catalog entry. The string fields mirror the
+// README backend-catalog table (TestCatalogMatchesReadme keeps the
+// two in lockstep); the closures build fresh instances.
+type Backend struct {
+	// Name is the catalog identifier, "<kind>/<variant>".
+	Name string
+	// Kind is the object kind: KindStack, KindQueue, KindDeque, KindSet.
+	Kind string
+	// Constructor is the legacy concrete-type constructor, as the
+	// README table quotes it (e.g. "NewStack[T](k, n)").
+	Constructor string
+	// Object is the one-line object description.
+	Object string
+	// Tier places the backend on the ladder: "paper" (Figures 1-3),
+	// "baseline" (classic lock-free), "scaling" (combining/sharded),
+	// "allocation" (pooled recycled nodes), "hash" (split-ordered).
+	Tier string
+	// Progress is the liveness guarantee, as prose ("lock-free",
+	// "starvation-free", "abortable", qualified where mixed).
+	Progress string
+	// Domain is the element domain: "generic" ([T any]), "uint64", or
+	// "uint32".
+	Domain string
+	// Allocation is the allocation profile ("boxed", "pooled, 0
+	// allocs/op", "packed words", "COW boxed", ...).
+	Allocation string
+	// Experiments lists the experiment ids that cover this backend.
+	Experiments []string
+	// Weak marks Figure 1 backends: uniform operations are single
+	// attempts that may return the kind's abort sentinel.
+	Weak bool
+	// Bounded marks backends with a capacity bound (WithCapacity).
+	Bounded bool
+	// LinOpts are options a history checker must apply for the
+	// backend's global behavior to match the sequential model (the
+	// sharded queue is FIFO only when pinned to one stripe); LinNote
+	// names the restriction in reports.
+	LinOpts []Option
+	LinNote string
+
+	// Exactly one of the following four is non-nil, matching Kind: it
+	// builds a fresh instance behind the kind's capability interface,
+	// instantiated at the uniform measurement domain (uint64 values;
+	// uint32 for deques).
+	Stack func(opts ...Option) StackAPI[uint64]
+	Queue func(opts ...Option) QueueAPI[uint64]
+	Deque func(opts ...Option) DequeAPI
+	Set   func(opts ...Option) SetAPI
+
+	// Direct builds a fresh instance and returns closures over the
+	// concrete type's own methods — no adapter, no interface
+	// dispatch. Experiment E20 measures Drive (the interface path)
+	// against this baseline.
+	Direct func(opts ...Option) Ops
+}
+
+// Drive builds a fresh instance of b behind its capability interface
+// and wraps it in the uniform Ops driver — the unified-dispatch path
+// (compare Backend.Direct). Values are truncated to the backend's
+// domain where it is narrower than uint64.
+func Drive(b Backend, opts ...Option) Ops {
+	switch b.Kind {
+	case KindStack:
+		s := b.Stack(opts...)
+		return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+			if op == 0 {
+				return 0, s.Push(pid, v)
+			}
+			return s.Pop(pid)
+		}}
+	case KindQueue:
+		q := b.Queue(opts...)
+		return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+			if op == 0 {
+				return 0, q.Enqueue(pid, v)
+			}
+			return q.Dequeue(pid)
+		}}
+	case KindDeque:
+		d := b.Deque(opts...)
+		return Ops{N: 4, Do: func(pid, op int, v uint64) (uint64, error) {
+			switch op {
+			case 0:
+				return 0, d.PushLeft(pid, uint32(v))
+			case 1:
+				return 0, d.PushRight(pid, uint32(v))
+			case 2:
+				got, err := d.PopLeft(pid)
+				return uint64(got), err
+			default:
+				got, err := d.PopRight(pid)
+				return uint64(got), err
+			}
+		}}
+	default: // KindSet
+		s := b.Set(opts...)
+		return Ops{N: 3, Do: func(pid, op int, v uint64) (uint64, error) {
+			var got bool
+			var err error
+			switch op {
+			case 0:
+				got, err = s.Add(pid, v)
+			case 1:
+				got, err = s.Remove(pid, v)
+			default:
+				got, err = s.Contains(pid, v)
+			}
+			return boolOp(got, err)
+		}}
+	}
+}
+
+// boolOp folds a set operation's boolean into the Ops value domain.
+func boolOp(got bool, err error) (uint64, error) {
+	if got {
+		return 1, err
+	}
+	return 0, err
+}
+
+// Catalog returns a descriptor for every exported backend, in ladder
+// order within each kind. The slice is freshly allocated; the
+// closures are shared and safe for concurrent use (each call builds
+// a fresh backend instance).
+func Catalog() []Backend {
+	return append(append(append(stackCatalog(), queueCatalog()...), dequeCatalog()...), setCatalog()...)
+}
+
+// CatalogByKind returns the catalog entries of one kind.
+func CatalogByKind(kind string) []Backend {
+	var out []Backend
+	for _, b := range Catalog() {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func stackCatalog() []Backend {
+	return []Backend{
+		{
+			Name: nameStackAbortable, Kind: KindStack,
+			Constructor: "NewAbortableStack[T](k)",
+			Object:      "weak bounded stack, Figure 1",
+			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E1", "E2", "E3", "E8", "E11", "E17", "E20"},
+			Weak:        true, Bounded: true,
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return liftWeakStack[uint64](stack.NewAbortable[uint64](o.capacity))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewAbortable[uint64](o.capacity)
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.TryPush(v)
+					}
+					return s.TryPop()
+				}}
+			},
+		},
+		{
+			Name: nameStackNonBlocking, Kind: KindStack,
+			Constructor: "NewNonBlockingStack[T](k)",
+			Object:      "bounded stack, Figure 2",
+			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E3", "E5", "E7", "E11", "E17", "E20"},
+			Bounded:     true,
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return liftStack[uint64](stack.NewNonBlocking[uint64](o.capacity))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewNonBlocking[uint64](o.capacity)
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(v)
+					}
+					return s.Pop()
+				}}
+			},
+		},
+		{
+			Name: nameStackSensitive, Kind: KindStack,
+			Constructor: "NewStack[T](k, n)",
+			Object:      "bounded stack, Figure 3",
+			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E1", "E4", "E5", "E6", "E11", "E17", "E20"},
+			Bounded:     true,
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return stack.NewSensitive[uint64](o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewSensitive[uint64](o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}}
+			},
+		},
+		{
+			Name: nameStackTreiber, Kind: KindStack,
+			Constructor: "NewTreiberStack[T]()",
+			Object:      "unbounded stack",
+			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				return liftStack[uint64](stack.NewTreiber[uint64]())
+			},
+			Direct: func(opts ...Option) Ops {
+				s := stack.NewTreiber[uint64]()
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(v)
+					}
+					return s.Pop()
+				}}
+			},
+		},
+		{
+			Name: nameStackElimination, Kind: KindStack,
+			Constructor: "NewEliminationStack[T](width)",
+			Object:      "unbounded stack + exchanger",
+			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return liftStack[uint64](stack.NewElimination[uint64](o.width))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewElimination[uint64](o.width)
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(v)
+					}
+					return s.Pop()
+				}}
+			},
+		},
+		{
+			Name: nameStackCombining, Kind: KindStack,
+			Constructor: "NewCombiningStack[T](k, n)",
+			Object:      "bounded stack, flat combining",
+			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E5", "E11", "E15", "E17", "E20"},
+			Bounded:     true,
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return stack.NewCombining[uint64](o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewCombining[uint64](o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}}
+			},
+		},
+		{
+			Name: nameStackTreiberPooled, Kind: KindStack,
+			Constructor: "NewPooledStack(n)",
+			Object:      "unbounded Treiber stack",
+			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
+			Experiments: []string{"E5", "E8", "E11", "E17", "E20"},
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return stack.NewTreiberPooled(o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewTreiberPooled(o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}}
+			},
+		},
+		{
+			Name: nameStackCombiningPool, Kind: KindStack,
+			Constructor: "NewCombiningPooledStack(k, n)",
+			Object:      "bounded stack, flat combining",
+			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
+			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Bounded:     true,
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return stack.NewCombiningPooled(o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := stack.NewCombiningPooled(o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}}
+			},
+		},
+	}
+}
+
+func queueCatalog() []Backend {
+	return []Backend{
+		{
+			Name: nameQueueAbortable, Kind: KindQueue,
+			Constructor: "NewAbortableQueue[T](k)",
+			Object:      "weak bounded FIFO queue, Figure 1",
+			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Weak:        true, Bounded: true,
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return liftWeakQueue[uint64](queue.NewAbortable[uint64](o.capacity))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewAbortable[uint64](o.capacity)
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.TryEnqueue(v)
+					}
+					return q.TryDequeue()
+				}}
+			},
+		},
+		{
+			Name: nameQueueNonBlocking, Kind: KindQueue,
+			Constructor: "NewNonBlockingQueue[T](k)",
+			Object:      "bounded FIFO queue, Figure 2",
+			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Bounded:     true,
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return liftQueue[uint64](queue.NewNonBlocking[uint64](o.capacity))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewNonBlocking[uint64](o.capacity)
+				return Ops{N: 2, Do: func(_, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(v)
+					}
+					return q.Dequeue()
+				}}
+			},
+		},
+		{
+			Name: nameQueueSensitive, Kind: KindQueue,
+			Constructor: "NewQueue[T](k, n)",
+			Object:      "bounded FIFO queue, Figure 3",
+			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20"},
+			Bounded:     true,
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return queue.NewSensitive[uint64](o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewSensitive[uint64](o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(pid, v)
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+		{
+			Name: nameQueueCombining, Kind: KindQueue,
+			Constructor: "NewCombiningQueue[T](k, n)",
+			Object:      "bounded FIFO queue, flat combining",
+			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Bounded:     true,
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return queue.NewCombining[uint64](o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewCombining[uint64](o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(pid, v)
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+		{
+			Name: nameQueueSharded, Kind: KindQueue,
+			Constructor: "NewShardedQueue[T](k, n, shards)",
+			Object:      "pid-striped queue, per-shard FIFO",
+			Tier:        "scaling", Progress: "starvation-free, relaxed cross-shard order", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20"},
+			Bounded:     true,
+			LinOpts:     []Option{WithShards(1)},
+			LinNote:     "K=1",
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return queue.NewSharded[uint64](o.capacity, o.procs, o.shards)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewSharded[uint64](o.capacity, o.procs, o.shards)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(pid, v)
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+		{
+			Name: nameQueueMSPooled, Kind: KindQueue,
+			Constructor: "NewPooledQueue(n)",
+			Object:      "unbounded Michael-Scott queue",
+			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
+			Experiments: []string{"E8", "E9", "E11", "E17", "E20"},
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return msPooledQueue{queue.NewMichaelScottPooled(o.procs)}
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewMichaelScottPooled(o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						q.Enqueue(pid, v)
+						return 0, nil
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+		{
+			Name: nameQueueCombiningPool, Kind: KindQueue,
+			Constructor: "NewCombiningPooledQueue(k, n)",
+			Object:      "bounded FIFO queue, flat combining",
+			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled in-place ring, 0 allocs/op",
+			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Bounded:     true,
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return queue.NewCombiningPooled(o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := queue.NewCombiningPooled(o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(pid, v)
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+	}
+}
+
+func dequeCatalog() []Backend {
+	return []Backend{
+		{
+			Name: nameDequeAbortable, Kind: KindDeque,
+			Constructor: "NewAbortableDeque(k)",
+			Object:      "weak HLM deque",
+			Tier:        "paper", Progress: "abortable", Domain: "uint32", Allocation: "packed words",
+			Experiments: []string{"E14", "E20"},
+			Weak:        true, Bounded: true,
+			Deque: func(opts ...Option) DequeAPI {
+				o := applyOptions(opts)
+				return weakDeque[*deque.Abortable]{deque.NewAbortable(o.capacity)}
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				d := deque.NewAbortable(o.capacity)
+				return Ops{N: 4, Do: func(_, op int, v uint64) (uint64, error) {
+					switch op {
+					case 0:
+						return 0, d.TryPushLeft(uint32(v))
+					case 1:
+						return 0, d.TryPushRight(uint32(v))
+					case 2:
+						got, err := d.TryPopLeft()
+						return uint64(got), err
+					default:
+						got, err := d.TryPopRight()
+						return uint64(got), err
+					}
+				}}
+			},
+		},
+		{
+			Name: nameDequeNonBlocking, Kind: KindDeque,
+			Constructor: "NewNonBlockingDeque(k)",
+			Object:      "HLM deque, Figure 2",
+			Tier:        "paper", Progress: "lock-free", Domain: "uint32", Allocation: "packed words",
+			Experiments: []string{"E14", "E20"},
+			Bounded:     true,
+			Deque: func(opts ...Option) DequeAPI {
+				o := applyOptions(opts)
+				return pidlessDeque[*deque.NonBlocking]{deque.NewNonBlocking(o.capacity)}
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				d := deque.NewNonBlocking(o.capacity)
+				return Ops{N: 4, Do: func(_, op int, v uint64) (uint64, error) {
+					switch op {
+					case 0:
+						return 0, d.PushLeft(uint32(v))
+					case 1:
+						return 0, d.PushRight(uint32(v))
+					case 2:
+						got, err := d.PopLeft()
+						return uint64(got), err
+					default:
+						got, err := d.PopRight()
+						return uint64(got), err
+					}
+				}}
+			},
+		},
+		{
+			Name: nameDequeSensitive, Kind: KindDeque,
+			Constructor: "NewDeque(k, n)",
+			Object:      "bounded HLM deque, Figure 3",
+			Tier:        "paper", Progress: "starvation-free", Domain: "uint32", Allocation: "packed words",
+			Experiments: []string{"E14", "E20"},
+			Bounded:     true,
+			Deque: func(opts ...Option) DequeAPI {
+				o := applyOptions(opts)
+				return deque.NewSensitive(o.capacity, o.procs)
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				d := deque.NewSensitive(o.capacity, o.procs)
+				return Ops{N: 4, Do: func(pid, op int, v uint64) (uint64, error) {
+					switch op {
+					case 0:
+						return 0, d.PushLeft(pid, uint32(v))
+					case 1:
+						return 0, d.PushRight(pid, uint32(v))
+					case 2:
+						got, err := d.PopLeft(pid)
+						return uint64(got), err
+					default:
+						got, err := d.PopRight(pid)
+						return uint64(got), err
+					}
+				}}
+			},
+		},
+	}
+}
+
+func setCatalog() []Backend {
+	return []Backend{
+		{
+			Name: nameSetAbortable, Kind: KindSet,
+			Constructor: "NewAbortableSet()",
+			Object:      "weak sorted set",
+			Tier:        "paper", Progress: "abortable updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
+			Experiments: []string{"E11", "E20"},
+			Weak:        true,
+			Set: func(opts ...Option) SetAPI {
+				return weakSet{set.NewAbortable()}
+			},
+			Direct: func(opts ...Option) Ops {
+				s := set.NewAbortable()
+				return Ops{N: 3, Do: func(_, op int, v uint64) (uint64, error) {
+					switch op {
+					case 0:
+						return boolOp(s.TryAdd(v))
+					case 1:
+						return boolOp(s.TryRemove(v))
+					default:
+						return boolOp(s.TryContains(v))
+					}
+				}}
+			},
+		},
+		{
+			Name: nameSetNonBlocking, Kind: KindSet,
+			Constructor: "NewNonBlockingSet()",
+			Object:      "sorted set, Figure 2",
+			Tier:        "paper", Progress: "lock-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
+			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Set: func(opts ...Option) SetAPI {
+				return liftSet(set.NewNonBlocking())
+			},
+			Direct: func(opts ...Option) Ops {
+				s := set.NewNonBlocking()
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
+		{
+			Name: nameSetSensitive, Kind: KindSet,
+			Constructor: "NewSet(n)",
+			Object:      "sorted set, Figure 3",
+			Tier:        "paper", Progress: "starvation-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
+			Experiments: []string{"E11", "E18", "E20"},
+			Set: func(opts ...Option) SetAPI {
+				o := applyOptions(opts)
+				return liftSet(set.NewSensitive(o.procs))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := set.NewSensitive(o.procs)
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
+		{
+			Name: nameSetCombining, Kind: KindSet,
+			Constructor: "NewCombiningSet(n)",
+			Object:      "sorted set, flat combining",
+			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "COW boxed",
+			Experiments: []string{"E11", "E18", "E20"},
+			Set: func(opts ...Option) SetAPI {
+				o := applyOptions(opts)
+				return liftSet(set.NewCombining(o.procs))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := set.NewCombining(o.procs)
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
+		{
+			Name: nameSetHarris, Kind: KindSet,
+			Constructor: "NewLockFreeSet(n)",
+			Object:      "Harris/Michael list-based set",
+			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled",
+			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Set: func(opts ...Option) SetAPI {
+				o := applyOptions(opts)
+				return liftSet(set.NewHarris(o.procs))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := set.NewHarris(o.procs)
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
+		{
+			Name: nameSetHash, Kind: KindSet,
+			Constructor: "NewHashSet(n)",
+			Object:      "split-ordered hash set (keys < 2^63)",
+			Tier:        "hash", Progress: "lock-free", Domain: "uint64", Allocation: "pooled + shortcut words",
+			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Set: func(opts ...Option) SetAPI {
+				o := applyOptions(opts)
+				return liftSet(set.NewHash(o.procs))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := set.NewHash(o.procs)
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
+	}
+}
+
+// setDirect builds the direct-call Ops driver from a strong set's
+// bound methods.
+func setDirect(add, remove, contains func(int, uint64) bool) Ops {
+	return Ops{N: 3, Do: func(pid, op int, v uint64) (uint64, error) {
+		switch op {
+		case 0:
+			return boolOp(add(pid, v), nil)
+		case 1:
+			return boolOp(remove(pid, v), nil)
+		default:
+			return boolOp(contains(pid, v), nil)
+		}
+	}}
+}
+
+// find resolves a backend name of the given kind, accepting both the
+// full catalog name ("stack/treiber") and the bare variant
+// ("treiber"), and applies the WithPooled redirection.
+func find(kind, name string, opts []Option) (Backend, options, error) {
+	o := applyOptions(opts)
+	if !strings.Contains(name, "/") {
+		name = kind + "/" + name
+	}
+	entries := CatalogByKind(kind)
+	lookup := func(n string) (Backend, bool) {
+		for _, b := range entries {
+			if b.Name == n {
+				return b, true
+			}
+		}
+		return Backend{}, false
+	}
+	b, ok := lookup(name)
+	if !ok {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name)
+		}
+		return Backend{}, o, fmt.Errorf("repro: unknown %s backend %q (catalog: %s)",
+			kind, name, strings.Join(names, ", "))
+	}
+	if o.pooled && !strings.Contains(b.Allocation, "pooled") {
+		p, ok := lookup(b.Name + "-pooled")
+		if !ok {
+			return Backend{}, o, fmt.Errorf("repro: backend %s has no pooled sibling", b.Name)
+		}
+		b = p
+	}
+	return b, o, nil
+}
+
+// genericStack instantiates a generic-domain stack backend at T. It
+// lives next to the catalog literals so each backend's construction
+// is written only in this file.
+func genericStack[T any](name string, o options) (StackAPI[T], bool) {
+	switch name {
+	case nameStackSensitive:
+		return stack.NewSensitive[T](o.capacity, o.procs), true
+	case nameStackAbortable:
+		return liftWeakStack[T](stack.NewAbortable[T](o.capacity)), true
+	case nameStackNonBlocking:
+		return liftStack[T](stack.NewNonBlocking[T](o.capacity)), true
+	case nameStackTreiber:
+		return liftStack[T](stack.NewTreiber[T]()), true
+	case nameStackElimination:
+		return liftStack[T](stack.NewElimination[T](o.width)), true
+	case nameStackCombining:
+		return stack.NewCombining[T](o.capacity, o.procs), true
+	}
+	return nil, false
+}
+
+// genericQueue is genericStack's FIFO sibling.
+func genericQueue[T any](name string, o options) (QueueAPI[T], bool) {
+	switch name {
+	case nameQueueSensitive:
+		return queue.NewSensitive[T](o.capacity, o.procs), true
+	case nameQueueAbortable:
+		return liftWeakQueue[T](queue.NewAbortable[T](o.capacity)), true
+	case nameQueueNonBlocking:
+		return liftQueue[T](queue.NewNonBlocking[T](o.capacity)), true
+	case nameQueueCombining:
+		return queue.NewCombining[T](o.capacity, o.procs), true
+	case nameQueueSharded:
+		return queue.NewSharded[T](o.capacity, o.procs, o.shards), true
+	}
+	return nil, false
+}
+
+// NewStackBackend builds the named stack backend from the catalog
+// behind the uniform StackAPI contract. Generic-domain backends
+// instantiate at any T; the pooled tiers carry uint64 elements and
+// are available exactly when T is uint64. Options: WithCapacity,
+// WithProcs, WithWidth, WithPooled.
+//
+//	s, err := repro.NewStackBackend[string]("sensitive",
+//	    repro.WithCapacity(1024), repro.WithProcs(8))
+func NewStackBackend[T any](name string, opts ...Option) (StackAPI[T], error) {
+	b, o, err := find(KindStack, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := genericStack[T](b.Name, o); ok {
+		return s, nil
+	}
+	if s, ok := any(b.Stack(opts...)).(StackAPI[T]); ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("repro: backend %s carries %s elements; instantiate it at that type", b.Name, b.Domain)
+}
+
+// NewQueueBackend is NewStackBackend's FIFO sibling. Options:
+// WithCapacity, WithProcs, WithShards, WithPooled.
+func NewQueueBackend[T any](name string, opts ...Option) (QueueAPI[T], error) {
+	b, o, err := find(KindQueue, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	if q, ok := genericQueue[T](b.Name, o); ok {
+		return q, nil
+	}
+	if q, ok := any(b.Queue(opts...)).(QueueAPI[T]); ok {
+		return q, nil
+	}
+	return nil, fmt.Errorf("repro: backend %s carries %s elements; instantiate it at that type", b.Name, b.Domain)
+}
+
+// NewDequeBackend builds the named deque backend (uint32 values).
+// Options: WithCapacity, WithProcs.
+func NewDequeBackend(name string, opts ...Option) (DequeAPI, error) {
+	b, _, err := find(KindDeque, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.Deque(opts...), nil
+}
+
+// NewSetBackend builds the named set backend (uint64 keys). Options:
+// WithProcs.
+func NewSetBackend(name string, opts ...Option) (SetAPI, error) {
+	b, _, err := find(KindSet, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.Set(opts...), nil
+}

@@ -1,13 +1,16 @@
-// Command contbench runs the reproduction experiments (E1..E19,
-// including the E15/E16 scaling tier, the E17 allocation tier, and the
-// E18/E19 set tier) and prints the tables EXPERIMENTS.md quotes.
+// Command contbench runs the reproduction experiments (E1..E20,
+// including the E15/E16 scaling tier, the E17 allocation tier, the
+// E18/E19 set tier, and the E20 catalog-dispatch sweep) and prints
+// the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
-//	contbench [-run E1,E5,...|all] [-procs N] [-duration D] [-seed S] [-quick] [-json path]
+//	contbench [-run E1,E5,...|all] [-list] [-procs N] [-duration D] [-seed S] [-quick] [-json path]
 //
-// Each experiment prints its paper claim followed by the measured
-// table; a non-zero exit status means a correctness experiment
+// -list prints the experiment registry — id, name, and the one-line
+// paper claim each experiment reproduces — and exits. Each executed
+// experiment prints its paper claim followed by the measured table; a
+// non-zero exit status means a correctness experiment
 // (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18/E19) observed a violation.
 // With -json, the same result rows are additionally written to the
 // given path as machine-readable JSON (the BENCH_*.json perf
@@ -44,14 +47,14 @@ func main() {
 		duration = flag.Duration("duration", 0, "measuring window per data point (0 = default)")
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		quick    = flag.Bool("quick", false, "shrink all budgets (smoke test)")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		list     = flag.Bool("list", false, "print the experiment registry (id, name, claim) and exit")
 		jsonPath = flag.String("json", "", "also write result rows as JSON to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 		return
 	}

@@ -2,9 +2,15 @@
 // and set implementations and checks them for linearizability (the
 // paper's safety condition, §1.1) against sequential models.
 //
+// The target set is not maintained here: every backend in
+// repro.Catalog() is checked through its capability interface (via
+// internal/bench's catalog-driven LinTargets/SetLinTargets), plus the
+// internal-only packed/pooled variants the catalog does not export.
+// A backend added to the catalog is picked up automatically.
+//
 // Usage:
 //
-//	lincheck [-impl all|stack/sensitive|...] [-procs N] [-rounds R] [-ops K] [-seeds S]
+//	lincheck [-impl all|<name from -listimpls>] [-procs N] [-rounds R] [-ops K] [-seeds S]
 //
 // Histories are recorded in bursts with quiescent joins so the
 // segmented Wing&Gong checker stays exact. Exit status 1 means a

@@ -11,7 +11,10 @@
 //	modelcheck -mode aba
 //
 // Exit status 1 means a violation was found on a target that is
-// supposed to be correct (tagged backends); the naive targets are
+// supposed to be correct (tagged model-checker backends — these are
+// internal/sched's deterministic instrumented variants, distinct from
+// the public repro.Catalog() surface that cmd/lincheck and the
+// lockstep fuzzers enumerate); the naive targets are
 // *expected* to fail and report success when they do.
 package main
 

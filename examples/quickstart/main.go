@@ -56,8 +56,14 @@ func main() {
 	v, _ := weak.TryPop()
 	fmt.Println("weak round-trip:", v)
 
-	// And the FIFO sibling.
-	q := repro.NewQueue[int](16, procs)
+	// And the FIFO sibling, this time through the backend catalog:
+	// every implementation sits behind one capability-typed contract
+	// per object kind, resolved by name with functional options.
+	q, err := repro.NewQueueBackend[int]("sensitive",
+		repro.WithCapacity(16), repro.WithProcs(procs))
+	if err != nil {
+		panic(err)
+	}
 	for i := 1; i <= 3; i++ {
 		if err := q.Enqueue(0, i); err != nil {
 			fmt.Println("enqueue:", err)
@@ -70,6 +76,15 @@ func main() {
 			break
 		}
 		fmt.Printf(" %d", v)
+	}
+	fmt.Println()
+
+	// The catalog itself is data: swap "sensitive" for any same-kind
+	// name below (WithPooled redirects to a pooled sibling where one
+	// exists) and the code above runs unchanged.
+	fmt.Print("queue backends in the catalog:")
+	for _, b := range repro.CatalogByKind(repro.KindQueue) {
+		fmt.Printf(" %s", b.Name)
 	}
 	fmt.Println()
 }

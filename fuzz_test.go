@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/spec"
+)
+
+// The catalog-driven lockstep fuzzers: one per object kind, running
+// EVERY same-kind backend of repro.Catalog() against the sequential
+// spec on the same decoded solo op sequence. A backend added to the
+// catalog is fuzzed automatically; none is listed here by name. Solo
+// runs must agree exactly — weak backends never abort without
+// concurrency (the paper's obstruction-freedom obligation, E2), and
+// the single-pid pooled backends recycle every retired node on the
+// very next operation, keeping maximum same-handle reuse pressure on
+// the sequence tags.
+
+// fuzzKind replays data (byte 2i: op code mod ops.N; byte 2i+1:
+// value) against one backend's uniform driver and a spec oracle.
+// check returns the spec's answer for the op: the expected value (or
+// boolean as 1/0) and the sentinel error the backend must report
+// (nil for success).
+func fuzzKind(t *testing.T, name string, ops repro.Ops, data []byte,
+	check func(op int, v uint64) (uint64, error)) {
+	t.Helper()
+	for i := 0; i+1 < len(data); i += 2 {
+		op := int(data[i]) % ops.N
+		v := uint64(data[i+1])
+		got, err := ops.Do(0, op, v)
+		want, wantErr := check(op, v)
+		if !errors.Is(err, wantErr) || (err == nil && got != want) {
+			t.Fatalf("%s op %d: code %d(%d) = (%d, %v), spec (%d, %v)",
+				name, i, op, v, got, err, want, wantErr)
+		}
+	}
+}
+
+func FuzzStackBackendsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 1, 0, 0, 8, 0, 7, 0, 6, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		for _, b := range repro.CatalogByKind(repro.KindStack) {
+			ops := repro.Drive(b, append([]repro.Option{
+				repro.WithCapacity(k), repro.WithProcs(1)}, b.LinOpts...)...)
+			cap := k
+			if !b.Bounded {
+				cap = 1 << 30
+			}
+			ref := spec.NewStack[uint64](cap)
+			fuzzKind(t, b.Name, ops, data, func(op int, v uint64) (uint64, error) {
+				if op == 0 {
+					if ref.Push(v) {
+						return 0, nil
+					}
+					return 0, repro.ErrStackFull
+				}
+				if want, ok := ref.Pop(); ok {
+					return want, nil
+				}
+				return 0, repro.ErrStackEmpty
+			})
+		}
+	})
+}
+
+func FuzzQueueBackendsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 9, 0, 8, 0, 7, 0, 6, 1, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		for _, b := range repro.CatalogByKind(repro.KindQueue) {
+			// LinOpts pin relaxed backends to their sequential shape
+			// (the sharded queue striped to K=1 keeps global FIFO).
+			ops := repro.Drive(b, append([]repro.Option{
+				repro.WithCapacity(k), repro.WithProcs(1)}, b.LinOpts...)...)
+			cap := k
+			if !b.Bounded {
+				cap = 1 << 30
+			}
+			ref := spec.NewQueue[uint64](cap)
+			fuzzKind(t, b.Name, ops, data, func(op int, v uint64) (uint64, error) {
+				if op == 0 {
+					if ref.Enqueue(v) {
+						return 0, nil
+					}
+					return 0, repro.ErrQueueFull
+				}
+				if want, ok := ref.Dequeue(); ok {
+					return want, nil
+				}
+				return 0, repro.ErrQueueEmpty
+			})
+		}
+	})
+}
+
+func FuzzDequeBackendsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0, 3, 0})
+	f.Add([]byte{1, 9, 1, 8, 1, 7, 3, 0, 3, 0, 0, 5})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 5
+		for _, b := range repro.CatalogByKind(repro.KindDeque) {
+			ops := repro.Drive(b, repro.WithCapacity(k), repro.WithProcs(1))
+			ref := spec.NewDeque[uint32](k)
+			fuzzKind(t, b.Name, ops, data, func(op int, v uint64) (uint64, error) {
+				switch op {
+				case 0:
+					if ref.PushLeft(uint32(v)) {
+						return 0, nil
+					}
+					return 0, repro.ErrDequeFull
+				case 1:
+					if ref.PushRight(uint32(v)) {
+						return 0, nil
+					}
+					return 0, repro.ErrDequeFull
+				case 2:
+					if want, ok := ref.PopLeft(); ok {
+						return uint64(want), nil
+					}
+					return 0, repro.ErrDequeEmpty
+				default:
+					if want, ok := ref.PopRight(); ok {
+						return uint64(want), nil
+					}
+					return 0, repro.ErrDequeEmpty
+				}
+			})
+		}
+	})
+}
+
+func FuzzSetBackendsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 2, 1})
+	f.Add([]byte{0, 5, 0, 3, 1, 5, 0, 4, 1, 3, 2, 4})
+	f.Add([]byte{0, 9, 1, 9, 0, 9, 1, 9, 0, 9, 2, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, b := range repro.CatalogByKind(repro.KindSet) {
+			inner := repro.Drive(b, repro.WithProcs(1))
+			// Fold keys into a small range so duplicate adds, absent
+			// removes, and membership flips all occur.
+			ops := repro.Ops{N: inner.N, Do: func(pid, op int, v uint64) (uint64, error) {
+				return inner.Do(pid, op, v%16)
+			}}
+			ref := spec.NewSet()
+			fuzzKind(t, b.Name, ops, data, func(op int, v uint64) (uint64, error) {
+				k := v % 16
+				var want bool
+				switch op {
+				case 0:
+					want = ref.Add(k)
+				case 1:
+					want = ref.Remove(k)
+				default:
+					want = ref.Contains(k)
+				}
+				if want {
+					return 1, nil
+				}
+				return 0, nil
+			})
+		}
+	})
+}

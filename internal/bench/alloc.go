@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/queue"
@@ -34,35 +36,67 @@ type allocBackend struct {
 	wantZero bool // acceptance: steady state must not allocate
 }
 
-// allocBackends builds the E17 comparison set: each family's boxed
-// reference, its pooled retrofit, and the packed bit-packing variant
-// where one exists.
+// allocBackends builds the E17 comparison set: every stack and queue
+// backend the public catalog exports (the catalog's allocation
+// profile decides which must measure 0 allocs/op), plus the
+// internal-only variants — the packed bit-packing stack and the
+// pooled Figure 1 retrofits — that complete each family's
+// boxed/packed/pooled triangle.
 func allocBackends(procs int) []allocBackend {
 	k := 1024
 	var out []allocBackend
+	for _, b := range repro.Catalog() {
+		var push func(int, uint64) error
+		var pop func(int) (uint64, error)
+		var inner any
+		switch b.Kind {
+		case repro.KindStack:
+			s := b.Stack(repro.WithCapacity(k), repro.WithProcs(procs))
+			push, pop, inner = s.Push, s.Pop, repro.Unwrap(s)
+		case repro.KindQueue:
+			q := b.Queue(repro.WithCapacity(k), repro.WithProcs(procs))
+			push, pop, inner = q.Enqueue, q.Dequeue, repro.Unwrap(q)
+		default:
+			continue // the set tier has its own workload shape (E18/E19)
+		}
+		if b.Weak {
+			// Weak entries make single attempts through the uniform
+			// interface; retry aborts so every measured op completed and
+			// allocs/op stays comparable with the strong rows (a boxed
+			// aborted attempt still pays its records).
+			rawPush, rawPop := push, pop
+			aborted := stack.ErrAborted
+			if b.Kind == repro.KindQueue {
+				aborted = queue.ErrAborted
+			}
+			push = func(pid int, v uint64) error {
+				for {
+					if err := rawPush(pid, v); !errors.Is(err, aborted) {
+						return err
+					}
+				}
+			}
+			pop = func(pid int) (uint64, error) {
+				for {
+					if v, err := rawPop(pid); !errors.Is(err, aborted) {
+						return v, err
+					}
+				}
+			}
+		}
+		be := allocBackend{
+			name: b.Name, push: push, pop: pop,
+			wantZero: strings.Contains(b.Allocation, "pooled"),
+		}
+		if ps, ok := inner.(interface{ PoolStats() memory.PoolStats }); ok {
+			be.pool = ps.PoolStats
+		}
+		out = append(out, be)
+	}
 
-	ts := stack.NewTreiber[uint64]()
-	out = append(out, allocBackend{
-		name: "stack/treiber(boxed)",
-		push: func(_ int, v uint64) error { return ts.Push(v) },
-		pop:  func(_ int) (uint64, error) { return ts.Pop() },
-	})
-	tp := stack.NewTreiberPooled(procs)
-	out = append(out, allocBackend{
-		name: "stack/treiber(pooled)", pool: tp.PoolStats, wantZero: true,
-		push: tp.Push,
-		pop:  tp.Pop,
-	})
-
-	ab := stack.NewAbortable[uint64](k)
-	out = append(out, allocBackend{
-		name: "stack/abortable(boxed)",
-		push: func(_ int, v uint64) error { return retryPush(ab.TryPush, v) },
-		pop:  func(_ int) (uint64, error) { return retryPop(ab.TryPop) },
-	})
 	ap := stack.NewAbortablePooled(k, procs)
 	out = append(out, allocBackend{
-		name: "stack/abortable(pooled)", pool: ap.PoolStats, wantZero: true,
+		name: "stack/abortable-pooled", pool: ap.PoolStats, wantZero: true,
 		push: func(pid int, v uint64) error { return retryPush(func(v uint64) error { return ap.TryPush(pid, v) }, v) },
 		pop:  func(pid int) (uint64, error) { return retryPop(func() (uint64, error) { return ap.TryPop(pid) }) },
 	})
@@ -76,42 +110,15 @@ func allocBackends(procs int) []allocBackend {
 			return retryPop(func() (uint64, error) { v, err := pk.TryPop(); return uint64(v), err })
 		},
 	})
-
-	cb := stack.NewCombining[uint64](k, procs)
-	out = append(out, allocBackend{
-		name: "stack/combining(boxed)",
-		push: cb.Push,
-		pop:  cb.Pop,
-	})
-	cp := stack.NewCombiningPooled(k, procs)
-	out = append(out, allocBackend{
-		name: "stack/combining(pooled)", wantZero: true,
-		push: cp.Push,
-		pop:  cp.Pop,
-	})
-
 	ms := queue.NewMichaelScott[uint64]()
 	out = append(out, allocBackend{
 		name: "queue/michael-scott(boxed)",
 		push: func(_ int, v uint64) error { ms.Enqueue(v); return nil },
 		pop:  func(_ int) (uint64, error) { return ms.Dequeue() },
 	})
-	mp := queue.NewMichaelScottPooled(procs)
-	out = append(out, allocBackend{
-		name: "queue/michael-scott(pooled)", pool: mp.PoolStats, wantZero: true,
-		push: func(pid int, v uint64) error { mp.Enqueue(pid, v); return nil },
-		pop:  mp.Dequeue,
-	})
-
-	qb := queue.NewAbortable[uint64](k)
-	out = append(out, allocBackend{
-		name: "queue/abortable(boxed)",
-		push: func(_ int, v uint64) error { return retryQPush(qb.TryEnqueue, v) },
-		pop:  func(_ int) (uint64, error) { return retryQPop(qb.TryDequeue) },
-	})
 	qp := queue.NewAbortablePooled(k)
 	out = append(out, allocBackend{
-		name: "queue/abortable(pooled)", wantZero: true,
+		name: "queue/abortable-pooled", wantZero: true,
 		push: func(_ int, v uint64) error { return retryQPush(qp.TryEnqueue, v) },
 		pop:  func(_ int) (uint64, error) { return retryQPop(qp.TryDequeue) },
 	})
@@ -266,22 +273,20 @@ func runE17ForcedReuse(cfg Config, w io.Writer) error {
 		perProc = 5000
 	}
 
+	// Every catalog backend whose instances expose recycling counters
+	// runs the forced-reuse schedule, plus the internal-only pooled
+	// Figure 1 stack.
 	type target struct {
 		name string
 		pool func() memory.PoolStats
 		push func(pid int, v uint64) error
 		pop  func(pid int) (uint64, error)
 	}
-	ts := stack.NewTreiberPooled(procs)
-	ms := queue.NewMichaelScottPooled(procs)
-	as := stack.NewAbortablePooled(64, procs)
-	targets := []target{
-		{"stack/treiber(pooled)", ts.PoolStats, ts.Push, ts.Pop},
-		{"queue/michael-scott(pooled)", ms.PoolStats,
-			func(pid int, v uint64) error { ms.Enqueue(pid, v); return nil }, ms.Dequeue},
-		{"stack/abortable(pooled)", as.PoolStats,
-			func(pid int, v uint64) error { return retryPush(func(v uint64) error { return as.TryPush(pid, v) }, v) },
-			func(pid int) (uint64, error) { return retryPop(func() (uint64, error) { return as.TryPop(pid) }) }},
+	var targets []target
+	for _, be := range allocBackends(procs) {
+		if be.pool != nil {
+			targets = append(targets, target{be.name, be.pool, be.push, be.pop})
+		}
 	}
 
 	tb := metrics.NewTable("backend", "ops", "reuses/op", "arena records", "drops", "verdict")

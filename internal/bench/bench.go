@@ -9,8 +9,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/lock"
-	"repro/internal/stack"
 	"repro/internal/workload"
 )
 
@@ -111,75 +109,6 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// stackImpl is a uniform handle on one stack implementation for the
-// comparative experiments.
-type stackImpl struct {
-	name string
-	// build returns pid-aware push/pop closures over a fresh instance
-	// of capacity k for procs processes.
-	build func(k, procs int) (push func(pid int, v uint64) error, pop func(pid int) (uint64, error))
-}
-
-// stackImpls returns the comparison set of E5/E6: the traditional
-// lock-based baselines, the lock-free baselines, and the paper's
-// constructions.
-func stackImpls() []stackImpl {
-	return []stackImpl{
-		{
-			name: "lock(mutex)",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewLockBased[uint64](k)
-				return s.Push, s.Pop
-			},
-		},
-		{
-			name: "lock(ticket)",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewLockBasedWith[uint64](k, lock.IgnorePid(lock.NewTicket()))
-				return s.Push, s.Pop
-			},
-		},
-		{
-			name: "lock(tas)",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewLockBasedWith[uint64](k, lock.IgnorePid(lock.NewTAS()))
-				return s.Push, s.Pop
-			},
-		},
-		{
-			name: "treiber",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewTreiber[uint64]()
-				return func(_ int, v uint64) error { return s.Push(v) },
-					func(_ int) (uint64, error) { return s.Pop() }
-			},
-		},
-		{
-			name: "elimination",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewElimination[uint64](0)
-				return func(_ int, v uint64) error { return s.Push(v) },
-					func(_ int) (uint64, error) { return s.Pop() }
-			},
-		},
-		{
-			name: "non-blocking",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewNonBlocking[uint64](k)
-				return func(_ int, v uint64) error { return s.Push(v) },
-					func(_ int) (uint64, error) { return s.Pop() }
-			},
-		},
-		{
-			name: "cont-sensitive",
-			build: func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-				s := stack.NewSensitive[uint64](k, procs)
-				return s.Push, s.Pop
-			},
-		},
-	}
 }
 
 // hammer drives procs goroutines of mixed push/pop against one stack

@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -98,7 +98,7 @@ func TestE4Fairness(t *testing.T) {
 
 func TestE5Throughput(t *testing.T) {
 	out := runQuick(t, "E5")
-	for _, impl := range []string{"lock(mutex)", "treiber", "non-blocking", "cont-sensitive"} {
+	for _, impl := range []string{"lock(mutex)", "stack/treiber", "stack/non-blocking", "stack/sensitive", "stack/treiber-pooled"} {
 		if !strings.Contains(out, impl) {
 			t.Fatalf("E5 missing %s:\n%s", impl, out)
 		}
@@ -158,6 +158,7 @@ func TestE11Linearizability(t *testing.T) {
 		"stack/abortable", "stack/elimination", "queue/michael-scott",
 		"stack/treiber-pooled", "stack/abortable-pooled",
 		"queue/michael-scott-pooled", "queue/abortable-pooled",
+		"queue/sharded[K=1]", "queue/combining-pooled",
 		"set/harris", "set/hashset",
 	} {
 		if !strings.Contains(out, impl) {
@@ -220,7 +221,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestE15Combining(t *testing.T) {
 	out := runQuick(t, "E15")
-	for _, impl := range []string{"lock(mutex)", "lock(tas)", "cont-sensitive", "flat-combining"} {
+	for _, impl := range []string{"lock(mutex)", "lock(tas)", "stack/sensitive", "flat-combining"} {
 		if !strings.Contains(out, impl) {
 			t.Fatalf("E15 missing %s:\n%s", impl, out)
 		}
@@ -247,7 +248,7 @@ func TestE16Sharded(t *testing.T) {
 func TestE19SplitOrderedHash(t *testing.T) {
 	out := runQuick(t, "E19")
 	for _, row := range []string{
-		"cow(non-blocking)", "lock-free(harris)", "hash(split-ordered)",
+		"set/non-blocking", "set/harris", "set/hashset",
 		"flatness", "resizes",
 	} {
 		if !strings.Contains(out, row) {
@@ -262,9 +263,9 @@ func TestE19SplitOrderedHash(t *testing.T) {
 func TestE17AllocationFreeHotPaths(t *testing.T) {
 	out := runQuick(t, "E17")
 	for _, row := range []string{
-		"stack/treiber(boxed)", "stack/treiber(pooled)",
-		"queue/michael-scott(pooled)", "stack/abortable(pooled)",
-		"stack/combining(pooled)", "queue/abortable(pooled)", "stack/packed",
+		"stack/treiber", "stack/treiber-pooled",
+		"queue/michael-scott-pooled", "stack/abortable-pooled",
+		"stack/combining-pooled", "queue/abortable-pooled", "stack/packed",
 		"forced reuse",
 	} {
 		if !strings.Contains(out, row) {
@@ -279,11 +280,24 @@ func TestE17AllocationFreeHotPaths(t *testing.T) {
 	// steady-state table; the forced-reuse table repeats the names).
 	steady, _, _ := strings.Cut(out, "forced reuse")
 	for _, line := range strings.Split(steady, "\n") {
-		if strings.HasPrefix(line, "stack/treiber(pooled)") ||
-			strings.HasPrefix(line, "queue/michael-scott(pooled)") {
+		if strings.HasPrefix(line, "stack/treiber-pooled") ||
+			strings.HasPrefix(line, "queue/michael-scott-pooled") {
 			if !strings.Contains(line, "0.000") || !strings.Contains(line, "0 allocs/op") {
 				t.Fatalf("pooled hot path still allocates: %s", line)
 			}
+		}
+	}
+}
+
+func TestE20UnifiedDispatch(t *testing.T) {
+	out := runQuick(t, "E20")
+	// One row per catalog backend, across all four kinds.
+	for _, row := range []string{
+		"stack/sensitive", "stack/treiber-pooled", "queue/sharded",
+		"deque/sensitive", "set/hashset", "overhead",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E20 missing %s:\n%s", row, out)
 		}
 	}
 }

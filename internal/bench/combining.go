@@ -44,13 +44,14 @@ func runE15(cfg Config, w io.Writer) error {
 	defer cfg.logTable("E15 scaling", tb)
 
 	// The lock-based fallback baselines and the paper's sensitive
-	// tower, via the shared E5 implementation set.
-	for _, impl := range stackImpls() {
-		switch impl.name {
-		case "lock(mutex)", "lock(tas)", "cont-sensitive":
-		default:
-			continue
+	// tower (resolved from the catalog, not by name).
+	impls := []hammerImpl{paperSensitiveStack()}
+	for _, impl := range lockStackImpls() {
+		if impl.name == "lock(mutex)" || impl.name == "lock(tas)" {
+			impls = append(impls, impl)
 		}
+	}
+	for _, impl := range impls {
 		row := []interface{}{impl.name}
 		for _, procs := range steps {
 			push, pop := impl.build(k, procs)

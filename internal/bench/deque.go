@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/deque"
 	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
@@ -26,28 +27,22 @@ func init() {
 func runE14(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 
-	// Part 1: throughput of the tower under both-end traffic.
+	// Part 1: throughput of the tower under both-end traffic, over
+	// every strong deque backend in the public catalog (the weak
+	// deque's single attempts abort under a hammer; part 2 measures it
+	// on its own terms).
 	type impl struct {
 		name string
 		mk   func(procs int) (push func(pid int, right bool, v uint32) error, pop func(pid int, right bool) (uint32, error))
 	}
-	impls := []impl{
-		{"non-blocking", func(procs int) (func(int, bool, uint32) error, func(int, bool) (uint32, error)) {
-			d := deque.NewNonBlocking(1024)
-			return func(_ int, right bool, v uint32) error {
-					if right {
-						return d.PushRight(v)
-					}
-					return d.PushLeft(v)
-				}, func(_ int, right bool) (uint32, error) {
-					if right {
-						return d.PopRight()
-					}
-					return d.PopLeft()
-				}
-		}},
-		{"cont-sensitive", func(procs int) (func(int, bool, uint32) error, func(int, bool) (uint32, error)) {
-			d := deque.NewSensitive(1024, procs)
+	var impls []impl
+	for _, b := range repro.CatalogByKind(repro.KindDeque) {
+		if b.Weak {
+			continue
+		}
+		b := b
+		impls = append(impls, impl{b.Name, func(procs int) (func(int, bool, uint32) error, func(int, bool) (uint32, error)) {
+			d := b.Deque(repro.WithCapacity(1024), repro.WithProcs(procs))
 			return func(pid int, right bool, v uint32) error {
 					if right {
 						return d.PushRight(pid, v)
@@ -59,7 +54,7 @@ func runE14(cfg Config, w io.Writer) error {
 					}
 					return d.PopLeft(pid)
 				}
-		}},
+		}})
 	}
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
 	defer cfg.logTable("E14 deque scaling", tb)
@@ -166,7 +161,18 @@ func runE14(cfg Config, w io.Writer) error {
 		rounds = 10
 	}
 	const procs, perRound = 4, 4
-	sd := deque.NewSensitive(6, procs)
+	// The strong deque, resolved from the catalog (paper tier,
+	// starvation-free) so its name is not restated here.
+	var strong repro.Backend
+	for _, b := range repro.CatalogByKind(repro.KindDeque) {
+		if b.Tier == "paper" && b.Progress == "starvation-free" {
+			strong = b
+		}
+	}
+	if strong.Deque == nil {
+		panic("bench: the catalog has no paper-tier starvation-free deque")
+	}
+	sd := strong.Deque(repro.WithCapacity(6), repro.WithProcs(procs))
 	rec := lin.NewRecorder(procs)
 	var next atomic.Uint64
 	kinds := []string{"pushl", "pushr", "popl", "popr"}
@@ -224,7 +230,7 @@ func runE14(cfg Config, w io.Writer) error {
 	}
 	tb3 := metrics.NewTable("implementation", "ops checked", "search states", "verdict")
 	defer cfg.logTable("E14 linearizability", tb3)
-	tb3.AddRow("deque/sensitive", len(h), res.States, verdict)
+	tb3.AddRow(strong.Name, len(h), res.States, verdict)
 	if err := fprintf(w, "%s", tb3.String()); err != nil {
 		return err
 	}

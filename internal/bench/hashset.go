@@ -3,10 +3,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/metrics"
-	"repro/internal/set"
 	"repro/internal/workload"
 )
 
@@ -34,31 +35,38 @@ type e19Impl struct {
 		resizes func() uint64)
 }
 
+// e19Impls selects the key-range sweep's backends from the catalog:
+// the strong, lock-free set backends — the COW Figure 2 list, the
+// Harris list, and the split-ordered hash layer — whose instances can
+// produce the quiescent snapshot the conservation check walks. (The
+// guard-serialized backends are covered by E18's narrower ranges; at
+// 65536 keys their path copies would dominate the sweep.)
 func e19Impls() []e19Impl {
-	return []e19Impl{
-		{
-			name: "cow(non-blocking)",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool, func() []uint64, func() uint64) {
-				ab := set.NewAbortable()
-				s := set.NewNonBlockingFrom(ab, nil)
-				return s.Add, s.Remove, s.Contains, ab.Snapshot, nil
-			},
-		},
-		{
-			name: "lock-free(harris)",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool, func() []uint64, func() uint64) {
-				s := set.NewHarris(procs)
-				return s.Add, s.Remove, s.Contains, s.Snapshot, nil
-			},
-		},
-		{
-			name: "hash(split-ordered)",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool, func() []uint64, func() uint64) {
-				s := set.NewHash(procs)
-				return s.Add, s.Remove, s.Contains, s.Snapshot, s.Resizes
-			},
-		},
+	var out []e19Impl
+	for _, b := range repro.CatalogByKind(repro.KindSet) {
+		if b.Weak || !strings.Contains(b.Progress, "lock-free") {
+			continue
+		}
+		b := b
+		out = append(out, e19Impl{name: b.Name, build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool, func() []uint64, func() uint64) {
+			s := b.Set(repro.WithProcs(procs))
+			inner := repro.Unwrap(s)
+			sn, ok := inner.(interface{ Snapshot() []uint64 })
+			if !ok {
+				panic(fmt.Sprintf("bench: E19 backend %s cannot produce the quiescent snapshot its conservation check walks", b.Name))
+			}
+			snapshot := sn.Snapshot
+			var resizes func() uint64
+			if r, ok := inner.(interface{ Resizes() uint64 }); ok {
+				resizes = r.Resizes
+			}
+			add := func(pid int, k uint64) bool { ok, _ := s.Add(pid, k); return ok }
+			remove := func(pid int, k uint64) bool { ok, _ := s.Remove(pid, k); return ok }
+			contains := func(pid int, k uint64) bool { ok, _ := s.Contains(pid, k); return ok }
+			return add, remove, contains, snapshot, resizes
+		}})
 	}
+	return out
 }
 
 // hammerSetSnapshot is E19's driver: driveSetMix plus conservation

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"repro"
 	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
 	"repro/internal/queue"
@@ -34,18 +35,67 @@ type LinTarget struct {
 }
 
 // LinTargets returns the implementations the linearizability
-// experiments cover.
+// experiments cover: every stack and queue backend in the public
+// catalog (built through its capability interface, with the
+// catalog's LinOpts applied — e.g. the sharded queue is globally
+// FIFO only when pinned to one stripe), plus the internal-only
+// packed and pooled Figure 1 variants the catalog does not export.
 func LinTargets() []LinTarget {
-	return []LinTarget{
-		{"stack/abortable", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewAbortable[uint64](6)
-			return func(_ int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.TryPush(v)
+	var out []LinTarget
+	for _, b := range repro.Catalog() {
+		if b.Kind != repro.KindStack && b.Kind != repro.KindQueue {
+			continue
+		}
+		b := b
+		modelK := 0
+		capacity := 6 // stack model capacity; queues use 5
+		if b.Kind == repro.KindQueue {
+			capacity = 5
+		}
+		if b.Bounded {
+			modelK = capacity
+		}
+		name := b.Name
+		if b.LinNote != "" {
+			name += "[" + b.LinNote + "]"
+		}
+		out = append(out, LinTarget{name, b.Kind, modelK, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
+			opts := append([]repro.Option{repro.WithCapacity(capacity), repro.WithProcs(procs)}, b.LinOpts...)
+			if b.Kind == repro.KindStack {
+				s := b.Stack(opts...)
+				return func(pid int, push bool, v uint64) (uint64, error) {
+					if push {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}, stack.ErrFull, stack.ErrEmpty, abortSentinel(b, stack.ErrAborted)
+			}
+			q := b.Queue(opts...)
+			return func(pid int, enq bool, v uint64) (uint64, error) {
+				if enq {
+					return 0, q.Enqueue(pid, v)
 				}
-				return s.TryPop()
-			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
-		}},
+				return q.Dequeue(pid)
+			}, queue.ErrFull, queue.ErrEmpty, abortSentinel(b, queue.ErrAborted)
+		}})
+	}
+	return append(out, internalLinTargets()...)
+}
+
+// abortSentinel returns the kind's abort error for weak backends and
+// nil for strong ones (whose uniform operations never abort).
+func abortSentinel(b repro.Backend, aborted error) error {
+	if b.Weak {
+		return aborted
+	}
+	return nil
+}
+
+// internalLinTargets covers the implementations that are deliberately
+// not in the public catalog — the packed bit-packing variants and the
+// pooled Figure 1 retrofits — so their histories stay checked too.
+func internalLinTargets() []LinTarget {
+	return []LinTarget{
 		{"stack/packed", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			s := stack.NewPacked(6)
 			return func(_ int, push bool, v uint64) (uint64, error) {
@@ -56,42 +106,6 @@ func LinTargets() []LinTarget {
 				return uint64(got), err
 			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
 		}},
-		{"stack/non-blocking", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewNonBlocking[uint64](6)
-			return func(_ int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(v)
-				}
-				return s.Pop()
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
-		{"stack/sensitive", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewSensitive[uint64](6, procs)
-			return func(pid int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(pid, v)
-				}
-				return s.Pop(pid)
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
-		{"stack/treiber", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewTreiber[uint64]()
-			return func(_ int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(v)
-				}
-				return s.Pop()
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
-		{"stack/treiber-pooled", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewTreiberPooled(procs)
-			return func(pid int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(pid, v)
-				}
-				return s.Pop(pid)
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
 		{"stack/abortable-pooled", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			s := stack.NewAbortablePooled(6, procs)
 			return func(pid int, push bool, v uint64) (uint64, error) {
@@ -100,33 +114,6 @@ func LinTargets() []LinTarget {
 				}
 				return s.TryPop(pid)
 			}, stack.ErrFull, stack.ErrEmpty, stack.ErrAborted
-		}},
-		{"stack/elimination", "stack", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewElimination[uint64](0)
-			return func(_ int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(v)
-				}
-				return s.Pop()
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
-		{"stack/combining", "stack", 6, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			s := stack.NewCombining[uint64](6, procs)
-			return func(pid int, push bool, v uint64) (uint64, error) {
-				if push {
-					return 0, s.Push(pid, v)
-				}
-				return s.Pop(pid)
-			}, stack.ErrFull, stack.ErrEmpty, nil
-		}},
-		{"queue/abortable", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			q := queue.NewAbortable[uint64](5)
-			return func(_ int, enq bool, v uint64) (uint64, error) {
-				if enq {
-					return 0, q.TryEnqueue(v)
-				}
-				return q.TryDequeue()
-			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
 		}},
 		{"queue/packed", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			q := queue.NewPacked(5)
@@ -138,15 +125,6 @@ func LinTargets() []LinTarget {
 				return uint64(got), err
 			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
 		}},
-		{"queue/sensitive", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			q := queue.NewSensitive[uint64](5, procs)
-			return func(pid int, enq bool, v uint64) (uint64, error) {
-				if enq {
-					return 0, q.Enqueue(pid, v)
-				}
-				return q.Dequeue(pid)
-			}, queue.ErrFull, queue.ErrEmpty, nil
-		}},
 		{"queue/michael-scott", "queue", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			q := queue.NewMichaelScott[uint64]()
 			return func(_ int, enq bool, v uint64) (uint64, error) {
@@ -157,16 +135,6 @@ func LinTargets() []LinTarget {
 				return q.Dequeue()
 			}, queue.ErrFull, queue.ErrEmpty, nil
 		}},
-		{"queue/michael-scott-pooled", "queue", 0, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			q := queue.NewMichaelScottPooled(procs)
-			return func(pid int, enq bool, v uint64) (uint64, error) {
-				if enq {
-					q.Enqueue(pid, v)
-					return 0, nil
-				}
-				return q.Dequeue(pid)
-			}, queue.ErrFull, queue.ErrEmpty, nil
-		}},
 		{"queue/abortable-pooled", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
 			q := queue.NewAbortablePooled(5)
 			return func(_ int, enq bool, v uint64) (uint64, error) {
@@ -175,27 +143,6 @@ func LinTargets() []LinTarget {
 				}
 				return q.TryDequeue()
 			}, queue.ErrFull, queue.ErrEmpty, queue.ErrAborted
-		}},
-		{"queue/combining", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			q := queue.NewCombining[uint64](5, procs)
-			return func(pid int, enq bool, v uint64) (uint64, error) {
-				if enq {
-					return 0, q.Enqueue(pid, v)
-				}
-				return q.Dequeue(pid)
-			}, queue.ErrFull, queue.ErrEmpty, nil
-		}},
-		// The sharded queue is globally linearizable only at K=1 (each
-		// shard is FIFO; striping relaxes cross-process order), so the
-		// degenerate stripe is what the FIFO model can check.
-		{"queue/sharded[K=1]", "queue", 5, func(procs int) (func(int, bool, uint64) (uint64, error), error, error, error) {
-			q := queue.NewSharded[uint64](5, procs, 1)
-			return func(pid int, enq bool, v uint64) (uint64, error) {
-				if enq {
-					return 0, q.Enqueue(pid, v)
-				}
-				return q.Dequeue(pid)
-			}, queue.ErrFull, queue.ErrEmpty, nil
 		}},
 	}
 }
@@ -210,59 +157,31 @@ type SetLinTarget struct {
 }
 
 // SetLinTargets returns the set implementations the linearizability
-// experiments cover.
+// experiments cover: every set backend in the public catalog, driven
+// through SetAPI (whose op shape — a boolean answer plus an abort
+// error on the weak backend — is exactly what RunSetLin records).
+// The hash target starts at its initial bucket count, and RunSetLin's
+// 8-key range over the 2-bucket fresh table keeps every lazy split
+// and sentinel adoption inside the recorded histories.
 func SetLinTargets() []SetLinTarget {
-	return []SetLinTarget{
-		{"set/abortable", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewAbortable()
-			return func(_ int, op int, k uint64) (bool, error) {
+	var out []SetLinTarget
+	for _, b := range repro.CatalogByKind(repro.KindSet) {
+		b := b
+		out = append(out, SetLinTarget{b.Name, func(procs int) (func(int, int, uint64) (bool, error), error) {
+			s := b.Set(repro.WithProcs(procs))
+			return func(pid int, op int, k uint64) (bool, error) {
 				switch op {
 				case 0:
-					return s.TryAdd(k)
+					return s.Add(pid, k)
 				case 1:
-					return s.TryRemove(k)
+					return s.Remove(pid, k)
 				default:
-					return s.TryContains(k)
+					return s.Contains(pid, k)
 				}
-			}, set.ErrAborted
-		}},
-		{"set/sensitive", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewSensitive(procs)
-			return strongSetDriver(s), nil
-		}},
-		{"set/non-blocking", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewNonBlocking()
-			return strongSetDriver(s), nil
-		}},
-		{"set/harris", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewHarris(procs)
-			return strongSetDriver(s), nil
-		}},
-		// The hash target starts at hashInitialBuckets, and RunSetLin's
-		// 8-key range over the 2-bucket fresh table keeps every lazy
-		// split and sentinel adoption inside the recorded histories.
-		{"set/hashset", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewHash(procs)
-			return strongSetDriver(s), nil
-		}},
-		{"set/combining", func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := set.NewCombining(procs)
-			return strongSetDriver(s), nil
-		}},
+			}, abortSentinel(b, set.ErrAborted)
+		}})
 	}
-}
-
-func strongSetDriver(s set.Strong) func(int, int, uint64) (bool, error) {
-	return func(pid int, op int, k uint64) (bool, error) {
-		switch op {
-		case 0:
-			return s.Add(pid, k), nil
-		case 1:
-			return s.Remove(pid, k), nil
-		default:
-			return s.Contains(pid, k), nil
-		}
-	}
+	return out
 }
 
 // setKinds maps the op code to the history kind the set model steps.

@@ -112,7 +112,9 @@ func runE5(cfg Config, w io.Writer) error {
 	const k = 1024
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
 	defer cfg.logTable("E5 stack scaling", tb)
-	for _, impl := range stackImpls() {
+	// The lock-based references, then every strong stack backend the
+	// public catalog exports.
+	for _, impl := range append(lockStackImpls(), catalogStackImpls()...) {
 		row := []interface{}{impl.name}
 		for _, procs := range procSteps(cfg.Procs) {
 			push, pop := impl.build(k, procs)
@@ -297,34 +299,12 @@ func runE9(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	const k = 1024
 
-	// Part 1: throughput scaling, mirroring E5.
-	type qImpl struct {
-		name  string
-		build func(k, procs int) (func(pid int, v uint64) error, func(pid int) (uint64, error))
-	}
-	impls := []qImpl{
-		{"lock(mutex)", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-			q := queue.NewLockBased[uint64](k)
-			return q.Enqueue, q.Dequeue
-		}},
-		{"michael-scott", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-			q := queue.NewMichaelScott[uint64]()
-			return func(_ int, v uint64) error { q.Enqueue(v); return nil },
-				func(_ int) (uint64, error) { return q.Dequeue() }
-		}},
-		{"non-blocking", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-			q := queue.NewNonBlocking[uint64](k)
-			return func(_ int, v uint64) error { return q.Enqueue(v) },
-				func(_ int) (uint64, error) { return q.Dequeue() }
-		}},
-		{"cont-sensitive", func(k, procs int) (func(int, uint64) error, func(int) (uint64, error)) {
-			q := queue.NewSensitive[uint64](k, procs)
-			return q.Enqueue, q.Dequeue
-		}},
-	}
+	// Part 1: throughput scaling, mirroring E5: the lock-based and
+	// boxed Michael-Scott references, then every strong queue backend
+	// the public catalog exports.
 	tb := metrics.NewTable(append([]string{"impl"}, procLabels(procSteps(cfg.Procs))...)...)
 	defer cfg.logTable("E9 queue scaling", tb)
-	for _, impl := range impls {
+	for _, impl := range append(lockQueueImpls(), catalogQueueImpls()...) {
 		row := []interface{}{impl.name}
 		for _, procs := range procSteps(cfg.Procs) {
 			enq, deq := impl.build(k, procs)

@@ -7,8 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/metrics"
-	"repro/internal/set"
 	"repro/internal/spec"
 	"repro/internal/workload"
 )
@@ -33,11 +33,11 @@ type setImpl struct {
 		contains func(pid int, k uint64) bool)
 }
 
-// setImpls returns E18's comparison set: the lock-based baseline, the
-// paper-ladder constructions over the copy-on-write weak list, the
-// flat-combining tier, and the Harris/Michael lock-free list.
+// setImpls returns E18's comparison set: the lock-based baseline
+// plus every strong set backend the public catalog exports (weak
+// backends abort under a hammer and are excluded).
 func setImpls() []setImpl {
-	return []setImpl{
+	out := []setImpl{
 		{
 			name: "lock(mutex)",
 			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
@@ -58,35 +58,26 @@ func setImpls() []setImpl {
 					}
 			},
 		},
-		{
-			name: "cont-sensitive",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
-				s := set.NewSensitive(procs)
-				return s.Add, s.Remove, s.Contains
-			},
-		},
-		{
-			name: "non-blocking",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
-				s := set.NewNonBlocking()
-				return s.Add, s.Remove, s.Contains
-			},
-		},
-		{
-			name: "combining",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
-				s := set.NewCombining(procs)
-				return s.Add, s.Remove, s.Contains
-			},
-		},
-		{
-			name: "lock-free(harris)",
-			build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
-				s := set.NewHarris(procs)
-				return s.Add, s.Remove, s.Contains
-			},
-		},
 	}
+	for _, b := range repro.CatalogByKind(repro.KindSet) {
+		if b.Weak {
+			continue
+		}
+		b := b
+		out = append(out, setImpl{name: b.Name, build: func(procs int) (func(int, uint64) bool, func(int, uint64) bool, func(int, uint64) bool) {
+			return strongSetOps(b, procs)
+		}})
+	}
+	return out
+}
+
+// strongSetOps builds a fresh instance of a strong catalog set and
+// returns its answers stripped of the always-nil error.
+func strongSetOps(b repro.Backend, procs int) (add, remove, contains func(int, uint64) bool) {
+	s := b.Set(repro.WithProcs(procs))
+	return func(pid int, k uint64) bool { ok, _ := s.Add(pid, k); return ok },
+		func(pid int, k uint64) bool { ok, _ := s.Remove(pid, k); return ok },
+		func(pid int, k uint64) bool { ok, _ := s.Contains(pid, k); return ok }
 }
 
 // driveSetMix prefills every other key (descending, so the insert

@@ -63,23 +63,23 @@ type Abortable struct {
 	leftHint  *memory.Word
 }
 
-// NewAbortable returns a deque of capacity max >= 1 with the window
+// NewAbortable returns a deque of capacity k >= 1 with the window
 // split in the middle (matching spec.NewDeque).
-func NewAbortable(max int) *Abortable { return NewAbortableObserved(max, nil) }
+func NewAbortable(k int) *Abortable { return NewAbortableObserved(k, nil) }
 
 // NewAbortableObserved returns an instrumented deque (nil obs disables
 // instrumentation).
-func NewAbortableObserved(max int, obs memory.Observer) *Abortable {
-	if max < 1 {
+func NewAbortableObserved(k int, obs memory.Observer) *Abortable {
+	if k < 1 {
 		panic("deque: capacity must be >= 1")
 	}
-	numLN := max/2 + 1 // cells 0..numLN-1 start as LN
+	numLN := k/2 + 1 // cells 0..numLN-1 start as LN
 	d := &Abortable{
-		max:       max,
+		max:       k,
 		rightHint: memory.NewWordObserved(uint64(numLN), obs),
 		leftHint:  memory.NewWordObserved(uint64(numLN-1), obs),
 	}
-	d.cells = memory.NewWordsInit(max+2, func(i int) uint64 {
+	d.cells = memory.NewWordsInit(k+2, func(i int) uint64 {
 		if i < numLN {
 			return pack(kindLN, 0, 0)
 		}

@@ -13,10 +13,10 @@ type NonBlocking struct {
 	m    core.Manager
 }
 
-// NewNonBlocking returns a non-blocking deque of capacity max with the
+// NewNonBlocking returns a non-blocking deque of capacity k with the
 // bare retry loop.
-func NewNonBlocking(max int) *NonBlocking {
-	return NewNonBlockingFrom(NewAbortable(max), nil)
+func NewNonBlocking(k int) *NonBlocking {
+	return NewNonBlockingFrom(NewAbortable(k), nil)
 }
 
 // NewNonBlockingFrom builds the retry construction over an existing
@@ -72,10 +72,10 @@ type Sensitive struct {
 }
 
 // NewSensitive returns the paper's configuration for n processes: a
-// fresh weak deque of capacity max behind a round-robin-wrapped
+// fresh weak deque of capacity k behind a round-robin-wrapped
 // test-and-set lock.
-func NewSensitive(max, n int) *Sensitive {
-	return NewSensitiveFrom(NewAbortable(max), lock.NewRoundRobin(lock.NewTAS(), n))
+func NewSensitive(k, n int) *Sensitive {
+	return NewSensitiveFrom(NewAbortable(k), lock.NewRoundRobin(lock.NewTAS(), n))
 }
 
 // NewSensitiveFrom builds Figure 3 over an existing weak deque and

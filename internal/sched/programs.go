@@ -380,12 +380,12 @@ func dequeOutcome(err error) string {
 	}
 }
 
-// WeakDequeBuilder model-checks the HLM abortable deque: prefill with
-// rightward pushes of initial, run the per-process plans, check the
-// recorded history against the deque model.
-func WeakDequeBuilder(max int, initial []uint64, plans [][]DequeOp) Builder {
+// WeakDequeBuilder model-checks the HLM abortable deque of capacity
+// k: prefill with rightward pushes of initial, run the per-process
+// plans, check the recorded history against the deque model.
+func WeakDequeBuilder(k int, initial []uint64, plans [][]DequeOp) Builder {
 	return func(obs memory.Observer) Run {
-		d := deque.NewAbortableObserved(max, obs)
+		d := deque.NewAbortableObserved(k, obs)
 		for _, v := range initial {
 			if err := d.TryPushRight(uint32(v)); err != nil {
 				panic(fmt.Sprintf("sched: prefill: %v", err))
@@ -422,7 +422,7 @@ func WeakDequeBuilder(max int, initial []uint64, plans [][]DequeOp) Builder {
 		}
 		return Run{Ops: ops, Check: func() error {
 			h := rec.History()
-			res := lin.Check(lin.DequeModel(max), h, 0)
+			res := lin.Check(lin.DequeModel(k), h, 0)
 			if res.Exhausted {
 				return fmt.Errorf("sched: linearizability check exhausted")
 			}

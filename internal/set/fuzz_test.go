@@ -6,51 +6,14 @@ import (
 	"repro/internal/spec"
 )
 
-// FuzzSetBackendsAgree decodes a byte string into a solo op sequence
-// and cross-checks every set backend against spec.Set on each answer.
-// Byte 2i selects the op (mod 3: add, remove, contains); byte 2i+1 is
-// the key (a small range, so duplicate adds, absent removes and
-// membership flips all occur). The Harris and split-ordered hash
-// backends run with single-pid pools, so every remove's node returns
-// on the very next add — maximum same-handle reuse pressure on the
-// next-register tags (for the hash backend that includes handles that
-// once carried bucket sentinels' would-be nodes).
-func FuzzSetBackendsAgree(f *testing.F) {
-	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 2, 1})
-	f.Add([]byte{0, 5, 0, 3, 1, 5, 0, 4, 1, 3, 2, 4})
-	f.Add([]byte{0, 9, 1, 9, 0, 9, 1, 9, 0, 9, 2, 9})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		bes := backends(1)
-		ref := spec.NewSet()
-		for i := 0; i+1 < len(data); i += 2 {
-			k := uint64(data[i+1] % 16)
-			var want bool
-			switch data[i] % 3 {
-			case 0:
-				want = ref.Add(k)
-			case 1:
-				want = ref.Remove(k)
-			default:
-				want = ref.Contains(k)
-			}
-			for _, be := range bes {
-				var got bool
-				switch data[i] % 3 {
-				case 0:
-					got = be.add(0, k)
-				case 1:
-					got = be.remove(0, k)
-				default:
-					got = be.contains(0, k)
-				}
-				if got != want {
-					t.Fatalf("op %d: %s disagrees with spec on key %d: got %v want %v",
-						i, be.name, k, got, want)
-				}
-			}
-		}
-	})
-}
+// The cross-backend lockstep fuzzer lives at the repo root now
+// (FuzzSetBackendsAgree in the public repro_test package): it iterates
+// repro.Catalog() instead of enumerating backends by hand, with
+// single-pid pools so every remove's node returns on the very next add
+// — maximum same-handle reuse pressure on the next-register tags.
+// FuzzHashVsSpec stays here for the split-ordering internals (table
+// doublings, sentinel adoption, snapshot shape) the uniform surface
+// cannot reach.
 
 // FuzzHashVsSpec runs the split-ordered hash set in lockstep with
 // spec.Set across table resizes: byte 2i picks the op, byte 2i+1 the

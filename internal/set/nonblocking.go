@@ -51,6 +51,16 @@ func (s *NonBlocking) Contains(_ int, k uint64) bool {
 	return ok
 }
 
+// Snapshot returns the resident keys in ascending order when the
+// underlying weak set can produce one (the copy-on-write list can);
+// it returns nil otherwise. Meaningful at quiescence only.
+func (s *NonBlocking) Snapshot() []uint64 {
+	if sn, ok := s.weak.(interface{ Snapshot() []uint64 }); ok {
+		return sn.Snapshot()
+	}
+	return nil
+}
+
 // Progress reports NonBlocking: at least one concurrent operation
 // terminates.
 func (s *NonBlocking) Progress() core.Progress { return core.NonBlocking }

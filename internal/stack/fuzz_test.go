@@ -114,55 +114,10 @@ func FuzzAbortablePooledVsSpec(f *testing.F) {
 	})
 }
 
-func FuzzPooledBackendsAgree(f *testing.F) {
-	// The three Figure 1 backends — boxed, packed, pooled — must agree
-	// on every solo history.
-	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		const k = 3
-		boxed := NewAbortable[uint32](k)
-		packed := NewPacked(k)
-		pooled := NewAbortablePooled(k, 1)
-		for i := 0; i+1 < len(data); i += 2 {
-			if data[i]%2 == 0 {
-				v := uint32(data[i+1])
-				be, ke, pe := boxed.TryPush(v), packed.TryPush(v), pooled.TryPush(0, uint64(v))
-				if (be == nil) != (pe == nil) || (be == nil) != (ke == nil) {
-					t.Fatalf("op %d: push disagreement: boxed=%v packed=%v pooled=%v", i, be, ke, pe)
-				}
-			} else {
-				bv, be := boxed.TryPop()
-				kv, ke := packed.TryPop()
-				pv, pe := pooled.TryPop(0)
-				if (be == nil) != (pe == nil) || (be == nil) != (ke == nil) ||
-					(be == nil && (uint64(bv) != pv || kv != bv)) {
-					t.Fatalf("op %d: pop disagreement: (%d,%v) vs (%d,%v) vs (%d,%v)", i, bv, be, kv, ke, pv, pe)
-				}
-			}
-		}
-	})
-}
-
-func FuzzBackendsAgree(f *testing.F) {
-	f.Add([]byte{0, 1, 1, 0, 0, 2, 0, 3, 1, 0})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		const k = 3
-		boxed := NewAbortable[uint32](k)
-		packed := NewPacked(k)
-		for i := 0; i+1 < len(data); i += 2 {
-			if data[i]%2 == 0 {
-				v := uint32(data[i+1])
-				be, pe := boxed.TryPush(v), packed.TryPush(v)
-				if (be == nil) != (pe == nil) {
-					t.Fatalf("op %d: push disagreement: boxed=%v packed=%v", i, be, pe)
-				}
-			} else {
-				bv, be := boxed.TryPop()
-				pv, pe := packed.TryPop()
-				if (be == nil) != (pe == nil) || (be == nil && bv != pv) {
-					t.Fatalf("op %d: pop disagreement: (%d,%v) vs (%d,%v)", i, bv, be, pv, pe)
-				}
-			}
-		}
-	})
-}
+// The cross-backend lockstep fuzzers live at the repo root now
+// (FuzzStackBackendsAgree in the public repro_test package): they
+// iterate repro.Catalog() instead of enumerating backends by hand, so
+// every exported backend — including the internal variants' public
+// faces — is replayed against the spec from one list. The per-backend
+// *VsSpec targets above stay here to keep the internal-only packed and
+// pooled variants covered solo.

@@ -45,9 +45,34 @@
 // known asynchronous processes. Give each goroutine that touches one
 // object a distinct pid.
 //
-// See README.md for a quickstart, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for the reproduction results; cmd/contbench
-// regenerates every table.
+// # One catalog, one contract
+//
+// The paper's point is a ladder of implementations of the same object
+// type, distinguished only by capabilities — and the API says so.
+// Every backend above also sits behind one capability-typed contract
+// per object kind (StackAPI, QueueAPI, DequeAPI, SetAPI; see api.go)
+// and is described by a machine-readable catalog entry:
+//
+//	for _, b := range repro.Catalog() { ... }        // name, kind, tier,
+//	                                                 // progress, allocation,
+//	                                                 // experiments, constructors
+//	s, err := repro.NewStackBackend[int]("sensitive",
+//	    repro.WithCapacity(1024), repro.WithProcs(8))
+//
+// The options constructors (NewStackBackend, NewQueueBackend,
+// NewDequeBackend, NewSetBackend) resolve any catalog name —
+// WithPooled redirects to a backend's pooled sibling — and the
+// harnesses (internal/bench, cmd/lincheck, the lockstep fuzzers)
+// enumerate the catalog instead of keeping backend lists of their
+// own. Experiment E20 pins the unified dispatch cost at a few
+// percent of direct method calls. The concrete-type constructors
+// below predate the catalog and remain the right choice when you
+// want the concrete type and its extensions directly; repro.Unwrap
+// reaches those extensions from behind the interfaces.
+//
+// See README.md for a quickstart and the catalog table, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for the reproduction
+// results; cmd/contbench regenerates every table.
 package repro
 
 import (
@@ -251,14 +276,14 @@ var (
 )
 
 // NewDeque returns a contention-sensitive, starvation-free deque of
-// capacity max for n processes.
-func NewDeque(max, n int) *Deque { return deque.NewSensitive(max, n) }
+// capacity k for n processes.
+func NewDeque(k, n int) *Deque { return deque.NewSensitive(k, n) }
 
-// NewAbortableDeque returns the weak HLM deque of capacity max.
-func NewAbortableDeque(max int) *AbortableDeque { return deque.NewAbortable(max) }
+// NewAbortableDeque returns the weak HLM deque of capacity k.
+func NewAbortableDeque(k int) *AbortableDeque { return deque.NewAbortable(k) }
 
-// NewNonBlockingDeque returns the retrying deque of capacity max.
-func NewNonBlockingDeque(max int) *NonBlockingDeque { return deque.NewNonBlocking(max) }
+// NewNonBlockingDeque returns the retrying deque of capacity k.
+func NewNonBlockingDeque(k int) *NonBlockingDeque { return deque.NewNonBlocking(k) }
 
 // Set is the contention-sensitive, starvation-free sorted set: the
 // Figure 3 construction over the abortable copy-on-write list.

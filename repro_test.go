@@ -2,6 +2,9 @@ package repro_test
 
 import (
 	"errors"
+	"os"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 
@@ -313,5 +316,252 @@ func TestPublicAbortableSet(t *testing.T) {
 	}
 	if errors.Is(repro.ErrSetAborted, repro.ErrStackAborted) {
 		t.Fatal("set and stack abort sentinels must be distinct")
+	}
+}
+
+// --- catalog & options API ---------------------------------------------
+
+// TestCatalogShape pins the catalog's structural invariants: unique
+// kind-prefixed names, complete metadata, exactly the right
+// constructor closure per kind, and E20 (the catalog-wide dispatch
+// experiment) covering every entry.
+func TestCatalogShape(t *testing.T) {
+	seen := map[string]bool{}
+	kinds := map[string]int{}
+	for _, b := range repro.Catalog() {
+		if seen[b.Name] {
+			t.Fatalf("duplicate catalog name %s", b.Name)
+		}
+		seen[b.Name] = true
+		kinds[b.Kind]++
+		if !strings.HasPrefix(b.Name, b.Kind+"/") {
+			t.Errorf("%s: name not prefixed by kind %q", b.Name, b.Kind)
+		}
+		if b.Constructor == "" || b.Object == "" || b.Tier == "" ||
+			b.Progress == "" || b.Domain == "" || b.Allocation == "" {
+			t.Errorf("%s: incomplete metadata: %+v", b.Name, b)
+		}
+		nonNil := 0
+		for _, ok := range []bool{b.Stack != nil, b.Queue != nil, b.Deque != nil, b.Set != nil} {
+			if ok {
+				nonNil++
+			}
+		}
+		if nonNil != 1 {
+			t.Errorf("%s: %d kind constructors set, want exactly 1", b.Name, nonNil)
+		}
+		if b.Direct == nil {
+			t.Errorf("%s: no direct-call builder", b.Name)
+		}
+		hasE20 := false
+		for _, e := range b.Experiments {
+			if e == "E20" {
+				hasE20 = true
+			}
+		}
+		if !hasE20 {
+			t.Errorf("%s: not covered by E20", b.Name)
+		}
+	}
+	for _, kind := range []string{repro.KindStack, repro.KindQueue, repro.KindDeque, repro.KindSet} {
+		if kinds[kind] == 0 {
+			t.Errorf("catalog has no %s entries", kind)
+		}
+	}
+}
+
+// TestCatalogDriveSolo pushes one value through every catalog entry's
+// interface and direct drivers: the uniform op encoding must
+// round-trip on both paths.
+func TestCatalogDriveSolo(t *testing.T) {
+	opts := []repro.Option{repro.WithCapacity(8), repro.WithProcs(1)}
+	for _, b := range repro.Catalog() {
+		for path, ops := range map[string]repro.Ops{
+			"interface": repro.Drive(b, opts...),
+			"direct":    b.Direct(opts...),
+		} {
+			if _, err := ops.Do(0, 0, 7); err != nil {
+				t.Fatalf("%s/%s: op 0 (insert 7): %v", b.Name, path, err)
+			}
+			popOp := 1 // stack/queue remove
+			switch b.Kind {
+			case repro.KindDeque:
+				popOp = 2 // popL pairs with op 0 = pushL
+			case repro.KindSet:
+				popOp = 2 // contains
+			}
+			got, err := ops.Do(0, popOp, 7)
+			want := uint64(7)
+			if b.Kind == repro.KindSet {
+				want = 1 // membership answer
+			}
+			if err != nil || got != want {
+				t.Fatalf("%s/%s: op %d = (%d, %v), want (%d, nil)", b.Name, path, popOp, got, err, want)
+			}
+		}
+	}
+}
+
+// TestLegacyAndCatalogPathsAgree drives a legacy concrete-type
+// constructor and its options-API equivalent side by side through the
+// same op sequence, per object kind.
+func TestLegacyAndCatalogPathsAgree(t *testing.T) {
+	// Stack, generic domain: NewStack vs NewStackBackend("sensitive").
+	legacy := repro.NewStack[string](4, 2)
+	viaAPI, err := repro.NewStackBackend[string]("sensitive", repro.WithCapacity(4), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []string{"a", "b", "c"} {
+		if e1, e2 := legacy.Push(0, v), viaAPI.Push(0, v); e1 != nil || e2 != nil {
+			t.Fatalf("push %d: legacy %v, catalog %v", i, e1, e2)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v1, e1 := legacy.Pop(1)
+		v2, e2 := viaAPI.Pop(1)
+		if v1 != v2 || !errors.Is(e2, e1) && (e1 != nil || e2 != nil) {
+			t.Fatalf("pop %d: legacy (%q, %v), catalog (%q, %v)", i, v1, e1, v2, e2)
+		}
+	}
+
+	// Queue, uint64 pooled domain: NewPooledQueue vs WithPooled redirect.
+	lq := repro.NewPooledQueue(2)
+	cq, err := repro.NewQueueBackend[uint64]("michael-scott-pooled", repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		lq.Enqueue(0, i)
+		if err := cq.Enqueue(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v1, e1 := lq.Dequeue(1)
+		v2, e2 := cq.Dequeue(1)
+		if v1 != v2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("dequeue %d: legacy (%d, %v), catalog (%d, %v)", i, v1, e1, v2, e2)
+		}
+	}
+
+	// Deque: NewDeque vs NewDequeBackend("sensitive").
+	ld := repro.NewDeque(4, 2)
+	cd, err := repro.NewDequeBackend("sensitive", repro.WithCapacity(4), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1, e2 := ld.PushRight(0, 9), cd.PushRight(0, 9); e1 != nil || e2 != nil {
+		t.Fatalf("deque push: legacy %v, catalog %v", e1, e2)
+	}
+	v1, e1 := ld.PopLeft(1)
+	v2, e2 := cd.PopLeft(1)
+	if v1 != v2 || e1 != nil || e2 != nil {
+		t.Fatalf("deque pop: legacy (%d, %v), catalog (%d, %v)", v1, e1, v2, e2)
+	}
+
+	// Set: NewLockFreeSet vs NewSetBackend("harris").
+	ls := repro.NewLockFreeSet(2)
+	cs, err := repro.NewSetBackend("harris", repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 5, 9} {
+		got, cerr := cs.Add(0, k)
+		if want := ls.Add(0, k); got != want || cerr != nil {
+			t.Fatalf("set add %d: legacy %v, catalog (%v, %v)", k, want, got, cerr)
+		}
+	}
+}
+
+// TestBackendConstructorErrors pins the failure modes: unknown names,
+// domain mismatches, and pooled redirection without a sibling.
+func TestBackendConstructorErrors(t *testing.T) {
+	if _, err := repro.NewStackBackend[int]("no-such-backend"); err == nil {
+		t.Fatal("unknown backend accepted")
+	} else if !strings.Contains(err.Error(), "stack/treiber") {
+		t.Fatalf("unknown-backend error does not list the catalog: %v", err)
+	}
+	if _, err := repro.NewStackBackend[string]("treiber-pooled"); err == nil {
+		t.Fatal("uint64-only backend instantiated at string")
+	}
+	if _, err := repro.NewStackBackend[uint64]("elimination", repro.WithPooled()); err == nil {
+		t.Fatal("WithPooled accepted on a backend with no pooled sibling")
+	}
+	// Already-pooled names pass WithPooled through unchanged.
+	if _, err := repro.NewQueueBackend[uint64]("michael-scott-pooled", repro.WithPooled()); err != nil {
+		t.Fatalf("WithPooled on an already-pooled backend: %v", err)
+	}
+}
+
+// TestUnwrapExtensions reaches a concrete-type extension through the
+// adapter layer: the pooled stack's recycling counters.
+func TestUnwrapExtensions(t *testing.T) {
+	s, err := repro.NewStackBackend[uint64]("treiber", repro.WithProcs(1), repro.WithPooled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pop(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	ps, ok := repro.Unwrap(s).(interface{ PoolStats() repro.PoolStats })
+	if !ok {
+		t.Fatal("Unwrap did not expose PoolStats on the pooled stack")
+	}
+	if ps.PoolStats().Reuses == 0 {
+		t.Fatal("no recycling observed through the catalog surface")
+	}
+}
+
+// readmeRow matches one body row of the README backend-catalog table:
+// | `name` | `constructor` | object | progress | allocation | experiments |
+var readmeRow = regexp.MustCompile("^\\| `([^`]+)` \\| `([^`]+)` \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\|$")
+
+// TestCatalogMatchesReadme keeps the README backend-catalog table and
+// repro.Catalog() in lockstep, both directions: every catalog entry
+// must appear in the table with exactly the catalog's constructor,
+// object, progress, allocation, and experiment list — and every table
+// row must name a catalog entry.
+func TestCatalogMatchesReadme(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	type row struct{ constructor, object, progress, allocation, experiments string }
+	documented := map[string]row{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := readmeRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		documented[m[1]] = row{m[2], strings.TrimSpace(m[3]), strings.TrimSpace(m[4]),
+			strings.TrimSpace(m[5]), strings.TrimSpace(m[6])}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no backend-catalog rows found in README.md (pattern drift?)")
+	}
+	inCatalog := map[string]bool{}
+	for _, b := range repro.Catalog() {
+		inCatalog[b.Name] = true
+		doc, ok := documented[b.Name]
+		if !ok {
+			t.Errorf("catalog backend %s has no README table row", b.Name)
+			continue
+		}
+		want := row{b.Constructor, b.Object, b.Progress, b.Allocation, strings.Join(b.Experiments, " ")}
+		if doc != want {
+			t.Errorf("README row for %s drifted:\n  readme:  %+v\n  catalog: %+v", b.Name, doc, want)
+		}
+	}
+	for name := range documented {
+		if !inCatalog[name] {
+			t.Errorf("README documents backend %s but repro.Catalog() does not export it", name)
+		}
 	}
 }
