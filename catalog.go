@@ -215,7 +215,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewAbortableStack[T](k)",
 			Object:      "weak bounded stack, Figure 1",
 			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E1", "E2", "E3", "E8", "E11", "E17", "E20"},
+			Experiments: []string{"E1", "E2", "E3", "E8", "E11", "E17", "E20", "E21"},
 			Weak:        true, Bounded: true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -237,7 +237,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewNonBlockingStack[T](k)",
 			Object:      "bounded stack, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E3", "E5", "E7", "E11", "E17", "E20"},
+			Experiments: []string{"E3", "E5", "E7", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -259,7 +259,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewStack[T](k, n)",
 			Object:      "bounded stack, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E1", "E4", "E5", "E6", "E11", "E17", "E20"},
+			Experiments: []string{"E1", "E4", "E5", "E6", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -281,7 +281,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewTreiberStack[T]()",
 			Object:      "unbounded stack",
 			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				return liftStack[uint64](stack.NewTreiber[uint64]())
 			},
@@ -300,7 +300,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewEliminationStack[T](width)",
 			Object:      "unbounded stack + exchanger",
 			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
 				return liftStack[uint64](stack.NewElimination[uint64](o.width))
@@ -321,7 +321,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewCombiningStack[T](k, n)",
 			Object:      "bounded stack, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E15", "E17", "E20"},
+			Experiments: []string{"E5", "E11", "E15", "E17", "E20", "E21"},
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -343,7 +343,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewPooledStack(n)",
 			Object:      "unbounded Treiber stack",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E5", "E8", "E11", "E17", "E20"},
+			Experiments: []string{"E5", "E8", "E11", "E17", "E20", "E21"},
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
 				return stack.NewTreiberPooled(o.procs)
@@ -364,7 +364,7 @@ func stackCatalog() []Backend {
 			Constructor: "NewCombiningPooledStack(k, n)",
 			Object:      "bounded stack, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E5", "E11", "E17", "E20"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -391,7 +391,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewAbortableQueue[T](k)",
 			Object:      "weak bounded FIFO queue, Figure 1",
 			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
 			Weak:        true, Bounded: true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -413,7 +413,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewNonBlockingQueue[T](k)",
 			Object:      "bounded FIFO queue, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -435,7 +435,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewQueue[T](k, n)",
 			Object:      "bounded FIFO queue, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E16", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21"},
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -457,7 +457,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewCombiningQueue[T](k, n)",
 			Object:      "bounded FIFO queue, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -479,7 +479,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewShardedQueue[T](k, n, shards)",
 			Object:      "pid-striped queue, per-shard FIFO",
 			Tier:        "scaling", Progress: "starvation-free, relaxed cross-shard order", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E16", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21"},
 			Bounded:     true,
 			LinOpts:     []Option{WithShards(1)},
 			LinNote:     "K=1",
@@ -503,7 +503,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewPooledQueue(n)",
 			Object:      "unbounded Michael-Scott queue",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E8", "E9", "E11", "E17", "E20"},
+			Experiments: []string{"E8", "E9", "E11", "E17", "E20", "E21"},
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
 				return msPooledQueue{queue.NewMichaelScottPooled(o.procs)}
@@ -525,7 +525,7 @@ func queueCatalog() []Backend {
 			Constructor: "NewCombiningPooledQueue(k, n)",
 			Object:      "bounded FIFO queue, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled in-place ring, 0 allocs/op",
-			Experiments: []string{"E9", "E11", "E17", "E20"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -552,7 +552,7 @@ func dequeCatalog() []Backend {
 			Constructor: "NewAbortableDeque(k)",
 			Object:      "weak HLM deque",
 			Tier:        "paper", Progress: "abortable", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20"},
+			Experiments: []string{"E14", "E20", "E21"},
 			Weak:        true, Bounded: true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -582,7 +582,7 @@ func dequeCatalog() []Backend {
 			Constructor: "NewNonBlockingDeque(k)",
 			Object:      "HLM deque, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20"},
+			Experiments: []string{"E14", "E20", "E21"},
 			Bounded:     true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -612,7 +612,7 @@ func dequeCatalog() []Backend {
 			Constructor: "NewDeque(k, n)",
 			Object:      "bounded HLM deque, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20"},
+			Experiments: []string{"E14", "E20", "E21"},
 			Bounded:     true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -647,7 +647,7 @@ func setCatalog() []Backend {
 			Constructor: "NewAbortableSet()",
 			Object:      "weak sorted set",
 			Tier:        "paper", Progress: "abortable updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E20"},
+			Experiments: []string{"E11", "E20", "E21"},
 			Weak:        true,
 			Set: func(opts ...Option) SetAPI {
 				return weakSet{set.NewAbortable()}
@@ -671,7 +671,7 @@ func setCatalog() []Backend {
 			Constructor: "NewNonBlockingSet()",
 			Object:      "sorted set, Figure 2",
 			Tier:        "paper", Progress: "lock-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
 			Set: func(opts ...Option) SetAPI {
 				return liftSet(set.NewNonBlocking())
 			},
@@ -685,7 +685,7 @@ func setCatalog() []Backend {
 			Constructor: "NewSet(n)",
 			Object:      "sorted set, Figure 3",
 			Tier:        "paper", Progress: "starvation-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E20"},
+			Experiments: []string{"E11", "E18", "E20", "E21"},
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewSensitive(o.procs))
@@ -701,7 +701,7 @@ func setCatalog() []Backend {
 			Constructor: "NewCombiningSet(n)",
 			Object:      "sorted set, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E20"},
+			Experiments: []string{"E11", "E18", "E20", "E21"},
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewCombining(o.procs))
@@ -717,7 +717,7 @@ func setCatalog() []Backend {
 			Constructor: "NewLockFreeSet(n)",
 			Object:      "Harris/Michael list-based set",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled",
-			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewHarris(o.procs))
@@ -733,7 +733,7 @@ func setCatalog() []Backend {
 			Constructor: "NewHashSet(n)",
 			Object:      "split-ordered hash set (keys < 2^63)",
 			Tier:        "hash", Progress: "lock-free", Domain: "uint64", Allocation: "pooled + shortcut words",
-			Experiments: []string{"E11", "E18", "E19", "E20"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewHash(o.procs))

@@ -1,7 +1,7 @@
-// Command contbench runs the reproduction experiments (E1..E20,
+// Command contbench runs the reproduction experiments (E1..E21,
 // including the E15/E16 scaling tier, the E17 allocation tier, the
-// E18/E19 set tier, and the E20 catalog-dispatch sweep) and prints
-// the tables EXPERIMENTS.md quotes.
+// E18/E19 set tier, the E20 catalog-dispatch sweep, and the E21
+// scenario suite) and prints the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
@@ -11,14 +11,15 @@
 // paper claim each experiment reproduces — and exits. Each executed
 // experiment prints its paper claim followed by the measured table; a
 // non-zero exit status means a correctness experiment
-// (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18/E19) observed a violation.
+// (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18/E19/E21) observed a violation.
 // With -json, the same result rows are additionally written to the
-// given path as machine-readable JSON (the BENCH_*.json perf
-// trajectory files are produced this way), whatever the exit status.
+// given path as a provenance-stamped machine-readable document
+// (bench.Doc: go version, host shape, git sha, seed — the schema of
+// the committed BENCH_*.json perf-trajectory files and the input of
+// cmd/slogate), whatever the exit status.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,18 +28,6 @@ import (
 
 	"repro/internal/bench"
 )
-
-// jsonDoc is the -json output shape: the run's configuration plus one
-// structured record per executed experiment.
-type jsonDoc struct {
-	Generated  string                   `json:"generated"`
-	Procs      int                      `json:"procs"`
-	DurationMS float64                  `json:"duration_ms"`
-	Quick      bool                     `json:"quick"`
-	Seed       uint64                   `json:"seed"`
-	Failed     int                      `json:"failed"`
-	Experiment []bench.ExperimentResult `json:"experiments"`
-}
 
 func main() {
 	var (
@@ -117,12 +106,15 @@ func main() {
 	}
 }
 
-// writeJSON dumps the structured results. The effective (defaulted)
-// duration is not visible here for experiments that apply their own
-// defaults, so the configured value is recorded as given (0 = default).
+// writeJSON dumps the structured results as a provenance-stamped
+// bench.Doc (the schema the BENCH_*.json trajectory and cmd/slogate
+// consume). The effective (defaulted) duration is not visible here
+// for experiments that apply their own defaults, so the configured
+// value is recorded as given (0 = default).
 func writeJSON(path string, cfg bench.Config, failed int, log *bench.ResultLog) error {
-	doc := jsonDoc{
+	doc := bench.Doc{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Provenance: bench.CollectProvenance(),
 		Procs:      cfg.Procs,
 		DurationMS: float64(cfg.Duration.Microseconds()) / 1000,
 		Quick:      cfg.Quick,
@@ -130,9 +122,5 @@ func writeJSON(path string, cfg bench.Config, failed int, log *bench.ResultLog) 
 		Failed:     failed,
 		Experiment: log.Results(),
 	}
-	raw, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return doc.WriteFile(path)
 }

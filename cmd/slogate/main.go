@@ -1,0 +1,87 @@
+// Command slogate is the release gate over the E21 scenario suite:
+// it loads a contbench -json document (the bench.Doc schema), parses
+// the "E21 scenario suite" rows, applies every scenario's declared
+// SLO and variance gates (internal/scenario.Evaluate), and prints a
+// deterministic per-gate verdict table. Exit status 1 means at least
+// one gate failed — CI runs it after the E21 smoke so a latency
+// regression, a throughput flap, a conservation violation, or a
+// silently dropped scenario cell fails the build.
+//
+// Usage:
+//
+//	slogate [-exp E21] [-all] BENCH_E21.json
+//
+// -all prints every verdict row; by default passing gates are
+// summarized per scenario and only failures are expanded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "E21", "experiment id whose scenario table is gated")
+		showAll = flag.Bool("all", false, "print every verdict row, not just failures and summaries")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slogate [-exp E21] [-all] <contbench-json>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *exp, *showAll, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "slogate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, exp string, showAll bool, w *os.File) error {
+	doc, err := bench.ReadDoc(path)
+	if err != nil {
+		return err
+	}
+	rec, ok := doc.FindExperiment(exp)
+	if !ok {
+		return fmt.Errorf("%s: document has no %s record (ran `contbench -run %s -json`?)", path, exp, exp)
+	}
+	table, ok := rec.FindTable(exp + " scenario suite")
+	if !ok {
+		return fmt.Errorf("%s: %s record carries no scenario table", path, exp)
+	}
+	rows, err := scenario.ParseRows(table.Headers, table.Rows)
+	if err != nil {
+		return err
+	}
+	verdicts := scenario.Evaluate(rows)
+
+	fmt.Fprintf(w, "slogate: %d rows from %s (%s, go %s, %s/%s, %d cpu, sha %s)\n",
+		len(rows), path, doc.Generated, doc.Provenance.GoVersion,
+		doc.Provenance.OS, doc.Provenance.Arch, doc.Provenance.NumCPU, doc.Provenance.GitSHA)
+
+	failed := 0
+	tb := metrics.NewTable("scenario", "backend", "gate", "observed", "bound", "verdict")
+	for _, v := range verdicts {
+		if !v.OK {
+			failed++
+		}
+		if showAll || !v.OK || v.Backend == "*" {
+			verdict := "pass"
+			if !v.OK {
+				verdict = "FAIL"
+			}
+			tb.AddRow(v.Scenario, v.Backend, v.Gate, v.Observed, v.Bound, verdict)
+		}
+	}
+	fmt.Fprint(w, tb.String())
+	if failed > 0 {
+		return fmt.Errorf("%d of %d gates failed", failed, len(verdicts))
+	}
+	fmt.Fprintf(w, "all %d gates passed\n", len(verdicts))
+	return nil
+}

@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -286,6 +286,25 @@ func TestE17AllocationFreeHotPaths(t *testing.T) {
 				t.Fatalf("pooled hot path still allocates: %s", line)
 			}
 		}
+	}
+}
+
+func TestE21ScenarioSuite(t *testing.T) {
+	out := runQuick(t, "E21")
+	// Every library scenario and at least one backend of each kind
+	// must appear, alongside the quantile columns slogate parses.
+	for _, row := range []string{
+		"steady-mixed", "read-mostly", "bursty", "zipf-hot", "phase-flip",
+		"producer-consumer", "solo-storm", "churn-slow",
+		"stack/treiber", "queue/michael-scott", "deque/sensitive", "set/hashset",
+		"p50 ns", "p99 ns", "p999 ns",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E21 missing %s:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("E21 reported a conservation failure:\n%s", out)
 	}
 }
 

@@ -1,10 +1,107 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"sync"
 
 	"repro/internal/metrics"
 )
+
+// Doc is the contbench -json document: the run's configuration and
+// provenance plus one structured record per executed experiment. It
+// is the schema of the committed BENCH_*.json trajectory files and
+// the input contract of cmd/slogate, so it is pinned by a golden
+// round-trip test (TestDocGoldenRoundTrip) — extend it with new
+// fields freely, but never rename or retype an existing one.
+type Doc struct {
+	Generated  string             `json:"generated"`
+	Provenance Provenance         `json:"provenance"`
+	Procs      int                `json:"procs"`
+	DurationMS float64            `json:"duration_ms"`
+	Quick      bool               `json:"quick"`
+	Seed       uint64             `json:"seed"`
+	Failed     int                `json:"failed"`
+	Experiment []ExperimentResult `json:"experiments"`
+}
+
+// Provenance stamps a result document with where its numbers came
+// from, so a trajectory point is attributable to a toolchain, a
+// host shape, and a commit.
+type Provenance struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GitSHA is the commit of the checked-out tree the run was built
+	// from, taken from $GITHUB_SHA (CI) or $GIT_SHA; "unknown" when
+	// neither is set.
+	GitSHA string `json:"git_sha"`
+}
+
+// CollectProvenance fills a Provenance from the running binary and
+// environment.
+func CollectProvenance() Provenance {
+	sha := os.Getenv("GITHUB_SHA")
+	if sha == "" {
+		sha = os.Getenv("GIT_SHA")
+	}
+	if sha == "" {
+		sha = "unknown"
+	}
+	return Provenance{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GitSHA:    sha,
+	}
+}
+
+// WriteFile marshals the document (indented, trailing newline) to
+// path.
+func (d Doc) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadDoc loads a -json document, as cmd/slogate and other
+// BENCH_*.json consumers do.
+func ReadDoc(path string) (Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return Doc{}, err
+	}
+	return d, nil
+}
+
+// FindExperiment returns the record with the given experiment id.
+func (d Doc) FindExperiment(id string) (ExperimentResult, bool) {
+	for _, e := range d.Experiment {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return ExperimentResult{}, false
+}
+
+// FindTable returns the experiment's table with the given caption.
+func (e ExperimentResult) FindTable(caption string) (TableResult, bool) {
+	for _, t := range e.Tables {
+		if t.Caption == caption {
+			return t, true
+		}
+	}
+	return TableResult{}, false
+}
 
 // ResultLog collects every experiment's result rows in structured form
 // while the text tables stream to the console. cmd/contbench attaches

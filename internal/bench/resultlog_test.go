@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenDoc is a fully populated Doc exercising every field of the
+// -json schema, including the optional error string and a
+// multi-table experiment.
+func goldenDoc() Doc {
+	return Doc{
+		Generated: "2026-08-07T00:00:00Z",
+		Provenance: Provenance{
+			GoVersion: "go1.24.0",
+			OS:        "linux",
+			Arch:      "amd64",
+			NumCPU:    8,
+			GitSHA:    "deadbeefcafe",
+		},
+		Procs:      4,
+		DurationMS: 12.5,
+		Quick:      true,
+		Seed:       0x5eed,
+		Failed:     1,
+		Experiment: []ExperimentResult{
+			{
+				ID: "E21", Title: "scenario suite", Claim: "regime-dependent",
+				Passed: true, DurationMS: 250.75,
+				Tables: []TableResult{
+					{
+						Caption: "E21 scenario suite",
+						Headers: []string{"scenario", "backend", "ops/s"},
+						Rows: [][]string{
+							{"steady-mixed", "stack/treiber", "123456.7"},
+							{"steady-mixed", "stack/sensitive", "98765.4"},
+						},
+					},
+					{
+						Caption: "E21 extra",
+						Headers: []string{"k", "v"},
+						Rows:    [][]string{{"a", "1"}},
+					},
+				},
+			},
+			{
+				ID: "E1", Title: "conservation", Claim: "no loss",
+				Passed: false, Error: "stack/weak lost 1 element",
+				DurationMS: 3.25,
+				Tables:     nil,
+			},
+		},
+	}
+}
+
+// golden is the exact serialized form of goldenDoc. Pinning the bytes
+// pins the schema: committed BENCH_*.json files and cmd/slogate both
+// depend on these field names and shapes, so renaming or retyping a
+// field fails this test before it silently breaks a consumer. New
+// fields may be appended — update the golden text when they are.
+const golden = `{
+  "generated": "2026-08-07T00:00:00Z",
+  "provenance": {
+    "go_version": "go1.24.0",
+    "os": "linux",
+    "arch": "amd64",
+    "num_cpu": 8,
+    "git_sha": "deadbeefcafe"
+  },
+  "procs": 4,
+  "duration_ms": 12.5,
+  "quick": true,
+  "seed": 24301,
+  "failed": 1,
+  "experiments": [
+    {
+      "id": "E21",
+      "title": "scenario suite",
+      "claim": "regime-dependent",
+      "passed": true,
+      "duration_ms": 250.75,
+      "tables": [
+        {
+          "caption": "E21 scenario suite",
+          "headers": [
+            "scenario",
+            "backend",
+            "ops/s"
+          ],
+          "rows": [
+            [
+              "steady-mixed",
+              "stack/treiber",
+              "123456.7"
+            ],
+            [
+              "steady-mixed",
+              "stack/sensitive",
+              "98765.4"
+            ]
+          ]
+        },
+        {
+          "caption": "E21 extra",
+          "headers": [
+            "k",
+            "v"
+          ],
+          "rows": [
+            [
+              "a",
+              "1"
+            ]
+          ]
+        }
+      ]
+    },
+    {
+      "id": "E1",
+      "title": "conservation",
+      "claim": "no loss",
+      "passed": false,
+      "error": "stack/weak lost 1 element",
+      "duration_ms": 3.25,
+      "tables": null
+    }
+  ]
+}
+`
+
+// TestDocGoldenRoundTrip pins the -json document schema: the golden
+// bytes must encode exactly, decode back to a deeply equal value, and
+// survive a WriteFile/ReadDoc disk round trip.
+func TestDocGoldenRoundTrip(t *testing.T) {
+	doc := goldenDoc()
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw) + "\n"; got != golden {
+		t.Fatalf("Doc JSON schema drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	var back Doc
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, doc) {
+		t.Fatalf("decode(golden) != original:\ngot  %+v\nwant %+v", back, doc)
+	}
+
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != golden {
+		t.Fatalf("WriteFile bytes drifted from golden:\n%s", onDisk)
+	}
+	fromDisk, err := ReadDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDisk, doc) {
+		t.Fatalf("ReadDoc(WriteFile(doc)) != doc:\ngot  %+v\nwant %+v", fromDisk, doc)
+	}
+}
+
+func TestDocFindHelpers(t *testing.T) {
+	doc := goldenDoc()
+	exp, ok := doc.FindExperiment("E21")
+	if !ok || exp.ID != "E21" {
+		t.Fatalf("FindExperiment(E21) = %+v, %v", exp, ok)
+	}
+	if _, ok := doc.FindExperiment("E99"); ok {
+		t.Fatal("FindExperiment found a nonexistent id")
+	}
+	table, ok := exp.FindTable("E21 scenario suite")
+	if !ok || len(table.Rows) != 2 {
+		t.Fatalf("FindTable = %+v, %v", table, ok)
+	}
+	if _, ok := exp.FindTable("nope"); ok {
+		t.Fatal("FindTable found a nonexistent caption")
+	}
+}
+
+func TestCollectProvenance(t *testing.T) {
+	t.Setenv("GITHUB_SHA", "")
+	t.Setenv("GIT_SHA", "abc123")
+	p := CollectProvenance()
+	if p.GitSHA != "abc123" {
+		t.Fatalf("GitSHA = %q, want GIT_SHA fallback", p.GitSHA)
+	}
+	if !strings.HasPrefix(p.GoVersion, "go") || p.NumCPU < 1 || p.OS == "" || p.Arch == "" {
+		t.Fatalf("implausible provenance: %+v", p)
+	}
+	t.Setenv("GIT_SHA", "")
+	if p := CollectProvenance(); p.GitSHA != "unknown" {
+		t.Fatalf("GitSHA with no env = %q, want unknown", p.GitSHA)
+	}
+	t.Setenv("GITHUB_SHA", "ci-sha")
+	if p := CollectProvenance(); p.GitSHA != "ci-sha" {
+		t.Fatalf("GitSHA = %q, want GITHUB_SHA to win", p.GitSHA)
+	}
+}

@@ -75,6 +75,30 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.Max()
 }
 
+// Merge adds every sample recorded in o into h. Safe against
+// concurrent Record on either histogram (each counter moves
+// atomically), though a merge racing a Record may observe the sample
+// in some counters and not yet others; merge at quiescence when exact
+// totals matter. Merging preserves every quantile the bucket
+// resolution can express: a merged histogram answers Percentile
+// exactly as one histogram fed both sample streams would.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
 // Reset zeroes the histogram; not atomic with concurrent Record.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {

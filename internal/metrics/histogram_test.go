@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// The quantile-accuracy suite: Percentile returns the upper edge of
+// the power-of-two bucket holding the rank-th sample, so for every
+// distribution the answer is bounded by the true quantile on one side
+// and twice it on the other (sample s lands in [2^i, 2^(i+1)) with
+// 2^i <= s, and the reported edge 2^(i+1) <= 2s). The tests feed
+// known synthetic shapes, compute the exact quantile with the same
+// rank convention (sorted[floor(n*p/100)]), and assert the histogram
+// answer lands in [true, 2*true].
+
+// histRNG is a self-contained splitmix64 so the synthetic streams are
+// identical on every platform and run (mirrors workload.RNG without
+// importing it: metrics sits below workload in the layering).
+type histRNG struct{ state uint64 }
+
+func (r *histRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *histRNG) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// trueQuantile applies Percentile's rank convention to the raw
+// samples: the value at index floor(n*p/100) of the sorted stream.
+func trueQuantile(sorted []time.Duration, p float64) time.Duration {
+	rank := int(float64(len(sorted)) * p / 100)
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// checkQuantiles records samples and asserts p50/p99/p999 each land
+// within the bucket error band [true, 2*true].
+func checkQuantiles(t *testing.T, name string, samples []time.Duration) {
+	t.Helper()
+	var h Histogram
+	for _, s := range samples {
+		h.Record(s)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{50, 99, 99.9} {
+		want := trueQuantile(sorted, p)
+		got := h.Percentile(p)
+		if got < want || got > 2*want {
+			t.Errorf("%s: p%v = %v, want within [%v, %v]", name, p, got, want, 2*want)
+		}
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	r := &histRNG{state: 1}
+	samples := make([]time.Duration, 100000)
+	for i := range samples {
+		// Uniform over [1us, 1ms).
+		samples[i] = time.Duration(1000 + r.next()%999000)
+	}
+	checkQuantiles(t, "uniform", samples)
+}
+
+func TestHistogramQuantilesExponential(t *testing.T) {
+	r := &histRNG{state: 2}
+	samples := make([]time.Duration, 100000)
+	for i := range samples {
+		// Exponential with a 50us mean: the long tail spreads p999
+		// far from p50, exercising many buckets.
+		u := r.float()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		ns := -50000 * math.Log(1-u)
+		if ns < 1 {
+			ns = 1
+		}
+		samples[i] = time.Duration(ns)
+	}
+	checkQuantiles(t, "exponential", samples)
+}
+
+func TestHistogramQuantilesBimodal(t *testing.T) {
+	r := &histRNG{state: 3}
+	samples := make([]time.Duration, 100000)
+	for i := range samples {
+		// 90% fast mode around 2us, 10% slow mode around 500us —
+		// the cache-hit/combiner-wait shape scenario latencies take.
+		// p50 sits in the fast mode, p99/p999 in the slow one.
+		if r.float() < 0.9 {
+			samples[i] = time.Duration(1500 + r.next()%1000)
+		} else {
+			samples[i] = time.Duration(400000 + r.next()%200000)
+		}
+	}
+	checkQuantiles(t, "bimodal", samples)
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	// Recording a stream into one histogram must be indistinguishable
+	// from splitting it across two and merging: identical buckets,
+	// count, sum, max, and therefore identical quantiles.
+	r := &histRNG{state: 4}
+	samples := make([]time.Duration, 50000)
+	for i := range samples {
+		samples[i] = time.Duration(1 + r.next()%10000000)
+	}
+	var whole, left, right Histogram
+	for i, s := range samples {
+		whole.Record(s)
+		if i%2 == 0 {
+			left.Record(s)
+		} else {
+			right.Record(s)
+		}
+	}
+	left.Merge(&right)
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", left.Count(), whole.Count())
+	}
+	if left.Mean() != whole.Mean() {
+		t.Fatalf("merged Mean = %v, want %v", left.Mean(), whole.Mean())
+	}
+	if left.Max() != whole.Max() {
+		t.Fatalf("merged Max = %v, want %v", left.Max(), whole.Max())
+	}
+	for p := 0.0; p <= 100; p += 0.5 {
+		if got, want := left.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("merged p%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var h, empty Histogram
+	h.Record(5 * time.Microsecond)
+	h.Merge(&empty)
+	if h.Count() != 1 || h.Max() != 5*time.Microsecond {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	empty.Merge(&h)
+	if empty.Count() != 1 || empty.Percentile(50) != h.Percentile(50) {
+		t.Fatal("merging into an empty histogram lost samples")
+	}
+}

@@ -1,0 +1,19 @@
+// Package scenario makes "as many scenarios as you can imagine"
+// executable: a declarative workload-scenario type (named phases with
+// per-phase process counts, operation mixes, key ranges and
+// distributions, open-loop arrival pacing, and slow-process/crash
+// injection), a deterministic runner that drives any repro.Catalog()
+// entry through the uniform Drive() contract while recording per-op
+// latency into metrics histograms, and the SLO/variance gate
+// evaluation cmd/slogate applies to the runner's rows.
+//
+// Determinism is the design center: a scenario plus its seed fully
+// determines every process's operation stream (kind, value, order —
+// byte for byte), so reruns differ only in timing. That is what makes
+// cross-rerun variance a meaningful gate and a latency regression
+// attributable to the code rather than to the workload. Experiment
+// E21 (internal/bench) runs the standard library of scenarios over
+// every applicable catalog backend and emits one structured row per
+// scenario x backend x rerun; cmd/slogate turns those rows into a
+// release verdict.
+package scenario

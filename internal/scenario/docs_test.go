@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docsRow matches the EXPERIMENTS.md scenario-library table rows:
+//
+//	| `steady-mixed` | all | 1 | balanced mixed baseline ... |
+var docsRow = regexp.MustCompile("^\\s*\\| `([a-z-]+)` \\| ([a-z, ]+) \\| (\\d+) \\| (.+) \\|\\s*$")
+
+// TestScenariosMatchDocs keeps the EXPERIMENTS.md scenario table and
+// scenario.Library() in lockstep, both directions: every library
+// scenario must appear in the table with exactly its kind set and
+// phase count, and every table row must name a library scenario — in
+// the same order, so the docs read as the suite runs.
+func TestScenariosMatchDocs(t *testing.T) {
+	raw, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("reading EXPERIMENTS.md: %v", err)
+	}
+	type row struct {
+		kinds  string
+		phases int
+	}
+	documented := map[string]row{}
+	var order []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := docsRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		phases, err := strconv.Atoi(m[3])
+		if err != nil {
+			t.Fatalf("scenario row %q: bad phase count: %v", m[1], err)
+		}
+		documented[m[1]] = row{kinds: strings.TrimSpace(m[2]), phases: phases}
+		order = append(order, m[1])
+	}
+	if len(documented) == 0 {
+		t.Fatal("no scenario-library rows found in EXPERIMENTS.md (pattern drift?)")
+	}
+
+	lib := Library()
+	if len(order) != len(lib) {
+		t.Errorf("EXPERIMENTS.md documents %d scenarios, library has %d", len(order), len(lib))
+	}
+	inLibrary := map[string]bool{}
+	for i, sc := range lib {
+		inLibrary[sc.Name] = true
+		doc, ok := documented[sc.Name]
+		if !ok {
+			t.Errorf("library scenario %s has no EXPERIMENTS.md table row", sc.Name)
+			continue
+		}
+		kinds := "all"
+		if len(sc.Kinds) > 0 {
+			kinds = strings.Join(sc.Kinds, ", ")
+		}
+		if doc.kinds != kinds {
+			t.Errorf("EXPERIMENTS.md kinds for %s drifted: docs %q, library %q", sc.Name, doc.kinds, kinds)
+		}
+		if doc.phases != len(sc.Phases) {
+			t.Errorf("EXPERIMENTS.md phase count for %s drifted: docs %d, library %d", sc.Name, doc.phases, len(sc.Phases))
+		}
+		if i < len(order) && order[i] != sc.Name {
+			t.Errorf("scenario order drifted at %d: docs %s, library %s", i, order[i], sc.Name)
+		}
+	}
+	for name := range documented {
+		if !inLibrary[name] {
+			t.Errorf("EXPERIMENTS.md documents scenario %s but Library() does not carry it", name)
+		}
+	}
+}

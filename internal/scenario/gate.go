@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+// Row is one E21 measurement row as the gate evaluator consumes it —
+// the parsed form of one line of the "E21 scenario suite" table.
+type Row struct {
+	Scenario       string
+	Backend        string
+	Rerun          int
+	Ops            uint64
+	OpsPerSec      float64
+	P50, P99, P999 time.Duration
+	Conserved      string
+}
+
+// rowColumns are the table columns ParseRows requires, exactly as
+// experiment E21 emits them (quantiles as integer nanoseconds so no
+// consumer ever re-parses human-formatted durations). The golden
+// round-trip test on bench.Doc plus TestParseRowsRoundTrip pin this
+// schema: renaming a column breaks cmd/slogate loudly, not silently.
+var rowColumns = []string{"scenario", "backend", "rerun", "procs", "ops", "ok-ops", "ops/s", "p50 ns", "p99 ns", "p999 ns", "conserved"}
+
+// RowColumns returns the required E21 table header, in order.
+func RowColumns() []string { return append([]string(nil), rowColumns...) }
+
+// ParseRows decodes an E21 table (headers plus string cells, the
+// shape bench.TableResult carries) into typed rows. Columns are
+// resolved by name, so adding columns is compatible; removing or
+// renaming one is an error.
+func ParseRows(headers []string, rows [][]string) ([]Row, error) {
+	col := map[string]int{}
+	for i, h := range headers {
+		col[h] = i
+	}
+	for _, want := range rowColumns {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("scenario: E21 table is missing column %q (have %v)", want, headers)
+		}
+	}
+	out := make([]Row, 0, len(rows))
+	for i, cells := range rows {
+		get := func(name string) string { return cells[col[name]] }
+		var r Row
+		var err error
+		r.Scenario, r.Backend, r.Conserved = get("scenario"), get("backend"), get("conserved")
+		if r.Rerun, err = strconv.Atoi(get("rerun")); err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad rerun %q", i, get("rerun"))
+		}
+		if r.Ops, err = strconv.ParseUint(get("ops"), 10, 64); err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad ops %q", i, get("ops"))
+		}
+		if r.OpsPerSec, err = strconv.ParseFloat(get("ops/s"), 64); err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad ops/s %q", i, get("ops/s"))
+		}
+		for _, q := range []struct {
+			name string
+			dst  *time.Duration
+		}{{"p50 ns", &r.P50}, {"p99 ns", &r.P99}, {"p999 ns", &r.P999}} {
+			ns, err := strconv.ParseInt(get(q.name), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: row %d: bad %s %q", i, q.name, get(q.name))
+			}
+			*q.dst = time.Duration(ns)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Verdict is one gate's outcome for one scenario x backend cell (or
+// for a whole scenario, Backend "*", on the coverage gate).
+type Verdict struct {
+	Scenario, Backend string
+	// Gate names the check: "slo-p50", "slo-p99", "slo-p999",
+	// "variance", "conservation", "coverage", or "known-scenario".
+	Gate     string
+	Observed string
+	Bound    string
+	OK       bool
+}
+
+// Evaluate applies every scenario's declared Gate to the parsed rows
+// and returns the full verdict table, deterministically ordered
+// (library scenario order, then backend, then gate name). SLO gates
+// check the median across reruns; the variance gate bounds max/min
+// throughput across reruns; conservation requires every row "ok";
+// coverage requires at least one row for every applicable catalog
+// backend of every library scenario, so a silently dropped cell fails
+// the release rather than shrinking it.
+func Evaluate(rows []Row) []Verdict {
+	byCell := map[[2]string][]Row{}
+	knownScenario := map[string]bool{}
+	for _, s := range Library() {
+		knownScenario[s.Name] = true
+	}
+	var verdicts []Verdict
+	for _, r := range rows {
+		if !knownScenario[r.Scenario] {
+			verdicts = append(verdicts, Verdict{
+				Scenario: r.Scenario, Backend: r.Backend, Gate: "known-scenario",
+				Observed: "not in scenario.Library()", Bound: "declared scenario", OK: false,
+			})
+			continue
+		}
+		key := [2]string{r.Scenario, r.Backend}
+		byCell[key] = append(byCell[key], r)
+	}
+
+	for _, sc := range Library() {
+		// Coverage: every applicable catalog backend must have rows.
+		var missing []string
+		total := 0
+		for _, b := range repro.Catalog() {
+			if !sc.AppliesTo(b.Kind) {
+				continue
+			}
+			total++
+			if len(byCell[[2]string{sc.Name, b.Name}]) == 0 {
+				missing = append(missing, b.Name)
+			}
+		}
+		obs := fmt.Sprintf("%d/%d backends", total-len(missing), total)
+		if len(missing) > 0 {
+			obs += fmt.Sprintf(" (missing %v)", missing)
+		}
+		verdicts = append(verdicts, Verdict{
+			Scenario: sc.Name, Backend: "*", Gate: "coverage",
+			Observed: obs, Bound: fmt.Sprintf("%d/%d backends", total, total),
+			OK: len(missing) == 0,
+		})
+
+		var backends []string
+		for key := range byCell {
+			if key[0] == sc.Name {
+				backends = append(backends, key[1])
+			}
+		}
+		sort.Strings(backends)
+		for _, backend := range backends {
+			cell := byCell[[2]string{sc.Name, backend}]
+			verdicts = append(verdicts, evaluateCell(sc, backend, cell)...)
+		}
+	}
+	return verdicts
+}
+
+// evaluateCell applies one scenario's gate to one backend's reruns.
+func evaluateCell(sc Scenario, backend string, cell []Row) []Verdict {
+	var out []Verdict
+	add := func(gate, observed, bound string, ok bool) {
+		out = append(out, Verdict{Scenario: sc.Name, Backend: backend,
+			Gate: gate, Observed: observed, Bound: bound, OK: ok})
+	}
+
+	for _, slo := range []struct {
+		gate  string
+		bound time.Duration
+		pick  func(Row) time.Duration
+	}{
+		{"slo-p50", sc.Gate.MaxP50, func(r Row) time.Duration { return r.P50 }},
+		{"slo-p99", sc.Gate.MaxP99, func(r Row) time.Duration { return r.P99 }},
+		{"slo-p999", sc.Gate.MaxP999, func(r Row) time.Duration { return r.P999 }},
+	} {
+		if slo.bound == 0 {
+			continue
+		}
+		vals := make([]time.Duration, len(cell))
+		for i, r := range cell {
+			vals[i] = slo.pick(r)
+		}
+		med := median(vals)
+		add(slo.gate, fmt.Sprintf("median %v", med), fmt.Sprintf("≤ %v", slo.bound), med <= slo.bound)
+	}
+
+	if sc.Gate.MaxVarianceRatio > 0 && len(cell) >= 2 {
+		lo, hi := cell[0].OpsPerSec, cell[0].OpsPerSec
+		for _, r := range cell[1:] {
+			if r.OpsPerSec < lo {
+				lo = r.OpsPerSec
+			}
+			if r.OpsPerSec > hi {
+				hi = r.OpsPerSec
+			}
+		}
+		ratio := hi / lo
+		if lo <= 0 {
+			ratio = 0 // zero-throughput rerun: fail via the bound below
+		}
+		add("variance", fmt.Sprintf("max/min ops/s = %.2f", ratio),
+			fmt.Sprintf("≤ %.0f over %d reruns", sc.Gate.MaxVarianceRatio, len(cell)),
+			lo > 0 && ratio <= sc.Gate.MaxVarianceRatio)
+	}
+
+	conservedOK := true
+	for _, r := range cell {
+		if r.Conserved != "ok" {
+			conservedOK = false
+		}
+	}
+	obs := "all reruns ok"
+	if !conservedOK {
+		obs = "conservation violated"
+	}
+	add("conservation", obs, "every rerun ok", conservedOK)
+	return out
+}
+
+// median returns the middle element (upper middle on even counts).
+func median(vals []time.Duration) time.Duration {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,387 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Options tunes one runner invocation. The zero value runs the
+// scenario at full size.
+type Options struct {
+	// Scale multiplies every phase's op budget and arrival interval
+	// (0 = 1.0); quick/CI runs shrink with it. Budgets floor at
+	// minOps per process so a heavily scaled run still says
+	// something. The same Scale must be used when comparing runs —
+	// it is part of the deterministic stream identity.
+	Scale float64
+	// Record captures the exact operation streams into
+	// Result.OpStream (framed per phase x pid), for the
+	// deterministic-replay tests. Off for measurement runs.
+	Record bool
+	// Capacity bounds bounded backends (0 = 1024).
+	Capacity int
+}
+
+// minOps is the per-process floor a scaled phase budget never drops
+// below: enough ops that quantiles and conservation stay meaningful.
+const minOps = 32
+
+// Result is one scenario run over one backend.
+type Result struct {
+	// Scenario and Backend name the cell this run measures.
+	Scenario, Backend string
+	// Procs is the scenario's maximum process count.
+	Procs int
+	// Ops is the number of operations attempted. It is a pure
+	// function of (scenario, seed, Scale) — identical on every rerun
+	// — because phase budgets are counts and crash points are fixed
+	// indices, never wall-clock.
+	Ops uint64
+	// OKOps counts operations whose backend call returned nil
+	// (timing-dependent on bounded/weak backends: full, empty, and
+	// abort outcomes depend on the interleaving).
+	OKOps uint64
+	// Duration is the wall time across all phases, pacing idles
+	// included (drain/verification excluded).
+	Duration time.Duration
+	// Hist holds every operation's latency (the backend call alone,
+	// never pacing idles or injected pauses).
+	Hist *metrics.Histogram
+	// Conserved is nil when the post-run accounting holds: every
+	// value popped/drained was pushed exactly once (stack, queue,
+	// deque), or every key's membership equals its add/remove
+	// balance (set). Crash and slow injection must not break it.
+	Conserved error
+	// OpStream is the recorded op stream when Options.Record is set.
+	OpStream []byte
+}
+
+// OpsPerSec is the run's attempted-op throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// streamSeed derives the RNG seed of one process's stream in one
+// phase: two splitmix64 steps over (seed, phase, pid) so neighboring
+// pids and phases land in unrelated parts of the sequence space.
+func streamSeed(seed uint64, phase, pid int) uint64 {
+	s := workload.NewRNG(seed ^ 0x9e3779b97f4a7c15*uint64(phase+1)).Uint64()
+	return workload.NewRNG(s ^ 0xa24baed4963ee407*uint64(pid+1)).Uint64()
+}
+
+// opClass is the kind-independent operation class a phase mix draws.
+type opClass int
+
+const (
+	classWrite opClass = iota
+	classErase
+	classRead
+)
+
+// draw picks the next class from the phase's mix (or role split).
+func (p Phase) draw(pid int, rng *workload.RNG) opClass {
+	if p.Producers > 0 {
+		if pid < p.Producers {
+			return classWrite
+		}
+		return classErase
+	}
+	f := rng.Float64()
+	switch {
+	case f < p.Write:
+		return classWrite
+	case f < p.Write+p.Erase:
+		return classErase
+	default:
+		return classRead
+	}
+}
+
+// Run executes sc against a fresh instance of backend b and returns
+// the measured result. The op streams are fully determined by
+// (sc, opt.Scale); only timing varies between invocations.
+func Run(b repro.Backend, sc Scenario, opt Options) Result {
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	capacity := opt.Capacity
+	if capacity == 0 {
+		capacity = 1024
+	}
+	procs := sc.MaxProcs()
+	maxKeys := 0
+	for _, p := range sc.Phases {
+		if p := p.withDefaults(); p.KeyRange > maxKeys {
+			maxKeys = p.KeyRange
+		}
+	}
+	drv := repro.Drive(b, repro.WithProcs(procs), repro.WithCapacity(capacity))
+
+	res := Result{Scenario: sc.Name, Backend: b.Name, Procs: procs, Hist: &metrics.Histogram{}}
+
+	// Conservation state: produce/consume totals for the LIFO/FIFO
+	// kinds, per-key add/remove balances for sets.
+	var produced, consumed atomic.Uint64
+	var adds, removes []atomic.Int64
+	if b.Kind == repro.KindSet {
+		adds = make([]atomic.Int64, maxKeys)
+		removes = make([]atomic.Int64, maxKeys)
+	}
+	var attempted, okOps atomic.Uint64
+
+	var streamMu sync.Mutex
+	var streams []byte
+
+	start := time.Now()
+	for phaseIdx, phase := range sc.Phases {
+		ph := phase.withDefaults()
+		n := int(float64(ph.Ops) * scale)
+		if n < minOps {
+			n = minOps
+		}
+		interval := time.Duration(float64(ph.Interval) * scale)
+		var zipf *workload.Zipf
+		if ph.Dist == Zipfian {
+			zipf = workload.NewZipf(ph.ZipfS, ph.KeyRange)
+		}
+		phaseStart := time.Now()
+		var wg sync.WaitGroup
+		for pid := 0; pid < ph.Procs; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := workload.NewRNG(streamSeed(sc.Seed, phaseIdx, pid))
+				crashAt := -1
+				if ph.CrashPids > 0 && pid >= ph.Procs-ph.CrashPids {
+					crashAt = int(ph.CrashFrac * float64(n))
+				}
+				slow := ph.SlowPids > 0 && pid >= ph.Procs-ph.SlowPids
+				var buf []byte
+				if opt.Record {
+					buf = make([]byte, 0, n*9)
+				}
+				var myAttempted, myOK uint64
+				tick := 1
+				for i := 0; i < n; i++ {
+					if i == crashAt {
+						break // crashed: no further steps, ever
+					}
+					if interval > 0 && i > 0 && i%ph.Burst == 0 {
+						// Open-loop arrival clock: sleep to the next
+						// tick; a backlogged process has already
+						// missed it and continues immediately.
+						target := phaseStart.Add(time.Duration(tick) * interval)
+						tick++
+						if d := time.Until(target); d > 0 {
+							time.Sleep(d)
+						}
+					}
+					class := ph.draw(pid, rng)
+					op, v := nextOp(b.Kind, class, ph, zipf, rng, pid, i)
+					if opt.Record {
+						buf = append(buf, byte(op))
+						buf = binary.BigEndian.AppendUint64(buf, v)
+					}
+					t0 := time.Now()
+					got, err := drv.Do(pid, op, v)
+					res.Hist.Record(time.Since(t0))
+					myAttempted++
+					if err == nil {
+						myOK++
+						account(b.Kind, op, got, v, &produced, &consumed, adds, removes)
+					}
+					if slow && (i+1)%ph.SlowEvery == 0 {
+						time.Sleep(ph.SlowPause)
+					}
+				}
+				attempted.Add(myAttempted)
+				okOps.Add(myOK)
+				if opt.Record {
+					framed := make([]byte, 0, len(buf)+6)
+					framed = append(framed, byte(phaseIdx), byte(pid))
+					framed = binary.BigEndian.AppendUint32(framed, uint32(len(buf)))
+					framed = append(framed, buf...)
+					streamMu.Lock()
+					streams = append(streams, framed...)
+					streamMu.Unlock()
+				}
+			}(pid)
+		}
+		wg.Wait()
+	}
+	res.Duration = time.Since(start)
+	res.Ops = attempted.Load()
+	res.OKOps = okOps.Load()
+	if opt.Record {
+		res.OpStream = canonicalize(streams, len(sc.Phases), procs)
+	}
+	res.Conserved = verify(b.Kind, drv, maxKeys, &produced, &consumed, adds, removes)
+	return res
+}
+
+// nextOp maps an op class onto the kind's op code and draws the
+// value: sets draw a key from the phase distribution, stacks and
+// queues carry the collision-free (pid, i) encoding, deques pack
+// (pid, i) into their uint32 domain and draw the end from the same
+// stream. The RNG draw order per op is fixed (class, then key/side),
+// which is what makes the recorded streams byte-stable.
+func nextOp(kind string, class opClass, ph Phase, zipf *workload.Zipf, rng *workload.RNG, pid, i int) (int, uint64) {
+	switch kind {
+	case repro.KindSet:
+		var key uint64
+		if zipf != nil {
+			key = uint64(zipf.Next(rng))
+		} else {
+			key = uint64(rng.Intn(ph.KeyRange))
+		}
+		switch class {
+		case classWrite:
+			return 0, key
+		case classErase:
+			return 1, key
+		default:
+			return 2, key
+		}
+	case repro.KindDeque:
+		side := int(rng.Uint64() & 1)
+		v := uint64(pid)<<16 | uint64(i&0xffff)
+		if class == classWrite {
+			return side, v // 0 = pushL, 1 = pushR
+		}
+		return 2 + side, 0 // 2 = popL, 3 = popR
+	default: // stack, queue: no read op; reads consume
+		if class == classWrite {
+			return 0, workload.Value(pid, i)
+		}
+		return 1, 0
+	}
+}
+
+// account books one successful operation into the conservation state.
+func account(kind string, op int, got, v uint64, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64) {
+	switch kind {
+	case repro.KindSet:
+		if op == 0 && got == 1 {
+			adds[v].Add(1)
+		}
+		if op == 1 && got == 1 {
+			removes[v].Add(1)
+		}
+	case repro.KindDeque:
+		if op <= 1 {
+			produced.Add(1)
+		} else {
+			consumed.Add(1)
+		}
+	default:
+		if op == 0 {
+			produced.Add(1)
+		} else {
+			consumed.Add(1)
+		}
+	}
+}
+
+// isEmpty reports whether err is the kind's empty sentinel.
+func isEmpty(err error) bool {
+	return errors.Is(err, repro.ErrStackEmpty) ||
+		errors.Is(err, repro.ErrQueueEmpty) ||
+		errors.Is(err, repro.ErrDequeEmpty)
+}
+
+// verify runs the quiescent conservation check: drain-and-count for
+// the container kinds, per-key balance vs membership for sets. Weak
+// backends cannot abort here — the runner is the only client left
+// (the solo-never-aborts property E2 model-checks).
+func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64) error {
+	if kind == repro.KindSet {
+		for k := 0; k < maxKeys; k++ {
+			bal := adds[k].Load() - removes[k].Load()
+			if bal < 0 || bal > 1 {
+				return fmt.Errorf("key %d: add/remove balance %d (want 0 or 1)", k, bal)
+			}
+			member, err := retryContains(drv, uint64(k))
+			if err != nil {
+				return fmt.Errorf("key %d: contains kept aborting at quiescence: %v", k, err)
+			}
+			if member != (bal == 1) {
+				return fmt.Errorf("key %d: member=%v but add/remove balance %d", k, member, bal)
+			}
+		}
+		return nil
+	}
+	popOps := []int{1}
+	if kind == repro.KindDeque {
+		popOps = []int{2, 3}
+	}
+	var drained uint64
+	limit := produced.Load() + 1 // at most this many values can remain
+	for _, op := range popOps {
+		aborts := 0
+		for drained <= limit {
+			_, err := drv.Do(0, op, 0)
+			if err == nil {
+				drained++
+				aborts = 0
+				continue
+			}
+			if isEmpty(err) {
+				break
+			}
+			if aborts++; aborts > 1000 {
+				return fmt.Errorf("drain kept aborting at quiescence: %v", err)
+			}
+		}
+	}
+	if p, c := produced.Load(), consumed.Load(); c+drained != p {
+		return fmt.Errorf("conservation: produced %d != consumed %d + drained %d", p, c, drained)
+	}
+	return nil
+}
+
+// retryContains asks membership at quiescence, absorbing a bounded
+// number of (theoretically impossible solo) aborts.
+func retryContains(drv repro.Ops, key uint64) (bool, error) {
+	var err error
+	for attempt := 0; attempt < 1000; attempt++ {
+		var got uint64
+		got, err = drv.Do(0, 2, key)
+		if err == nil {
+			return got == 1, nil
+		}
+	}
+	return false, err
+}
+
+// canonicalize reorders the per-goroutine framed streams into (phase,
+// pid) order so two runs of the same scenario compare byte-for-byte
+// regardless of goroutine completion order.
+func canonicalize(framed []byte, phases, procs int) []byte {
+	index := make(map[[2]int][]byte)
+	for off := 0; off+6 <= len(framed); {
+		phase, pid := int(framed[off]), int(framed[off+1])
+		n := int(binary.BigEndian.Uint32(framed[off+2 : off+6]))
+		end := off + 6 + n
+		index[[2]int{phase, pid}] = framed[off:end]
+		off = end
+	}
+	out := make([]byte, 0, len(framed))
+	for ph := 0; ph < phases; ph++ {
+		for pid := 0; pid < procs; pid++ {
+			out = append(out, index[[2]int{ph, pid}]...)
+		}
+	}
+	return out
+}

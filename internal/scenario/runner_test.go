@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+// replayBackends picks one representative catalog backend per kind —
+// the replay property is about the generator, so one backend per
+// Drive() shape covers every op-code mapping.
+func replayBackends(t *testing.T) []repro.Backend {
+	t.Helper()
+	want := map[string]string{
+		repro.KindStack: "stack/sensitive",
+		repro.KindQueue: "queue/sensitive",
+		repro.KindDeque: "deque/sensitive",
+		repro.KindSet:   "set/hashset",
+	}
+	var out []repro.Backend
+	for _, b := range repro.Catalog() {
+		if want[b.Kind] == b.Name {
+			out = append(out, b)
+		}
+	}
+	if len(out) != 4 {
+		t.Fatalf("expected one backend per kind, got %d", len(out))
+	}
+	return out
+}
+
+// TestRunnerDeterministicReplay extends TestRNGDeterministic to the
+// full engine: the same scenario + seed run twice must generate
+// byte-identical op streams and identical attempted-op counts, for
+// every library scenario across all four catalog kinds. (Succeeded
+// counts may differ — full/empty/abort outcomes are interleaving-
+// dependent — but what was *asked* of the object never does.)
+func TestRunnerDeterministicReplay(t *testing.T) {
+	opt := Options{Scale: 0.01, Record: true}
+	for _, sc := range Library() {
+		for _, b := range replayBackends(t) {
+			if !sc.AppliesTo(b.Kind) {
+				continue
+			}
+			r1 := Run(b, sc, opt)
+			r2 := Run(b, sc, opt)
+			if r1.Ops != r2.Ops {
+				t.Errorf("%s/%s: attempted ops diverged: %d vs %d", sc.Name, b.Name, r1.Ops, r2.Ops)
+			}
+			if len(r1.OpStream) == 0 {
+				t.Errorf("%s/%s: no op stream recorded", sc.Name, b.Name)
+			}
+			if !bytes.Equal(r1.OpStream, r2.OpStream) {
+				t.Errorf("%s/%s: op streams diverged (len %d vs %d)", sc.Name, b.Name, len(r1.OpStream), len(r2.OpStream))
+			}
+			if r1.Conserved != nil {
+				t.Errorf("%s/%s: conservation failed: %v", sc.Name, b.Name, r1.Conserved)
+			}
+		}
+	}
+}
+
+// TestRunnerSeedMatters guards the other direction: a different seed
+// must produce a different stream (else the seed is decorative).
+func TestRunnerSeedMatters(t *testing.T) {
+	sc, ok := ByName("steady-mixed")
+	if !ok {
+		t.Fatal("steady-mixed missing from the library")
+	}
+	b := replayBackends(t)[0]
+	opt := Options{Scale: 0.01, Record: true}
+	r1 := Run(b, sc, opt)
+	sc.Seed++
+	r2 := Run(b, sc, opt)
+	if bytes.Equal(r1.OpStream, r2.OpStream) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}
+
+// TestRunnerConservationAllBackends drives one mixed scenario over
+// every catalog entry at a small scale: the quiescent accounting must
+// hold on all 24 backends, weak and bounded ones included.
+func TestRunnerConservationAllBackends(t *testing.T) {
+	sc, ok := ByName("steady-mixed")
+	if !ok {
+		t.Fatal("steady-mixed missing from the library")
+	}
+	for _, b := range repro.Catalog() {
+		res := Run(b, sc, Options{Scale: 0.02})
+		if res.Conserved != nil {
+			t.Errorf("%s: %v", b.Name, res.Conserved)
+		}
+		if res.Hist.Count() != res.Ops {
+			t.Errorf("%s: %d latency samples for %d ops", b.Name, res.Hist.Count(), res.Ops)
+		}
+	}
+}
+
+// TestRunnerCrashInjection pins the crash semantics: crashed pids
+// stop at a fixed fraction of their budget, so the crash phase
+// attempts deterministically fewer ops than the same scenario with
+// the injection removed — and conservation still holds.
+func TestRunnerCrashInjection(t *testing.T) {
+	sc, ok := ByName("churn-slow")
+	if !ok {
+		t.Fatal("churn-slow missing from the library")
+	}
+	b := replayBackends(t)[1] // queue/sensitive
+	withCrash := Run(b, sc, Options{Scale: 0.02})
+	if withCrash.Conserved != nil {
+		t.Fatalf("conservation with crashes: %v", withCrash.Conserved)
+	}
+	uncrashed := sc
+	uncrashed.Phases = append([]Phase(nil), sc.Phases...)
+	for i := range uncrashed.Phases {
+		uncrashed.Phases[i].CrashPids = 0
+	}
+	full := Run(b, uncrashed, Options{Scale: 0.02})
+	if withCrash.Ops >= full.Ops {
+		t.Fatalf("crash injection did not shed ops: %d with vs %d without", withCrash.Ops, full.Ops)
+	}
+}
+
+// TestRunnerProducerRoles checks the role split: with Producers set,
+// producer pids only write and the rest only erase — visible as a
+// producer-only op stream containing no consume op codes.
+func TestRunnerProducerRoles(t *testing.T) {
+	sc, ok := ByName("producer-consumer")
+	if !ok {
+		t.Fatal("producer-consumer missing from the library")
+	}
+	b := replayBackends(t)[0] // stack/sensitive
+	res := Run(b, sc, Options{Scale: 0.01, Record: true})
+	if res.Conserved != nil {
+		t.Fatalf("conservation: %v", res.Conserved)
+	}
+	// Walk the framed stream: frames are (phase, pid, len, ops...)
+	// with 9 bytes per op (code + value).
+	for off := 0; off+6 <= len(res.OpStream); {
+		pid := int(res.OpStream[off+1])
+		n := int(uint32(res.OpStream[off+2])<<24 | uint32(res.OpStream[off+3])<<16 |
+			uint32(res.OpStream[off+4])<<8 | uint32(res.OpStream[off+5]))
+		body := res.OpStream[off+6 : off+6+n]
+		for i := 0; i < len(body); i += 9 {
+			op := body[i]
+			if pid < 2 && op != 0 {
+				t.Fatalf("producer pid %d issued op %d", pid, op)
+			}
+			if pid >= 2 && op != 1 {
+				t.Fatalf("consumer pid %d issued op %d", pid, op)
+			}
+		}
+		off += 6 + n
+	}
+}
+
+func TestScenarioLibraryShape(t *testing.T) {
+	names := map[string]bool{}
+	for _, sc := range Library() {
+		if sc.Name == "" || sc.Desc == "" || sc.Seed == 0 || len(sc.Phases) == 0 {
+			t.Fatalf("scenario %q incompletely described", sc.Name)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Gate.MaxP99 == 0 || sc.Gate.MaxVarianceRatio == 0 {
+			t.Fatalf("scenario %q ships without a p99/variance gate", sc.Name)
+		}
+		for _, p := range sc.Phases {
+			if p.Name == "" || p.Procs <= 0 || p.Ops <= 0 {
+				t.Fatalf("scenario %q phase %+v incompletely described", sc.Name, p)
+			}
+			if p.Producers == 0 && p.Write+p.Erase > 1 {
+				t.Fatalf("scenario %q phase %q mix exceeds 1", sc.Name, p.Name)
+			}
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("ByName resolved a nonexistent scenario")
+	}
+}

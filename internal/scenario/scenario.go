@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"time"
+
+	"repro"
+)
+
+// KeyDist selects how a phase draws keys/values from its key range.
+type KeyDist int
+
+const (
+	// Uniform draws keys uniformly over [0, KeyRange).
+	Uniform KeyDist = iota
+	// Zipfian draws keys Zipf-skewed: rank 0 is the hottest key.
+	Zipfian
+)
+
+// Phase is one phase of a scenario: a fixed per-process operation
+// budget under one contention/mix/arrival regime. Operation counts
+// are budgets, not durations, so the generated streams are identical
+// across reruns and machines.
+type Phase struct {
+	// Name labels the phase in docs and debugging output.
+	Name string
+	// Procs is the number of concurrently active processes (pids
+	// [0, Procs)).
+	Procs int
+	// Ops is the operation budget per active process (before the
+	// runner's Scale option).
+	Ops int
+
+	// Write and Erase are the op-class fractions; the remainder is
+	// reads. Classes map onto each kind's op codes: write =
+	// push/enqueue/pushL|R/add, erase = pop/dequeue/popL|R/remove,
+	// read = contains (sets) or the kind's consume op where no pure
+	// read exists. Ignored when Producers > 0.
+	Write, Erase float64
+	// Producers, when > 0, splits the phase into roles instead of a
+	// mix: pids < Producers issue writes only, the rest erases only.
+	Producers int
+
+	// KeyRange bounds the keys/values drawn (0 = 1024); Dist picks
+	// the distribution, with ZipfS the Zipfian skew (0 = 1.2).
+	KeyRange int
+	Dist     KeyDist
+	ZipfS    float64
+
+	// Interval, when > 0, makes arrivals open-loop: each process
+	// issues Burst ops (0 = 64) at every Interval tick and idles in
+	// between; a backlogged process skips the idle, never the ops.
+	// Closed-loop (back-to-back) when 0. The runner scales Interval
+	// alongside Ops so quick runs keep the burst shape.
+	Interval time.Duration
+	Burst    int
+
+	// SlowPids marks the highest SlowPids pids of the phase as slow:
+	// after every SlowEvery ops (0 = 64) they pause for SlowPause
+	// (0 = 200us). Models a process losing its processor mid-stream.
+	SlowPids  int
+	SlowEvery int
+	SlowPause time.Duration
+
+	// CrashPids makes the highest CrashPids pids stop permanently
+	// after CrashFrac (0 = 0.5) of their budget — the paper's §5
+	// crash model lifted to the scenario level: a crashed process
+	// takes no further steps, and the object must stay consistent
+	// for the survivors (the conservation check still must pass).
+	CrashPids int
+	CrashFrac float64
+}
+
+// withDefaults resolves the zero-value knobs.
+func (p Phase) withDefaults() Phase {
+	if p.KeyRange == 0 {
+		p.KeyRange = 1024
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.2
+	}
+	if p.Burst == 0 {
+		p.Burst = 64
+	}
+	if p.SlowEvery == 0 {
+		p.SlowEvery = 64
+	}
+	if p.SlowPause == 0 {
+		p.SlowPause = 200 * time.Microsecond
+	}
+	if p.CrashFrac == 0 {
+		p.CrashFrac = 0.5
+	}
+	return p
+}
+
+// Gate declares a scenario's release thresholds, evaluated by
+// Evaluate (cmd/slogate) over the E21 rows. Zero fields are ungated.
+type Gate struct {
+	// MaxP50/MaxP99/MaxP999 bound the scenario's per-op latency
+	// quantiles, checked against the median across reruns (one noisy
+	// rerun is the variance gate's business, not the SLO's).
+	MaxP50, MaxP99, MaxP999 time.Duration
+	// MaxVarianceRatio bounds max/min throughput across the reruns
+	// of one scenario x backend cell. The op streams are identical
+	// across reruns, so this ratio is pure timing noise — the
+	// methodology gate that makes the SLO numbers trustworthy.
+	MaxVarianceRatio float64
+}
+
+// defaultGate is deliberately loose: the gates must hold on a noisy,
+// 1-core shared CI runner in quick mode. They exist to catch order-
+// of-magnitude regressions (a lost wakeup, an accidental O(n) hot
+// path, a spin turned sleep), not single-digit percent drift — the
+// BENCH_E21.json trajectory is where fine-grained drift shows.
+var defaultGate = Gate{
+	MaxP50:           50 * time.Millisecond,
+	MaxP99:           250 * time.Millisecond,
+	MaxP999:          time.Second,
+	MaxVarianceRatio: 25,
+}
+
+// Scenario is one declarative workload: phases over one object
+// instance, a fixed seed, the catalog kinds it applies to, and its
+// release gate.
+type Scenario struct {
+	// Name identifies the scenario in rows, gates, and docs.
+	Name string
+	// Desc is the one-line description the docs table quotes.
+	Desc string
+	// Kinds lists the applicable catalog kinds (nil = all four).
+	Kinds []string
+	// Seed determines every process's op stream.
+	Seed uint64
+	// Gate is the scenario's release thresholds.
+	Gate Gate
+	// Phases run in order against one shared object instance.
+	Phases []Phase
+}
+
+// AppliesTo reports whether the scenario runs against kind.
+func (s Scenario) AppliesTo(kind string) bool {
+	if len(s.Kinds) == 0 {
+		return true
+	}
+	for _, k := range s.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxProcs returns the largest phase process count.
+func (s Scenario) MaxProcs() int {
+	max := 1
+	for _, p := range s.Phases {
+		if p.Procs > max {
+			max = p.Procs
+		}
+	}
+	return max
+}
+
+// allKinds spells "every kind" in the docs table; Kinds stays nil.
+var setOnly = []string{repro.KindSet}
+
+// Library returns the standard scenario suite, in the order E21 runs
+// it. Names, kinds, and phase counts are pinned against the
+// EXPERIMENTS.md scenario table by TestScenariosMatchDocs.
+func Library() []Scenario {
+	return []Scenario{
+		{
+			Name: "steady-mixed",
+			Desc: "one steady phase of the balanced mixed workload — the baseline every other scenario perturbs",
+			Seed: 0x5ced0001,
+			Gate: defaultGate,
+			Phases: []Phase{
+				{Name: "steady", Procs: 8, Ops: 4000, Write: 0.45, Erase: 0.45},
+			},
+		},
+		{
+			Name:  "read-mostly",
+			Desc:  "90/9/1 membership workload — wait-free Contains should dominate the latency profile",
+			Kinds: setOnly,
+			Seed:  0x5ced0002,
+			Gate:  defaultGate,
+			Phases: []Phase{
+				{Name: "reads", Procs: 8, Ops: 4000, Write: 0.09, Erase: 0.01},
+			},
+		},
+		{
+			Name: "bursty",
+			Desc: "open-loop bursts: 64-op volleys on a fixed arrival clock, idle gaps between — queueing at the object, not in it",
+			Seed: 0x5ced0003,
+			Gate: defaultGate,
+			Phases: []Phase{
+				{Name: "bursts", Procs: 8, Ops: 4000, Write: 0.45, Erase: 0.45,
+					Interval: 2 * time.Millisecond, Burst: 64},
+			},
+		},
+		{
+			Name:  "zipf-hot",
+			Desc:  "Zipf(1.2) hot keys over a 4096-key range — a handful of keys soak the update traffic",
+			Kinds: setOnly,
+			Seed:  0x5ced0004,
+			Gate:  defaultGate,
+			Phases: []Phase{
+				{Name: "hot-keys", Procs: 8, Ops: 4000, Write: 0.25, Erase: 0.25,
+					KeyRange: 4096, Dist: Zipfian, ZipfS: 1.2},
+			},
+		},
+		{
+			Name: "phase-flip",
+			Desc: "write-heavy fill, erase-heavy drain, fill again — the regime flips mid-run, twice",
+			Seed: 0x5ced0005,
+			Gate: defaultGate,
+			Phases: []Phase{
+				{Name: "fill", Procs: 8, Ops: 2000, Write: 0.80, Erase: 0.10},
+				{Name: "drain", Procs: 8, Ops: 2000, Write: 0.10, Erase: 0.80},
+				{Name: "refill", Procs: 8, Ops: 2000, Write: 0.80, Erase: 0.10},
+			},
+		},
+		{
+			Name:  "producer-consumer",
+			Desc:  "2 producers feed 6 consumers — role imbalance instead of a mix; consumers mostly find it empty",
+			Kinds: []string{repro.KindStack, repro.KindQueue, repro.KindDeque},
+			Seed:  0x5ced0006,
+			Gate:  defaultGate,
+			Phases: []Phase{
+				{Name: "pipeline", Procs: 8, Ops: 4000, Producers: 2},
+			},
+		},
+		{
+			Name: "solo-storm",
+			Desc: "contention-free warmup, 8-proc storm, solo cooldown — E6's schedule as a first-class scenario",
+			Seed: 0x5ced0007,
+			Gate: defaultGate,
+			Phases: []Phase{
+				{Name: "solo-warm", Procs: 1, Ops: 3000, Write: 0.45, Erase: 0.45},
+				{Name: "storm", Procs: 8, Ops: 3000, Write: 0.45, Erase: 0.45},
+				{Name: "solo-cool", Procs: 1, Ops: 3000, Write: 0.45, Erase: 0.45},
+			},
+		},
+		{
+			Name: "churn-slow",
+			Desc: "update churn with 2 slow processes, then 2 of 8 crash mid-phase — survivors must stay conserved",
+			Seed: 0x5ced0008,
+			Gate: defaultGate,
+			Phases: []Phase{
+				{Name: "slow-churn", Procs: 8, Ops: 3000, Write: 0.45, Erase: 0.45,
+					SlowPids: 2, SlowEvery: 64, SlowPause: 200 * time.Microsecond},
+				{Name: "crash", Procs: 8, Ops: 3000, Write: 0.45, Erase: 0.45,
+					CrashPids: 2, CrashFrac: 0.5},
+			},
+		},
+	}
+}
+
+// ByName resolves a library scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

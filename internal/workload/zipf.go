@@ -1,0 +1,53 @@
+package workload
+
+import "math"
+
+// Zipf draws ranks from a Zipf(s) distribution over [0, n): rank r is
+// drawn with probability proportional to 1/(r+1)^s, so rank 0 is the
+// hottest key. The sampler precomputes the CDF once and inverts it
+// with a binary search per draw, so sampling is deterministic for a
+// given RNG state and allocation-free after construction.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf returns a sampler over [0, n) with skew s > 0 (s around
+// 1 gives the classic hot-key shape; larger s concentrates harder).
+func NewZipf(s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("workload: NewZipf needs n > 0")
+	}
+	if s <= 0 {
+		panic("workload: NewZipf needs s > 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the rank-space size the sampler was built for.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next draws the next rank using r. The sampler itself is read-only
+// after construction, so one Zipf may serve many goroutines as long
+// as each supplies its own RNG.
+func (z *Zipf) Next(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "testing"
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(1.1, 64)
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if v := z.Next(r); v < 0 || v >= 64 {
+			t.Fatalf("Next = %d, outside [0, 64)", v)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(1.2, 128)
+	a, b := NewRNG(17), NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if z.Next(a) != z.Next(b) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must dominate: with s=1.2 over 1024 ranks the hottest
+	// key draws well over 10% of the mass, and the top 8 ranks a
+	// majority — while a uniform draw would give 8/1024 < 1%.
+	z := NewZipf(1.2, 1024)
+	r := NewRNG(23)
+	const n = 100000
+	counts := make([]int, 1024)
+	for i := 0; i < n; i++ {
+		counts[z.Next(r)]++
+	}
+	if counts[0] < n/10 {
+		t.Fatalf("rank 0 drew %d of %d, want > %d", counts[0], n, n/10)
+	}
+	top8 := 0
+	for _, c := range counts[:8] {
+		top8 += c
+	}
+	if top8 < n/2 {
+		t.Fatalf("top 8 ranks drew %d of %d, want a majority", top8, n)
+	}
+	// Monotone-ish head: rank 0 beats rank 1 beats rank 7.
+	if counts[0] <= counts[1] || counts[1] <= counts[7] {
+		t.Fatalf("head not decreasing: %v", counts[:8])
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(1.1, 0) },
+		func() { NewZipf(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad NewZipf args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
