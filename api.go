@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"repro/internal/cmanager"
+	"repro/internal/core"
 	"repro/internal/queue"
 	"repro/internal/set"
 )
@@ -62,11 +64,13 @@ type SetAPI interface {
 // catalog constructor understands the full set and ignores the knobs
 // its backend does not have.
 type options struct {
-	capacity int
-	procs    int
-	shards   int
-	width    int
-	pooled   bool
+	capacity    int
+	procs       int
+	shards      int
+	width       int
+	pooled      bool
+	retryMgr    string
+	retryBudget int
 }
 
 // Option configures a catalog constructor (NewStackBackend and
@@ -105,6 +109,35 @@ func WithWidth(w int) Option { return func(o *options) { o.width = w } }
 // 0 steady-state allocs/op. Constructors whose backend has no pooled
 // sibling report an error; already-pooled backends are unchanged.
 func WithPooled() Option { return func(o *options) { o.pooled = true } }
+
+// WithRetryPolicy bounds the retry loop of the non-blocking (Figure 2)
+// backends: each operation makes at most budget weak attempts, paced
+// by the named contention manager ("none", "yield", "spin", "backoff",
+// "adaptive" — see internal/cmanager), and a fully exhausted operation
+// degrades gracefully instead of spinning unboundedly — container ops
+// surface ErrExhausted with no effect; set updates shed and report
+// false. budget 0 keeps the paper's unbounded loop (manager pacing
+// still applies). Backends without a retry loop ignore the option.
+func WithRetryPolicy(manager string, budget int) Option {
+	return func(o *options) { o.retryMgr, o.retryBudget = manager, budget }
+}
+
+// retryPolicied is the surface the Figure 2 backends expose for
+// WithRetryPolicy (see e.g. internal/stack.NonBlocking.SetRetryPolicy).
+type retryPolicied interface {
+	SetRetryPolicy(m core.Manager, budget int)
+}
+
+// applyRetryPolicy forwards a WithRetryPolicy setting to the backend
+// underneath the adapters, when it has a retry loop to bound.
+func applyRetryPolicy(x any, o options) {
+	if o.retryMgr == "" && o.retryBudget == 0 {
+		return
+	}
+	if rp, ok := Unwrap(x).(retryPolicied); ok {
+		rp.SetRetryPolicy(cmanager.ByName(o.retryMgr), o.retryBudget)
+	}
+}
 
 // Unwrapper is implemented by the adapter types below: Unwrap
 // returns the concrete backend value behind a capability interface,

@@ -64,9 +64,20 @@ const (
 //	set:           0 add(v), 1 remove(v), 2 contains(v)
 //
 // N is the number of op codes the kind has.
+//
+// Abandon and ArmCrash are the fault-injection seams, non-nil exactly
+// when the backend supports them (the flat-combining family). Abandon
+// publishes op (an update op code; reads have nothing to abandon)
+// without waiting — the §5 model of a process crashing mid-operation,
+// leaving a pending request a combiner may or may not serve; the pid
+// must never operate on the instance again. ArmCrash arms a one-shot
+// combiner crash: pid's next combining pass dies after `after` slot
+// applications with the lease held (see combine.Core.ArmCombinerCrash).
 type Ops struct {
-	N  int
-	Do func(pid, op int, v uint64) (uint64, error)
+	N        int
+	Do       func(pid, op int, v uint64) (uint64, error)
+	Abandon  func(pid, op int, v uint64) bool
+	ArmCrash func(pid, after int) bool
 }
 
 // Backend describes one catalog entry. The string fields mirror the
@@ -97,6 +108,18 @@ type Backend struct {
 	Allocation string
 	// Experiments lists the experiment ids that cover this backend.
 	Experiments []string
+	// Robustness classifies the backend's §5 crash tolerance, measured
+	// by experiment E22 and quoted by the README table:
+	//
+	//	"survivor-safe":  lock-free (or single-attempt weak) operations;
+	//	                  a crashed process never blocks the survivors.
+	//	"lease-takeover": flat combining; a crashed combiner is deposed
+	//	                  by a waiter after the heartbeat lease budget
+	//	                  and pending requests are re-served.
+	//	"lock-vulnerable": Figure 3 lock fallback; a process that
+	//	                  crashes inside the critical section wedges
+	//	                  every later slow-path operation.
+	Robustness string
 	// Weak marks Figure 1 backends: uniform operations are single
 	// attempts that may return the kind's abort sentinel.
 	Weak bool
@@ -130,25 +153,59 @@ type Backend struct {
 // (compare Backend.Direct). Values are truncated to the backend's
 // domain where it is narrower than uint64.
 func Drive(b Backend, opts ...Option) Ops {
+	o := applyOptions(opts)
 	switch b.Kind {
 	case KindStack:
 		s := b.Stack(opts...)
-		return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+		applyRetryPolicy(s, o)
+		ops := Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
 			if op == 0 {
 				return 0, s.Push(pid, v)
 			}
 			return s.Pop(pid)
 		}}
+		if c, ok := Unwrap(s).(interface {
+			AbandonPush(pid int, v uint64)
+			AbandonPop(pid int)
+		}); ok {
+			ops.Abandon = func(pid, op int, v uint64) bool {
+				if op == 0 {
+					c.AbandonPush(pid, v)
+				} else {
+					c.AbandonPop(pid)
+				}
+				return true
+			}
+		}
+		armCrash(&ops, s)
+		return ops
 	case KindQueue:
 		q := b.Queue(opts...)
-		return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+		applyRetryPolicy(q, o)
+		ops := Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
 			if op == 0 {
 				return 0, q.Enqueue(pid, v)
 			}
 			return q.Dequeue(pid)
 		}}
+		if c, ok := Unwrap(q).(interface {
+			AbandonEnqueue(pid int, v uint64)
+			AbandonDequeue(pid int)
+		}); ok {
+			ops.Abandon = func(pid, op int, v uint64) bool {
+				if op == 0 {
+					c.AbandonEnqueue(pid, v)
+				} else {
+					c.AbandonDequeue(pid)
+				}
+				return true
+			}
+		}
+		armCrash(&ops, q)
+		return ops
 	case KindDeque:
 		d := b.Deque(opts...)
+		applyRetryPolicy(d, o)
 		return Ops{N: 4, Do: func(pid, op int, v uint64) (uint64, error) {
 			switch op {
 			case 0:
@@ -165,7 +222,8 @@ func Drive(b Backend, opts ...Option) Ops {
 		}}
 	default: // KindSet
 		s := b.Set(opts...)
-		return Ops{N: 3, Do: func(pid, op int, v uint64) (uint64, error) {
+		applyRetryPolicy(s, o)
+		ops := Ops{N: 3, Do: func(pid, op int, v uint64) (uint64, error) {
 			var got bool
 			var err error
 			switch op {
@@ -178,6 +236,34 @@ func Drive(b Backend, opts ...Option) Ops {
 			}
 			return boolOp(got, err)
 		}}
+		if c, ok := Unwrap(s).(interface {
+			AbandonAdd(pid int, k uint64)
+			AbandonRemove(pid int, k uint64)
+		}); ok {
+			ops.Abandon = func(pid, op int, v uint64) bool {
+				switch op {
+				case 0:
+					c.AbandonAdd(pid, v)
+				case 1:
+					c.AbandonRemove(pid, v)
+				default:
+					return false // reads have nothing to abandon
+				}
+				return true
+			}
+		}
+		armCrash(&ops, s)
+		return ops
+	}
+}
+
+// armCrash wires Ops.ArmCrash when the backend underneath exposes the
+// combiner fault injection.
+func armCrash(ops *Ops, x any) {
+	if c, ok := Unwrap(x).(interface {
+		ArmCombinerCrash(pid, after int) bool
+	}); ok {
+		ops.ArmCrash = c.ArmCombinerCrash
 	}
 }
 
@@ -215,7 +301,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewAbortableStack[T](k)",
 			Object:      "weak bounded stack, Figure 1",
 			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E1", "E2", "E3", "E8", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E1", "E2", "E3", "E8", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Weak:        true, Bounded: true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -237,7 +324,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewNonBlockingStack[T](k)",
 			Object:      "bounded stack, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E3", "E5", "E7", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E3", "E5", "E7", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -259,7 +347,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewStack[T](k, n)",
 			Object:      "bounded stack, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E1", "E4", "E5", "E6", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E1", "E4", "E5", "E6", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "lock-vulnerable",
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -281,7 +370,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewTreiberStack[T]()",
 			Object:      "unbounded stack",
 			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				return liftStack[uint64](stack.NewTreiber[uint64]())
 			},
@@ -300,7 +390,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewEliminationStack[T](width)",
 			Object:      "unbounded stack + exchanger",
 			Tier:        "baseline", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
 				return liftStack[uint64](stack.NewElimination[uint64](o.width))
@@ -321,7 +412,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewCombiningStack[T](k, n)",
 			Object:      "bounded stack, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E5", "E11", "E15", "E17", "E20", "E21"},
+			Experiments: []string{"E5", "E11", "E15", "E17", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -343,7 +435,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewPooledStack(n)",
 			Object:      "unbounded Treiber stack",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E5", "E8", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E5", "E8", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
 				return stack.NewTreiberPooled(o.procs)
@@ -364,7 +457,8 @@ func stackCatalog() []Backend {
 			Constructor: "NewCombiningPooledStack(k, n)",
 			Object:      "bounded stack, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E5", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Bounded:     true,
 			Stack: func(opts ...Option) StackAPI[uint64] {
 				o := applyOptions(opts)
@@ -391,7 +485,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewAbortableQueue[T](k)",
 			Object:      "weak bounded FIFO queue, Figure 1",
 			Tier:        "paper", Progress: "abortable", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Weak:        true, Bounded: true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -413,7 +508,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewNonBlockingQueue[T](k)",
 			Object:      "bounded FIFO queue, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -435,7 +531,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewQueue[T](k, n)",
 			Object:      "bounded FIFO queue, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21", "E22"},
+			Robustness:  "lock-vulnerable",
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -457,7 +554,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewCombiningQueue[T](k, n)",
 			Object:      "bounded FIFO queue, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -479,7 +577,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewShardedQueue[T](k, n, shards)",
 			Object:      "pid-striped queue, per-shard FIFO",
 			Tier:        "scaling", Progress: "starvation-free, relaxed cross-shard order", Domain: "generic", Allocation: "boxed",
-			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E16", "E17", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Bounded:     true,
 			LinOpts:     []Option{WithShards(1)},
 			LinNote:     "K=1",
@@ -503,7 +602,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewPooledQueue(n)",
 			Object:      "unbounded Michael-Scott queue",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled, 0 allocs/op",
-			Experiments: []string{"E8", "E9", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E8", "E9", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
 				return msPooledQueue{queue.NewMichaelScottPooled(o.procs)}
@@ -525,7 +625,8 @@ func queueCatalog() []Backend {
 			Constructor: "NewCombiningPooledQueue(k, n)",
 			Object:      "bounded FIFO queue, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "pooled in-place ring, 0 allocs/op",
-			Experiments: []string{"E9", "E11", "E17", "E20", "E21"},
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Bounded:     true,
 			Queue: func(opts ...Option) QueueAPI[uint64] {
 				o := applyOptions(opts)
@@ -552,7 +653,8 @@ func dequeCatalog() []Backend {
 			Constructor: "NewAbortableDeque(k)",
 			Object:      "weak HLM deque",
 			Tier:        "paper", Progress: "abortable", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20", "E21"},
+			Experiments: []string{"E14", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Weak:        true, Bounded: true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -582,7 +684,8 @@ func dequeCatalog() []Backend {
 			Constructor: "NewNonBlockingDeque(k)",
 			Object:      "HLM deque, Figure 2",
 			Tier:        "paper", Progress: "lock-free", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20", "E21"},
+			Experiments: []string{"E14", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Bounded:     true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -612,7 +715,8 @@ func dequeCatalog() []Backend {
 			Constructor: "NewDeque(k, n)",
 			Object:      "bounded HLM deque, Figure 3",
 			Tier:        "paper", Progress: "starvation-free", Domain: "uint32", Allocation: "packed words",
-			Experiments: []string{"E14", "E20", "E21"},
+			Experiments: []string{"E14", "E20", "E21", "E22"},
+			Robustness:  "lock-vulnerable",
 			Bounded:     true,
 			Deque: func(opts ...Option) DequeAPI {
 				o := applyOptions(opts)
@@ -647,7 +751,8 @@ func setCatalog() []Backend {
 			Constructor: "NewAbortableSet()",
 			Object:      "weak sorted set",
 			Tier:        "paper", Progress: "abortable updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E20", "E21"},
+			Experiments: []string{"E11", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Weak:        true,
 			Set: func(opts ...Option) SetAPI {
 				return weakSet{set.NewAbortable()}
@@ -671,7 +776,8 @@ func setCatalog() []Backend {
 			Constructor: "NewNonBlockingSet()",
 			Object:      "sorted set, Figure 2",
 			Tier:        "paper", Progress: "lock-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Set: func(opts ...Option) SetAPI {
 				return liftSet(set.NewNonBlocking())
 			},
@@ -685,7 +791,8 @@ func setCatalog() []Backend {
 			Constructor: "NewSet(n)",
 			Object:      "sorted set, Figure 3",
 			Tier:        "paper", Progress: "starvation-free updates, wait-free Contains", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E20", "E21"},
+			Experiments: []string{"E11", "E18", "E20", "E21", "E22"},
+			Robustness:  "lock-vulnerable",
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewSensitive(o.procs))
@@ -701,7 +808,8 @@ func setCatalog() []Backend {
 			Constructor: "NewCombiningSet(n)",
 			Object:      "sorted set, flat combining",
 			Tier:        "scaling", Progress: "starvation-free", Domain: "uint64", Allocation: "COW boxed",
-			Experiments: []string{"E11", "E18", "E20", "E21"},
+			Experiments: []string{"E11", "E18", "E20", "E21", "E22"},
+			Robustness:  "lease-takeover",
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewCombining(o.procs))
@@ -717,7 +825,8 @@ func setCatalog() []Backend {
 			Constructor: "NewLockFreeSet(n)",
 			Object:      "Harris/Michael list-based set",
 			Tier:        "allocation", Progress: "lock-free", Domain: "uint64", Allocation: "pooled",
-			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewHarris(o.procs))
@@ -733,7 +842,8 @@ func setCatalog() []Backend {
 			Constructor: "NewHashSet(n)",
 			Object:      "split-ordered hash set (keys < 2^63)",
 			Tier:        "hash", Progress: "lock-free", Domain: "uint64", Allocation: "pooled + shortcut words",
-			Experiments: []string{"E11", "E18", "E19", "E20", "E21"},
+			Experiments: []string{"E11", "E18", "E19", "E20", "E21", "E22"},
+			Robustness:  "survivor-safe",
 			Set: func(opts ...Option) SetAPI {
 				o := applyOptions(opts)
 				return liftSet(set.NewHash(o.procs))
@@ -850,9 +960,11 @@ func NewStackBackend[T any](name string, opts ...Option) (StackAPI[T], error) {
 		return nil, err
 	}
 	if s, ok := genericStack[T](b.Name, o); ok {
+		applyRetryPolicy(s, o)
 		return s, nil
 	}
 	if s, ok := any(b.Stack(opts...)).(StackAPI[T]); ok {
+		applyRetryPolicy(s, o)
 		return s, nil
 	}
 	return nil, fmt.Errorf("repro: backend %s carries %s elements; instantiate it at that type", b.Name, b.Domain)
@@ -866,9 +978,11 @@ func NewQueueBackend[T any](name string, opts ...Option) (QueueAPI[T], error) {
 		return nil, err
 	}
 	if q, ok := genericQueue[T](b.Name, o); ok {
+		applyRetryPolicy(q, o)
 		return q, nil
 	}
 	if q, ok := any(b.Queue(opts...)).(QueueAPI[T]); ok {
+		applyRetryPolicy(q, o)
 		return q, nil
 	}
 	return nil, fmt.Errorf("repro: backend %s carries %s elements; instantiate it at that type", b.Name, b.Domain)
@@ -877,19 +991,23 @@ func NewQueueBackend[T any](name string, opts ...Option) (QueueAPI[T], error) {
 // NewDequeBackend builds the named deque backend (uint32 values).
 // Options: WithCapacity, WithProcs.
 func NewDequeBackend(name string, opts ...Option) (DequeAPI, error) {
-	b, _, err := find(KindDeque, name, opts)
+	b, o, err := find(KindDeque, name, opts)
 	if err != nil {
 		return nil, err
 	}
-	return b.Deque(opts...), nil
+	d := b.Deque(opts...)
+	applyRetryPolicy(d, o)
+	return d, nil
 }
 
 // NewSetBackend builds the named set backend (uint64 keys). Options:
 // WithProcs.
 func NewSetBackend(name string, opts ...Option) (SetAPI, error) {
-	b, _, err := find(KindSet, name, opts)
+	b, o, err := find(KindSet, name, opts)
 	if err != nil {
 		return nil, err
 	}
-	return b.Set(opts...), nil
+	s := b.Set(opts...)
+	applyRetryPolicy(s, o)
+	return s, nil
 }

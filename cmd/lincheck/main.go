@@ -11,10 +11,21 @@
 // Usage:
 //
 //	lincheck [-impl all|<name from -listimpls>] [-procs N] [-rounds R] [-ops K] [-seeds S]
+//	lincheck -crash
 //
 // Histories are recorded in bursts with quiescent joins so the
 // segmented Wing&Gong checker stays exact. Exit status 1 means a
 // violation was found.
+//
+// -crash switches to the deterministic §5 crash-plan mode: instead of
+// timing-driven recordings, the internal/sched engine replays runs in
+// which one process is crashed at every numbered shared access of its
+// operation (the crash plans are replayable values, like the ABA
+// schedules). The crashed operation is treated as pending — the
+// history must linearize either without it or with some completion of
+// it taking effect — and the flat-combining sweep additionally covers
+// crashes with the combiner lease held, which the survivors must
+// recover from by stealing the lease.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"repro/internal/bench"
 	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -35,8 +47,17 @@ func main() {
 		ops    = flag.Int("ops", 4, "operations per process per burst")
 		seeds  = flag.Int("seeds", 4, "independent seeded runs per implementation")
 		listI  = flag.Bool("listimpls", false, "list implementations and exit")
+		crash  = flag.Bool("crash", false, "deterministic crash-plan sweeps (crashed ops pending)")
 	)
 	flag.Parse()
+
+	if *crash {
+		if err := runCrashSweeps(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lincheck -crash: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	targets := bench.LinTargets()
 	setTargets := bench.SetLinTargets()
@@ -93,4 +114,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lincheck: %d violation(s)\n", violations)
 		os.Exit(1)
 	}
+}
+
+// runCrashSweeps is the -crash mode: deterministic crash plans over
+// the model-checked backends, every crash point of a single push and
+// a single pop, plus the flat-combining lease-held crashes.
+func runCrashSweeps(w *os.File) error {
+	tb := metrics.NewTable("target", "crashed op", "crash points", "verdict")
+	survivor := []sched.StackOp{{Push: true, Value: 100}, {}, {}, {}}
+	const points = 8
+	for _, backend := range []sched.StackBackend{sched.Boxed, sched.PackedWords, sched.PooledTreiber, sched.PooledAbortable} {
+		for _, op := range []sched.StackOp{{Push: true, Value: 77}, {}} {
+			name := "pop"
+			if op.Push {
+				name = "push"
+			}
+			err := sched.SweepCrashPoints(points, func(crashAt int) (sched.Builder, sched.CrashPlan) {
+				return sched.CrashStackOp(backend, 8, []uint64{10, 20}, op, crashAt, survivor)
+			})
+			if err != nil {
+				fmt.Fprint(w, tb.String())
+				return fmt.Errorf("%v crashed %s: %v", backend, name, err)
+			}
+			tb.AddRow(backend.String(), name, points+1, "linearizable (crashed op pending)")
+		}
+	}
+
+	// Flat combining: the combiner dies at every gate of its
+	// contended push — lease acquisition, CONTENTION raise, mid-
+	// apply, release — and the survivor must steal the lease.
+	err := sched.SweepCrashPoints(sched.CombiningCrashGates, func(crashAt int) (sched.Builder, sched.CrashPlan) {
+		return sched.CombiningCrashBuilder(false), sched.CrashPlan{0: crashAt}
+	})
+	if err != nil {
+		fmt.Fprint(w, tb.String())
+		return fmt.Errorf("combining crash sweep: %v", err)
+	}
+	tb.AddRow("stack/combining", "push (combiner)", sched.CombiningCrashGates+1, "linearizable (crashed op pending)")
+
+	build, schedule, plan := sched.CombiningTakeoverSchedule()
+	if _, err := sched.ReplayWithCrashes(build, schedule, plan, 0); err != nil {
+		fmt.Fprint(w, tb.String())
+		return fmt.Errorf("pinned takeover replay: %v", err)
+	}
+	tb.AddRow("stack/combining", "push (lease-held, pinned)", 1, "lease stolen, linearizable")
+
+	fmt.Fprint(w, tb.String())
+	fmt.Fprintln(w, "crash plans are replayable values: (pid -> granted shared accesses before the crash)")
+	return nil
 }

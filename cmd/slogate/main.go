@@ -1,15 +1,18 @@
-// Command slogate is the release gate over the E21 scenario suite:
-// it loads a contbench -json document (the bench.Doc schema), parses
-// the "E21 scenario suite" rows, applies every scenario's declared
-// SLO and variance gates (internal/scenario.Evaluate), and prints a
-// deterministic per-gate verdict table. Exit status 1 means at least
-// one gate failed — CI runs it after the E21 smoke so a latency
-// regression, a throughput flap, a conservation violation, or a
-// silently dropped scenario cell fails the build.
+// Command slogate is the release gate over the scenario suites: it
+// loads a contbench -json document (the bench.Doc schema), finds the
+// experiment's scenario table — "E21 scenario suite" rows gated by
+// SLO/variance (internal/scenario.Evaluate), or "E22 crash suite"
+// rows gated by survivor progress, recovery latency, the conservation
+// bracket, and the Robustness classification (scenario.EvaluateCrash)
+// — and prints a deterministic per-gate verdict table. Exit status 1
+// means at least one gate failed — CI runs it after the E21/E22
+// smokes so a latency regression, a throughput flap, a conservation
+// violation, a stalled survivor, a wedged takeover, or a silently
+// dropped scenario cell fails the build.
 //
 // Usage:
 //
-//	slogate [-exp E21] [-all] BENCH_E21.json
+//	slogate [-exp E21|E22] [-all] BENCH_E21.json
 //
 // -all prints every verdict row; by default passing gates are
 // summarized per scenario and only failures are expanded.
@@ -50,18 +53,26 @@ func run(path, exp string, showAll bool, w *os.File) error {
 	if !ok {
 		return fmt.Errorf("%s: document has no %s record (ran `contbench -run %s -json`?)", path, exp, exp)
 	}
-	table, ok := rec.FindTable(exp + " scenario suite")
-	if !ok {
-		return fmt.Errorf("%s: %s record carries no scenario table", path, exp)
+	var verdicts []scenario.Verdict
+	var nrows int
+	if table, ok := rec.FindTable(exp + " scenario suite"); ok {
+		rows, err := scenario.ParseRows(table.Headers, table.Rows)
+		if err != nil {
+			return err
+		}
+		nrows, verdicts = len(rows), scenario.Evaluate(rows)
+	} else if table, ok := rec.FindTable(exp + " crash suite"); ok {
+		rows, err := scenario.ParseCrashRows(table.Headers, table.Rows)
+		if err != nil {
+			return err
+		}
+		nrows, verdicts = len(rows), scenario.EvaluateCrash(rows)
+	} else {
+		return fmt.Errorf("%s: %s record carries no scenario or crash table", path, exp)
 	}
-	rows, err := scenario.ParseRows(table.Headers, table.Rows)
-	if err != nil {
-		return err
-	}
-	verdicts := scenario.Evaluate(rows)
 
 	fmt.Fprintf(w, "slogate: %d rows from %s (%s, go %s, %s/%s, %d cpu, sha %s)\n",
-		len(rows), path, doc.Generated, doc.Provenance.GoVersion,
+		nrows, path, doc.Generated, doc.Provenance.GoVersion,
 		doc.Provenance.OS, doc.Provenance.Arch, doc.Provenance.NumCPU, doc.Provenance.GitSHA)
 
 	failed := 0

@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -305,6 +305,26 @@ func TestE21ScenarioSuite(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("E21 reported a conservation failure:\n%s", out)
+	}
+}
+
+func TestE22CrashSuite(t *testing.T) {
+	out := runQuick(t, "E22")
+	// The pinned takeover replay, the gate sweep, every crash scenario,
+	// and at least one backend per kind must appear, alongside the
+	// columns slogate's crash gates parse.
+	for _, row := range []string{
+		"pinned takeover replay", "crash-point sweep",
+		"mid-op-storm", "combiner-crash", "crash-storm",
+		"stack/combining", "queue/michael-scott", "deque/sensitive", "set/hashset",
+		"survivor-ops", "recovery-ns", "robustness",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E22 missing %s:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("E22 reported a conservation failure:\n%s", out)
 	}
 }
 

@@ -101,9 +101,101 @@ func (b *Backoff) OnAbort(attempt int) {
 // is maintained by the retry loop, so there is nothing to reset).
 func (b *Backoff) OnSuccess() {}
 
+// Adaptive is bounded exponential backoff with cross-operation
+// memory: a shared "level" word remembers how contended the object
+// was for recent operations. An operation's first abort starts its
+// backoff at the current level instead of at 1, so a process joining
+// an already-contended object backs off immediately; every successful
+// operation decays the level multiplicatively. The level moves by
+// doubling/halving between MinYields and MaxYields — a multiplicative
+// increase / multiplicative-decrease loop, the load-shedding analogue
+// of the §5 exponential manager.
+type Adaptive struct {
+	// MinYields is the floor the level decays to (default 1 when zero).
+	MinYields int
+	// MaxYields caps both the level and any single backoff (default
+	// 256 when zero).
+	MaxYields int
+
+	level atomic.Int64
+	seed  atomic.Uint64
+}
+
+// NewAdaptive returns an Adaptive manager between min and max yields
+// with a fixed jitter seed (deterministic across runs).
+func NewAdaptive(min, max int) *Adaptive {
+	a := &Adaptive{MinYields: min, MaxYields: max}
+	a.seed.Store(0x9e3779b97f4a7c15)
+	return a
+}
+
+func (a *Adaptive) bounds() (min, max int) {
+	min, max = a.MinYields, a.MaxYields
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = 256
+	}
+	if min > max {
+		min = max
+	}
+	return min, max
+}
+
+// OnAbort implements core.Manager: yield level·2^(attempt-1) times
+// (capped, jittered), and on an operation's first abort double the
+// shared level so later operations start backed off.
+func (a *Adaptive) OnAbort(attempt int) {
+	min, max := a.bounds()
+	level := int(a.level.Load())
+	if level < min {
+		level = min
+	}
+	if attempt == 1 {
+		next := level * 2
+		if next > max {
+			next = max
+		}
+		a.level.Store(int64(next))
+	}
+	n := max
+	if attempt <= 30 && level<<(attempt-1) < max {
+		n = level << (attempt - 1)
+	}
+	// Deterministic jitter in [n/2, n], as in Backoff.
+	s := a.seed.Add(0x9e3779b97f4a7c15)
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	n = n/2 + int(s%uint64(n/2+1))
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// OnSuccess implements core.Manager by halving the shared level: the
+// object just admitted an operation, so contention is receding.
+func (a *Adaptive) OnSuccess() {
+	min, _ := a.bounds()
+	level := int(a.level.Load()) / 2
+	if level < min {
+		level = min
+	}
+	a.level.Store(int64(level))
+}
+
+// Level returns the current shared backoff level (tests and E-series
+// diagnostics).
+func (a *Adaptive) Level() int {
+	min, _ := a.bounds()
+	if l := int(a.level.Load()); l > min {
+		return l
+	}
+	return min
+}
+
 // ByName returns the named manager, used by the experiment CLI:
-// "none", "yield", "spin", "backoff". Unknown names return nil (the
-// bare loop).
+// "none", "yield", "spin", "backoff", "adaptive". Unknown names
+// return nil (the bare loop).
 func ByName(name string) core.Manager {
 	switch name {
 	case "none":
@@ -114,17 +206,20 @@ func ByName(name string) core.Manager {
 		return Spin{}
 	case "backoff":
 		return NewBackoff(0)
+	case "adaptive":
+		return NewAdaptive(0, 0)
 	default:
 		return nil
 	}
 }
 
 // Names lists the managers ByName understands, in ablation order.
-func Names() []string { return []string{"none", "yield", "spin", "backoff"} }
+func Names() []string { return []string{"none", "yield", "spin", "backoff", "adaptive"} }
 
 var (
 	_ core.Manager = None{}
 	_ core.Manager = Yield{}
 	_ core.Manager = Spin{}
 	_ core.Manager = (*Backoff)(nil)
+	_ core.Manager = (*Adaptive)(nil)
 )

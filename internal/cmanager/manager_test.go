@@ -59,6 +59,64 @@ func TestBackoffBoundedAndConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+func TestAdaptiveLevelDoublesAndDecays(t *testing.T) {
+	a := NewAdaptive(1, 8)
+	if got := a.Level(); got != 1 {
+		t.Fatalf("fresh level = %d, want the floor 1", got)
+	}
+	// Each operation's first abort doubles the shared level...
+	for i, want := range []int{2, 4, 8, 8, 8} {
+		a.OnAbort(1)
+		if got := a.Level(); got != want {
+			t.Fatalf("level after first-abort #%d = %d, want %d (capped at MaxYields)", i+1, got, want)
+		}
+	}
+	// ...a later abort of the same operation does not move it...
+	a.OnAbort(2)
+	a.OnAbort(3)
+	if got := a.Level(); got != 8 {
+		t.Fatalf("level after later aborts = %d, want unchanged 8", got)
+	}
+	// ...and every success halves it back toward the floor.
+	for i, want := range []int{4, 2, 1, 1} {
+		a.OnSuccess()
+		if got := a.Level(); got != want {
+			t.Fatalf("level after success #%d = %d, want %d (floored at MinYields)", i+1, got, want)
+		}
+	}
+}
+
+func TestAdaptiveDefaultsAndConcurrency(t *testing.T) {
+	a := NewAdaptive(0, 0) // defaults: floor 1, cap 256
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 1; attempt <= 40; attempt++ {
+				a.OnAbort(attempt)
+			}
+			a.OnSuccess()
+		}()
+	}
+	wg.Wait()
+	if got := a.Level(); got < 1 || got > 256 {
+		t.Fatalf("level = %d, escaped the [1, 256] default bounds", got)
+	}
+}
+
+func TestByNameAdaptive(t *testing.T) {
+	m := ByName("adaptive")
+	a, ok := m.(*Adaptive)
+	if !ok {
+		t.Fatalf("ByName(adaptive) = %T, want *Adaptive", m)
+	}
+	a.OnAbort(1)
+	if a.Level() <= 1 {
+		t.Fatal("ByName adaptive manager does not adapt")
+	}
+}
+
 func TestSpinDefault(t *testing.T) {
 	Spin{}.OnAbort(1)              // default iterations
 	Spin{Iterations: 5}.OnAbort(2) // explicit

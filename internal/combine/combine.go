@@ -26,6 +26,35 @@ const spinBudget = 64
 // while the first ran, amortizing the lock hand-off further.
 const combinePasses = 2
 
+// defaultLeaseBudget is how many consecutive unchanged (lease, beat)
+// observations a waiter tolerates before it presumes the combiner
+// crashed and steals the lease. The combiner bumps the heartbeat once
+// per slot application, so a live combiner is stale only while one
+// apply is in flight; the budget is deliberately generous (with a
+// Gosched every spinBudget observations a runnable combiner gets
+// scheduled long before it expires), making false steals — the only
+// path to a double-applied request — vanishingly unlikely while
+// keeping crash recovery in the low milliseconds. Tests shrink it via
+// SetLeaseBudget to pin takeovers deterministically.
+const defaultLeaseBudget = 1 << 16
+
+// The combiner lease word packs (owner pid + 1) in the high 32 bits —
+// zero means the lease is free — and an acquisition epoch in the low
+// 32. Every acquisition (normal or steal) increments the epoch, so a
+// deposed combiner discovers it lost the lease by re-reading the word:
+// even if its pid re-acquired, the epoch moved. (Epoch wrap-around
+// would need 2^32 acquisitions between two reads by one stalled
+// process; we accept that as unreachable.)
+func packLease(pid int, epoch uint32) uint64 {
+	return uint64(pid+1)<<32 | uint64(epoch)
+}
+
+// leaseOwner returns the holder's pid, or -1 when the lease is free.
+func leaseOwner(l uint64) int { return int(l>>32) - 1 }
+
+// leaseEpoch returns the acquisition epoch.
+func leaseEpoch(l uint64) uint32 { return uint32(l) }
+
 // slot is one process's publication record. arg and res are plain
 // fields ordered by the atomic state transitions: the owner writes arg
 // before publishing pending, the combiner writes res before publishing
@@ -50,7 +79,8 @@ type Stats struct {
 	// Published counts operations that fell back to the publication
 	// list (the contended path).
 	Published uint64
-	// Combines counts combining passes (combiner-lock acquisitions).
+	// Combines counts combining passes (lease acquisitions that
+	// scanned the list, takeovers included).
 	Combines uint64
 	// Served counts requests completed by combiners on behalf of any
 	// process; Served/Combines is the mean batch size.
@@ -62,6 +92,13 @@ type Stats struct {
 	// beyond the first per request (interference from concurrent
 	// fast-path operations).
 	Retries uint64
+	// Steals counts lease takeovers: a waiter observed the lease and
+	// heartbeat unchanged for the full lease budget and seized the
+	// combiner role from a presumed-crashed holder.
+	Steals uint64
+	// Crashes counts armed fault injections that fired (the combiner
+	// goroutine exited mid-pass with the lease held).
+	Crashes uint64
 }
 
 // BatchMean returns the mean combining batch size (0 when no pass ran).
@@ -70,6 +107,15 @@ func (s Stats) BatchMean() float64 {
 		return 0
 	}
 	return float64(s.Served) / float64(s.Combines)
+}
+
+// armedCrash is a one-shot fault-injection point: when pid next runs a
+// combining pass it performs `serves` slot applications and then
+// crashes (runtime.Goexit) with the lease held and CONTENTION raised —
+// the worst-case mid-pass combiner death.
+type armedCrash struct {
+	pid    int
+	serves atomic.Int64
 }
 
 // Core is the flat-combining construction over one abortable object.
@@ -82,11 +128,23 @@ func (s Stats) BatchMean() float64 {
 // operations of the object must share one Core, for the same reason
 // all of Figure 3's share one Guard: CONTENTION and the publication
 // list are per-object.
+//
+// The combiner role is held under a LEASE, not a plain lock: the
+// holder heartbeats `beat` once per served slot, and a waiter that
+// observes (lease, beat) frozen for the lease budget CAS-steals the
+// lease and re-serves the still-pending slots. A combiner that crashes
+// mid-pass therefore costs the survivors one lease budget of spinning
+// instead of wedging every future contended operation — see the
+// package comment's crash-tolerance argument.
 type Core[A, R any] struct {
-	try        func(pid int, arg A) (R, bool)
-	contention *memory.Flag
-	combiner   atomic.Uint32
-	slots      []slot[A, R]
+	try         func(pid int, arg A) (R, bool)
+	contention  *memory.Flag
+	lease       atomic.Uint64
+	beat        atomic.Uint64
+	obs         memory.Observer
+	leaseBudget int
+	slots       []slot[A, R]
+	armed       atomic.Pointer[armedCrash]
 
 	// Combiner-side counters: touched once per combining pass, not
 	// per operation, so sharing the words is harmless.
@@ -94,6 +152,8 @@ type Core[A, R any] struct {
 	served   atomic.Uint64
 	maxBatch atomic.Uint64
 	retries  atomic.Uint64
+	steals   atomic.Uint64
+	crashes  atomic.Uint64
 }
 
 // NewCore returns a Core for n processes (pids in [0, n)) over try.
@@ -102,10 +162,64 @@ func NewCore[A, R any](n int, try func(pid int, arg A) (R, bool)) *Core[A, R] {
 		panic("combine: process count must be >= 1")
 	}
 	return &Core[A, R]{
-		try:        try,
-		contention: memory.NewFlag(false),
-		slots:      make([]slot[A, R], n),
+		try:         try,
+		contention:  memory.NewFlag(false),
+		leaseBudget: defaultLeaseBudget,
+		slots:       make([]slot[A, R], n),
 	}
+}
+
+// NewCoreObserved is NewCore with every access to the combiner lease,
+// the heartbeat and CONTENTION reported to obs first. Under
+// internal/sched's controller this makes the whole contended path —
+// publication, combining, takeover — deterministically schedulable:
+// each waiter iteration performs observed loads, so the controller can
+// interleave (and crash) combiners and waiters at chosen steps.
+func NewCoreObserved[A, R any](n int, try func(pid int, arg A) (R, bool), obs memory.Observer) *Core[A, R] {
+	c := NewCore(n, try)
+	c.obs = obs
+	c.contention = memory.NewFlagObserved(false, obs)
+	return c
+}
+
+// SetLeaseBudget overrides the stale-observation budget after which a
+// waiter steals a frozen lease (n >= 1). Deterministic tests shrink it
+// so a pinned schedule reaches the takeover in a handful of steps.
+func (c *Core[A, R]) SetLeaseBudget(n int) {
+	if n >= 1 {
+		c.leaseBudget = n
+	}
+}
+
+// observed-access helpers: the lease and heartbeat words are the
+// protocol's shared registers, so they report to the observer exactly
+// like the object's own words do.
+func (c *Core[A, R]) loadLease() uint64 {
+	if c.obs != nil {
+		c.obs.OnAccess(memory.Read)
+	}
+	return c.lease.Load()
+}
+
+func (c *Core[A, R]) casLease(old, new uint64) bool {
+	if c.obs != nil {
+		c.obs.OnAccess(memory.CAS)
+	}
+	return c.lease.CompareAndSwap(old, new)
+}
+
+func (c *Core[A, R]) loadBeat() uint64 {
+	if c.obs != nil {
+		c.obs.OnAccess(memory.Read)
+	}
+	return c.beat.Load()
+}
+
+func (c *Core[A, R]) bumpBeat() {
+	if c.obs != nil {
+		c.obs.OnAccess(memory.Write)
+	}
+	c.beat.Add(1)
 }
 
 // Do runs one strong operation on behalf of pid. The fast path is
@@ -123,6 +237,45 @@ func (c *Core[A, R]) Do(pid int, arg A) R {
 	return c.DoContended(pid, arg)
 }
 
+// Publish posts pid's request on the publication list without waiting
+// for the result — the scenario layer's crash-injection seam: a
+// process that dies mid-operation is modelled as publish-and-abandon,
+// leaving a pending request that a combiner may or may not serve
+// before the run ends (the §5 "crashed operation is pending" rule).
+// After Publish the pid must never operate on this Core again: its
+// slot is permanently in flight.
+func (c *Core[A, R]) Publish(pid int, arg A) {
+	s := &c.slots[pid]
+	s.arg = arg
+	s.state.Store(slotPending)
+	s.published.Add(1)
+}
+
+// ArmCombinerCrash arms the one-shot fault injection: the next time
+// pid serves a combining pass it applies `after` slots and then its
+// goroutine exits (runtime.Goexit) with the lease held and CONTENTION
+// raised. Returns false if an injection is already armed. Survivors
+// recover via the lease takeover; the crashed pid must never operate
+// on this Core again.
+func (c *Core[A, R]) ArmCombinerCrash(pid, after int) bool {
+	a := &armedCrash{pid: pid}
+	a.serves.Store(int64(after))
+	return c.armed.CompareAndSwap(nil, a)
+}
+
+// maybeCrash fires an armed injection at the pre-apply crash point.
+func (c *Core[A, R]) maybeCrash(pid int) {
+	a := c.armed.Load()
+	if a == nil || a.pid != pid {
+		return
+	}
+	if a.serves.Add(-1) < 0 {
+		c.armed.CompareAndSwap(a, nil)
+		c.crashes.Add(1)
+		runtime.Goexit()
+	}
+}
+
 // DoContended runs one strong operation entirely on the contended
 // path: the request is published without attempting the lock-free
 // shortcut. Do falls back to it; benchmarks (E15) call it directly to
@@ -133,24 +286,50 @@ func (c *Core[A, R]) DoContended(pid int, arg A) R {
 	s.arg = arg
 	s.state.Store(slotPending)
 	s.published.Add(1)
-	spins := 0
+	spins, stale := 0, 0
+	var lastLease, lastBeat uint64
+	haveObs := false
 	for {
 		if s.state.Load() == slotDone {
 			s.state.Store(slotFree)
 			return s.res
 		}
-		if c.combiner.CompareAndSwap(0, 1) {
-			// The previous combiner may have served us between the
-			// state load above and winning the CAS; don't burn a
-			// zero-batch scan (and skew BatchMean) in that case —
-			// any still-pending waiter will win the lock itself.
-			if s.state.Load() != slotDone {
-				c.combine(pid)
+		l := c.loadLease()
+		if leaseOwner(l) < 0 {
+			// Lease free: become the combiner. The previous holder may
+			// have served us between the state load above and the CAS;
+			// don't burn a zero-batch scan (and skew BatchMean) then —
+			// any still-pending waiter will win the lease itself.
+			if c.casLease(l, packLease(pid, leaseEpoch(l)+1)) {
+				if s.state.Load() != slotDone {
+					c.combine(pid, leaseEpoch(l)+1)
+				}
+				c.releaseLease(pid, leaseEpoch(l)+1)
 			}
-			c.combiner.Store(0)
-			// A pass serves every pending slot, ours included (it
-			// was published before the CAS); loop back to collect.
+			haveObs = false
 			continue
+		}
+		b := c.loadBeat()
+		if haveObs && l == lastLease && b == lastBeat {
+			if stale++; stale >= c.leaseBudget {
+				stale = 0
+				// The holder made no progress for the whole budget:
+				// presume it crashed and steal the lease. If it is in
+				// fact alive the CAS publishes its deposition — it
+				// re-checks the lease before every apply and abandons
+				// the pass.
+				if c.casLease(l, packLease(pid, leaseEpoch(l)+1)) {
+					c.steals.Add(1)
+					if s.state.Load() != slotDone {
+						c.combine(pid, leaseEpoch(l)+1)
+					}
+					c.releaseLease(pid, leaseEpoch(l)+1)
+				}
+				haveObs = false
+				continue
+			}
+		} else {
+			lastLease, lastBeat, stale, haveObs = l, b, 0, true
 		}
 		if spins++; spins >= spinBudget {
 			spins = 0
@@ -159,28 +338,48 @@ func (c *Core[A, R]) DoContended(pid int, arg A) R {
 	}
 }
 
-// combine serves every published request. The caller holds the
-// combiner lock; pid is the combiner's own identity, under which every
-// served request executes. CONTENTION is raised for the duration so
-// that new arrivals divert to the publication list instead of racing
-// the combiner on the object's registers — the same role it plays in
-// Figure 3's slow path.
-func (c *Core[A, R]) combine(pid int) {
+// releaseLease hands the lease back (owner 0, epoch preserved). A
+// failed CAS means a waiter stole the lease mid-pass — the thief owns
+// the role now, so there is nothing to release.
+func (c *Core[A, R]) releaseLease(pid int, epoch uint32) {
+	c.casLease(packLease(pid, epoch), uint64(epoch))
+}
+
+// combine serves every published request. The caller holds the lease
+// at the given epoch; pid is the combiner's own identity, under which
+// every served request executes. CONTENTION is raised for the duration
+// so that new arrivals divert to the publication list instead of
+// racing the combiner on the object's registers — the same role it
+// plays in Figure 3's slow path. Before every slot application the
+// combiner re-reads the lease: a changed word means a waiter presumed
+// it dead and stole the role, so it abandons the pass immediately
+// (the thief re-serves anything still pending, and owns CONTENTION).
+func (c *Core[A, R]) combine(pid int, epoch uint32) {
 	c.combines.Add(1)
 	c.contention.Write(true)
 	batch := uint64(0)
-	for pass := 0; pass < combinePasses; pass++ {
+	deposed := false
+	held := packLease(pid, epoch)
+	for pass := 0; pass < combinePasses && !deposed; pass++ {
 		for i := range c.slots {
 			s := &c.slots[i]
 			if s.state.Load() != slotPending {
 				continue
 			}
+			if c.loadLease() != held {
+				deposed = true
+				break
+			}
+			c.bumpBeat()
+			c.maybeCrash(pid)
 			s.res = c.apply(pid, s.arg)
 			s.state.Store(slotDone)
 			batch++
 		}
 	}
-	c.contention.Write(false)
+	if !deposed {
+		c.contention.Write(false)
+	}
 	c.served.Add(batch)
 	for {
 		cur := c.maxBatch.Load()
@@ -213,6 +412,8 @@ func (c *Core[A, R]) Stats() Stats {
 		Served:   c.served.Load(),
 		MaxBatch: c.maxBatch.Load(),
 		Retries:  c.retries.Load(),
+		Steals:   c.steals.Load(),
+		Crashes:  c.crashes.Load(),
 	}
 	for i := range c.slots {
 		st.Fast += c.slots[i].fast.Load()
@@ -231,6 +432,8 @@ func (c *Core[A, R]) ResetStats() {
 	c.served.Store(0)
 	c.maxBatch.Store(0)
 	c.retries.Store(0)
+	c.steals.Store(0)
+	c.crashes.Store(0)
 }
 
 // Procs returns n, the size of the publication list.

@@ -29,4 +29,25 @@
 // releasing. With a deadlock-free combiner lock the construction is
 // therefore starvation-free — the same guarantee as Figure 3, by a
 // helping argument instead of a round-robin one.
+//
+// Crash tolerance: the combiner role is a lease, not a lock. The
+// holder heartbeats a shared word once per served slot; a waiter that
+// observes the (lease, heartbeat) pair frozen for the lease budget
+// presumes the holder crashed, CAS-steals the lease (bumping its
+// epoch) and re-serves every still-pending slot. A combiner that dies
+// mid-pass — the failure the paper's §5 crash model allows at any
+// step — therefore costs the survivors one lease budget of spinning
+// instead of wedging every future contended operation forever.
+//
+// The steal is safe against a merely-slow holder up to one in-flight
+// application: the thief's CAS changes the lease word, and the old
+// combiner re-reads that word before every slot application and
+// abandons the pass when deposed. The one application it may already
+// have started can still land after the thief re-serves the same
+// slot — re-serving a black-box non-idempotent operation exactly once
+// past an arbitrary crash point is impossible without operation-level
+// idempotence — which is why the default lease budget is generous
+// enough that a runnable combiner is effectively never presumed dead
+// (see defaultLeaseBudget), and why deterministic tests inject
+// crashes at the pre-apply point, where takeover is exactly-once.
 package combine

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/memory"
@@ -208,6 +210,78 @@ func TestRetryCounted(t *testing.T) {
 	f2 := &flaky{remaining: 0}
 	if _, aborts := RetryCounted[int](nil, f2.try); aborts != 0 {
 		t.Fatalf("immediate success counted %d aborts", aborts)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	m := &recordingManager{}
+	attempts := 0
+	_, err := RetryBudget[int](m, 3, func() (int, bool) { attempts++; return 0, false })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("made %d attempts, want exactly the budget of 3", attempts)
+	}
+	// Pacing happens between attempts, not after the budget is spent: a
+	// shed operation must not pay one final backoff on the way out.
+	if len(m.aborts) != 2 {
+		t.Fatalf("OnAbort called %d times, want 2 (between the 3 attempts)", len(m.aborts))
+	}
+	if m.successes != 0 {
+		t.Fatal("OnSuccess called for an exhausted operation")
+	}
+}
+
+func TestRetryBudgetSucceedsWithinBudget(t *testing.T) {
+	f := &flaky{remaining: 2}
+	got, err := RetryBudget[int](nil, 5, f.try)
+	if err != nil || got != 42 {
+		t.Fatalf("RetryBudget = (%d, %v), want (42, nil)", got, err)
+	}
+	// Success on exactly the last budgeted attempt still counts.
+	f2 := &flaky{remaining: 4}
+	got, err = RetryBudget[int](nil, 5, f2.try)
+	if err != nil || got != 42 {
+		t.Fatalf("last-attempt RetryBudget = (%d, %v), want (42, nil)", got, err)
+	}
+}
+
+func TestRetryBudgetClampsToOneAttempt(t *testing.T) {
+	// A budget below 1 clamps to 1: exactly one weak attempt, the
+	// obstruction-free rung exposed directly.
+	for _, budget := range []int{0, -3, 1} {
+		attempts := 0
+		_, err := RetryBudget[int](nil, budget, func() (int, bool) { attempts++; return 0, false })
+		if attempts != 1 || !errors.Is(err, ErrExhausted) {
+			t.Fatalf("budget %d: %d attempts, err %v; want 1 attempt, ErrExhausted", budget, attempts, err)
+		}
+	}
+}
+
+func TestRetryDeadlineAlwaysAttemptsOnce(t *testing.T) {
+	// Even an already-expired deadline makes one attempt, so a solo
+	// operation (whose first weak attempt must succeed) never sheds.
+	f := &flaky{remaining: 0}
+	got, err := RetryDeadline[int](nil, -time.Second, f.try)
+	if err != nil || got != 42 {
+		t.Fatalf("RetryDeadline = (%d, %v), want (42, nil)", got, err)
+	}
+	attempts := 0
+	_, err = RetryDeadline[int](nil, -time.Second, func() (int, bool) { attempts++; return 0, false })
+	if attempts != 1 || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("expired deadline: %d attempts, err %v; want 1 attempt, ErrExhausted", attempts, err)
+	}
+}
+
+func TestRetryDeadlineExhaustsUnderPersistentFailure(t *testing.T) {
+	start := time.Now()
+	_, err := RetryDeadline[int](nil, 10*time.Millisecond, func() (int, bool) { return 0, false })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline overshot wildly: %v", elapsed)
 	}
 }
 

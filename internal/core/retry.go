@@ -1,5 +1,10 @@
 package core
 
+import (
+	"errors"
+	"time"
+)
+
 // Manager is a contention manager (§5): a policy deciding how a
 // process behaves between failed attempts of a weak operation.
 // Implementations live in package cmanager. Managers may be shared by
@@ -14,6 +19,43 @@ type Manager interface {
 	OnSuccess()
 }
 
+// ErrExhausted is returned by the bounded retry variants when the
+// budget or deadline ran out before any attempt took effect. It is the
+// graceful-degradation escape hatch from Figure 2's unbounded loop:
+// under livelock-grade interference a caller with a budget sheds the
+// operation (with no effect on the object) instead of spinning forever.
+var ErrExhausted = errors.New("core: retry budget exhausted")
+
+// retryLoop is the one retry implementation behind Retry, RetryCounted,
+// RetryBudget and RetryDeadline: repeat the weak attempt until it takes
+// effect, pacing with m, giving up after budget attempts (0 = never) or
+// once deadline passes (zero = never). aborts reports how many attempts
+// aborted; err is nil or ErrExhausted.
+func retryLoop[R any](m Manager, try func() (R, bool), budget int, deadline time.Time) (res R, aborts int, err error) {
+	attempt := 0
+	for {
+		r, ok := try()
+		if ok {
+			if m != nil {
+				m.OnSuccess()
+			}
+			return r, attempt, nil
+		}
+		attempt++
+		if budget > 0 && attempt >= budget {
+			return res, attempt, ErrExhausted
+		}
+		if m != nil {
+			m.OnAbort(attempt)
+		}
+		// The deadline is checked after pacing so a sleeping manager
+		// cannot overshoot it by more than one OnAbort.
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return res, attempt, ErrExhausted
+		}
+	}
+}
+
 // Retry upgrades a weak operation to a non-blocking one by retrying
 // until success — Figure 2's construction:
 //
@@ -22,37 +64,36 @@ type Manager interface {
 // m paces the retries; a nil m reproduces the paper's bare loop.
 // Retry never aborts; it returns only when an attempt took effect.
 func Retry[R any](m Manager, try func() (R, bool)) R {
-	attempt := 0
-	for {
-		res, ok := try()
-		if ok {
-			if m != nil {
-				m.OnSuccess()
-			}
-			return res
-		}
-		attempt++
-		if m != nil {
-			m.OnAbort(attempt)
-		}
-	}
+	res, _, _ := retryLoop(m, try, 0, time.Time{})
+	return res
 }
 
 // RetryCounted is Retry instrumented for the E3/E7 experiments: it
 // additionally reports how many attempts aborted before success.
 func RetryCounted[R any](m Manager, try func() (R, bool)) (res R, aborts int) {
-	attempt := 0
-	for {
-		r, ok := try()
-		if ok {
-			if m != nil {
-				m.OnSuccess()
-			}
-			return r, attempt
-		}
-		attempt++
-		if m != nil {
-			m.OnAbort(attempt)
-		}
+	res, aborts, _ = retryLoop(m, try, 0, time.Time{})
+	return res, aborts
+}
+
+// RetryBudget is Retry bounded by an attempt budget: after budget
+// consecutive aborts (budget >= 1) it gives up and returns
+// ErrExhausted with no effect on the object. A budget of 1 is exactly
+// one weak attempt — the paper's obstruction-free rung exposed
+// directly.
+func RetryBudget[R any](m Manager, budget int, try func() (R, bool)) (R, error) {
+	if budget < 1 {
+		budget = 1
 	}
+	res, _, err := retryLoop(m, try, budget, time.Time{})
+	return res, err
+}
+
+// RetryDeadline is Retry bounded by wall-clock time: once d has
+// elapsed (measured from the call) the next abort returns ErrExhausted
+// with no effect. At least one attempt is always made, so a solo
+// operation — whose first weak attempt must succeed — never observes
+// the deadline.
+func RetryDeadline[R any](m Manager, d time.Duration, try func() (R, bool)) (R, error) {
+	res, _, err := retryLoop(m, try, 0, time.Now().Add(d))
+	return res, err
 }

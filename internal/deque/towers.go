@@ -9,8 +9,9 @@ import (
 // operation until non-⊥. This is precisely the "boosting" step the
 // paper's §1.2 describes for obstruction-free algorithms.
 type NonBlocking struct {
-	weak *Abortable
-	m    core.Manager
+	weak   *Abortable
+	m      core.Manager
+	budget int
 }
 
 // NewNonBlocking returns a non-blocking deque of capacity k with the
@@ -25,11 +26,30 @@ func NewNonBlockingFrom(weak *Abortable, m core.Manager) *NonBlocking {
 	return &NonBlocking{weak: weak, m: m}
 }
 
+// SetRetryPolicy replaces the contention manager and sets an attempt
+// budget (0 = unbounded); with a budget, a fully aborted operation
+// returns core.ErrExhausted with no effect. Call at quiescence.
+func (d *NonBlocking) SetRetryPolicy(m core.Manager, budget int) {
+	d.m, d.budget = m, budget
+}
+
+// RetryPolicy reports the current contention manager and attempt
+// budget (tests and diagnostics).
+func (d *NonBlocking) RetryPolicy() (core.Manager, int) { return d.m, d.budget }
+
 func (d *NonBlocking) retryPush(try func() error) error {
-	return core.Retry(d.m, func() (error, bool) {
+	attempt := func() (error, bool) {
 		err := try()
 		return err, err != ErrAborted
-	})
+	}
+	if d.budget > 0 {
+		err, rerr := core.RetryBudget(d.m, d.budget, attempt)
+		if rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return core.Retry(d.m, attempt)
 }
 
 func (d *NonBlocking) retryPop(try func() (uint32, error)) (uint32, error) {
@@ -37,10 +57,18 @@ func (d *NonBlocking) retryPop(try func() (uint32, error)) (uint32, error) {
 		v   uint32
 		err error
 	}
-	r := core.Retry(d.m, func() (res, bool) {
+	attempt := func() (res, bool) {
 		v, err := try()
 		return res{v, err}, err != ErrAborted
-	})
+	}
+	if d.budget > 0 {
+		r, rerr := core.RetryBudget(d.m, d.budget, attempt)
+		if rerr != nil {
+			return r.v, rerr
+		}
+		return r.v, r.err
+	}
+	r := core.Retry(d.m, attempt)
 	return r.v, r.err
 }
 

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -38,6 +39,7 @@ type Pool[T any] struct {
 
 	localCap    int
 	overflowCap int
+	limit       uint64 // test-only shrunken handle horizon (0 = 2^31-1)
 	locals      []poolLocal
 	drops       atomic.Uint64
 }
@@ -109,16 +111,34 @@ func (p *Pool[T]) At(h Handle) *T {
 	return &bs[h>>poolBlockBits][h&(poolBlockSize-1)]
 }
 
+// ErrArenaExhausted is TryGet's typed failure: the arena has handed
+// out every addressable handle. See the TagBits comment in TryGet for
+// why the limit is 2^31-1 records.
+var ErrArenaExhausted = errors.New("memory: pool arena exhausted (2^31-1 records)")
+
 // Get returns a free record's handle, preferring pid's local free list
 // (LIFO: the hottest record first), then a batch refill from the
-// shared overflow, then a fresh arena record.
+// shared overflow, then a fresh arena record. Get panics on arena
+// exhaustion; callers that can shed load instead should use TryGet.
 func (p *Pool[T]) Get(pid int) Handle {
+	h, err := p.TryGet(pid)
+	if err != nil {
+		panic(err.Error())
+	}
+	return h
+}
+
+// TryGet is Get with a graceful failure path: when the arena is
+// exhausted it returns ErrArenaExhausted instead of panicking, so a
+// bounded-retry caller can surface the condition as a typed error
+// (core.ErrExhausted-style degradation) rather than crash the process.
+func (p *Pool[T]) TryGet(pid int) (Handle, error) {
 	l := &p.locals[pid]
 	if n := len(l.free); n > 0 {
 		h := l.free[n-1]
 		l.free = l.free[:n-1]
 		l.reuses.Add(1)
-		return h
+		return h, nil
 	}
 	p.mu.Lock()
 	if n := len(p.overflow); n > 0 {
@@ -133,16 +153,21 @@ func (p *Pool[T]) Get(pid int) Handle {
 		l.reuses.Add(1)
 		h := l.free[len(l.free)-1]
 		l.free = l.free[:len(l.free)-1]
-		return h
+		return h, nil
 	}
 	h := Handle(p.next)
 	// The handle field of a TaggedVal reserves its top bit for the
 	// TaggedMark deletion flag, so the last valid handle is 2^31-1 —
 	// enforced here, where every handle is born, rather than letting a
-	// larger handle silently alias the mark.
-	if uint64(h)>>(TagBits-1) != 0 {
+	// larger handle silently alias the mark. Tests shrink the horizon
+	// via limit to make exhaustion reachable.
+	limit := uint64(1)<<(TagBits-1) - 1
+	if p.limit != 0 {
+		limit = p.limit
+	}
+	if uint64(h) > limit {
 		p.mu.Unlock()
-		panic("memory: pool arena exhausted (2^31-1 records)")
+		return NilHandle, ErrArenaExhausted
 	}
 	if p.next>>poolBlockBits >= uint64(len(*p.blocks.Load())) {
 		grown := append(append([]*poolBlock[T]{}, *p.blocks.Load()...), new(poolBlock[T]))
@@ -155,7 +180,7 @@ func (p *Pool[T]) Get(pid int) Handle {
 	if p.init != nil {
 		p.init(rec)
 	}
-	return h
+	return h, nil
 }
 
 // Put recycles h onto pid's free list, spilling the older half to the

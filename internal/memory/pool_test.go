@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -187,6 +188,83 @@ func TestPoolConcurrentDistinctHandles(t *testing.T) {
 	st := p.Stats()
 	if st.Reuses == 0 {
 		t.Fatalf("no recycling under churn: %+v", st)
+	}
+}
+
+func TestPoolTryGetExhaustionIsTyped(t *testing.T) {
+	p := NewPool[uint64](1, nil)
+	p.limit = 3 // shrink the handle horizon so exhaustion is reachable
+	var hs []Handle
+	for i := 0; i < 3; i++ {
+		h, err := p.TryGet(0)
+		if err != nil || h == NilHandle {
+			t.Fatalf("TryGet #%d = (%d, %v) before the horizon", i, h, err)
+		}
+		hs = append(hs, h)
+	}
+	h, err := p.TryGet(0)
+	if !errors.Is(err, ErrArenaExhausted) || h != NilHandle {
+		t.Fatalf("TryGet past the horizon = (%d, %v), want (NilHandle, ErrArenaExhausted)", h, err)
+	}
+	// Exhaustion is about fresh carving only: recycling still serves.
+	p.Put(0, hs[0])
+	if h, err := p.TryGet(0); err != nil || h != hs[0] {
+		t.Fatalf("recycled TryGet = (%d, %v), want (%d, nil)", h, err, hs[0])
+	}
+}
+
+func TestPoolGetPanicsOnExhaustion(t *testing.T) {
+	p := NewPool[uint64](1, nil)
+	p.limit = 1
+	p.Get(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get past the horizon did not panic")
+		}
+	}()
+	p.Get(0)
+}
+
+func TestPoolSizedOverflowNeverDrops(t *testing.T) {
+	// The overflow is sized 2·procs·poolLocalCap: even if every pid
+	// spills its whole local cache and one pid absorbs all frees, no
+	// handle is ever dropped (each drop strands an arena record).
+	const procs = 4
+	p := NewPool[uint64](procs, nil)
+	var held [procs][]Handle
+	for pid := 0; pid < procs; pid++ {
+		for i := 0; i < 2*poolLocalCap; i++ {
+			held[pid] = append(held[pid], p.Get(pid))
+		}
+	}
+	// Every pid frees everything it holds, overfilling each local list
+	// and forcing repeated spills into the shared overflow.
+	for pid := 0; pid < procs; pid++ {
+		for _, h := range held[pid] {
+			p.Put(pid, h)
+		}
+	}
+	st := p.Stats()
+	if st.Spills == 0 {
+		t.Fatalf("the churn never spilled: %+v", st)
+	}
+	if st.Drops != 0 {
+		t.Fatalf("correctly sized overflow dropped %d handles: %+v", st.Drops, st)
+	}
+	// The arena must now satisfy the same demand purely by recycling:
+	// every handle is reachable again through its local list or the
+	// shared overflow, so no fresh record is carved.
+	arena := p.ArenaSize()
+	for pid := 0; pid < procs; pid++ {
+		for i := 0; i < 2*poolLocalCap; i++ {
+			p.Get(pid)
+		}
+	}
+	if grown := p.ArenaSize(); grown != arena {
+		t.Fatalf("arena grew %d -> %d although every record was recycled", arena, grown)
+	}
+	if st := p.Stats(); st.Refills == 0 {
+		t.Fatalf("the drain never refilled from overflow: %+v", st)
 	}
 }
 

@@ -110,6 +110,29 @@ func (q *Combining[T]) Capacity() int {
 	return -1
 }
 
+// AbandonEnqueue publishes an enqueue request that will never be
+// collected — the scenario layer's model of a process crashing
+// mid-enqueue: the request is pending and a combiner may or may not
+// serve it. pid must never operate on this queue again.
+func (q *Combining[T]) AbandonEnqueue(pid int, v T) {
+	q.core.Publish(pid, combOp[T]{enq: true, v: v})
+}
+
+// AbandonDequeue is AbandonEnqueue for a dequeue request.
+func (q *Combining[T]) AbandonDequeue(pid int) {
+	q.core.Publish(pid, combOp[T]{})
+}
+
+// ArmCombinerCrash arms the combine.Core fault injection: pid's next
+// combining pass dies after `after` slot applications with the lease
+// held. See combine.Core.ArmCombinerCrash.
+func (q *Combining[T]) ArmCombinerCrash(pid, after int) bool {
+	return q.core.ArmCombinerCrash(pid, after)
+}
+
+// SetLeaseBudget forwards to combine.Core.SetLeaseBudget (tests).
+func (q *Combining[T]) SetLeaseBudget(n int) { q.core.SetLeaseBudget(n) }
+
 // Stats exposes the fast-path and combining counters.
 func (q *Combining[T]) Stats() combine.Stats { return q.core.Stats() }
 

@@ -9,8 +9,9 @@ import (
 // NonBlocking is Figure 2 applied to the queue: retry the weak
 // operation until non-⊥.
 type NonBlocking[T any] struct {
-	weak Weak[T]
-	m    core.Manager
+	weak   Weak[T]
+	m      core.Manager
+	budget int
 }
 
 // NewNonBlocking returns a non-blocking queue of capacity k with the
@@ -25,25 +26,54 @@ func NewNonBlockingFrom[T any](weak Weak[T], m core.Manager) *NonBlocking[T] {
 	return &NonBlocking[T]{weak: weak, m: m}
 }
 
-// Enqueue appends v, retrying aborted attempts; returns nil or ErrFull.
+// SetRetryPolicy replaces the contention manager and sets an attempt
+// budget (0 = unbounded); with a budget, a fully aborted operation
+// returns core.ErrExhausted with no effect. Call at quiescence.
+func (q *NonBlocking[T]) SetRetryPolicy(m core.Manager, budget int) {
+	q.m, q.budget = m, budget
+}
+
+// RetryPolicy reports the current contention manager and attempt
+// budget (tests and diagnostics).
+func (q *NonBlocking[T]) RetryPolicy() (core.Manager, int) { return q.m, q.budget }
+
+// Enqueue appends v, retrying aborted attempts; returns nil or ErrFull
+// (or core.ErrExhausted when a retry budget is set and spent).
 func (q *NonBlocking[T]) Enqueue(v T) error {
-	return core.Retry(q.m, func() (error, bool) {
+	try := func() (error, bool) {
 		err := q.weak.TryEnqueue(v)
 		return err, err != ErrAborted
-	})
+	}
+	if q.budget > 0 {
+		err, rerr := core.RetryBudget(q.m, q.budget, try)
+		if rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return core.Retry(q.m, try)
 }
 
 // Dequeue removes the oldest value, retrying aborted attempts; returns
-// the value or ErrEmpty.
+// the value or ErrEmpty (or core.ErrExhausted when a retry budget is
+// set and spent).
 func (q *NonBlocking[T]) Dequeue() (T, error) {
 	type res struct {
 		v   T
 		err error
 	}
-	r := core.Retry(q.m, func() (res, bool) {
+	try := func() (res, bool) {
 		v, err := q.weak.TryDequeue()
 		return res{v, err}, err != ErrAborted
-	})
+	}
+	if q.budget > 0 {
+		r, rerr := core.RetryBudget(q.m, q.budget, try)
+		if rerr != nil {
+			return r.v, rerr
+		}
+		return r.v, r.err
+	}
+	r := core.Retry(q.m, try)
 	return r.v, r.err
 }
 

@@ -13,11 +13,12 @@ import (
 //	| `steady-mixed` | all | 1 | balanced mixed baseline ... |
 var docsRow = regexp.MustCompile("^\\s*\\| `([a-z-]+)` \\| ([a-z, ]+) \\| (\\d+) \\| (.+) \\|\\s*$")
 
-// TestScenariosMatchDocs keeps the EXPERIMENTS.md scenario table and
-// scenario.Library() in lockstep, both directions: every library
-// scenario must appear in the table with exactly its kind set and
-// phase count, and every table row must name a library scenario — in
-// the same order, so the docs read as the suite runs.
+// TestScenariosMatchDocs keeps the EXPERIMENTS.md scenario tables and
+// scenario.Library() + scenario.CrashLibrary() in lockstep, both
+// directions: every library scenario must appear in the tables with
+// exactly its kind set and phase count, and every table row must name
+// a library scenario — in the same order, so the docs read as the
+// suites run (the E21 table first, then the E22 crash table).
 func TestScenariosMatchDocs(t *testing.T) {
 	raw, err := os.ReadFile("../../EXPERIMENTS.md")
 	if err != nil {
@@ -45,9 +46,9 @@ func TestScenariosMatchDocs(t *testing.T) {
 		t.Fatal("no scenario-library rows found in EXPERIMENTS.md (pattern drift?)")
 	}
 
-	lib := Library()
+	lib := append(Library(), CrashLibrary()...)
 	if len(order) != len(lib) {
-		t.Errorf("EXPERIMENTS.md documents %d scenarios, library has %d", len(order), len(lib))
+		t.Errorf("EXPERIMENTS.md documents %d scenarios, libraries have %d", len(order), len(lib))
 	}
 	inLibrary := map[string]bool{}
 	for i, sc := range lib {

@@ -80,7 +80,9 @@ func ParseRows(headers []string, rows [][]string) ([]Row, error) {
 type Verdict struct {
 	Scenario, Backend string
 	// Gate names the check: "slo-p50", "slo-p99", "slo-p999",
-	// "variance", "conservation", "coverage", or "known-scenario".
+	// "variance", "conservation", "coverage", or "known-scenario"
+	// (E21); "survivor-progress", "recovery", or "classification"
+	// (E22, alongside the shared variance/conservation/coverage).
 	Gate     string
 	Observed string
 	Bound    string
@@ -210,6 +212,217 @@ func evaluateCell(sc Scenario, backend string, cell []Row) []Verdict {
 		obs = "conservation violated"
 	}
 	add("conservation", obs, "every rerun ok", conservedOK)
+	return out
+}
+
+// CrashRow is one E22 measurement row as the gate evaluator consumes
+// it — the parsed form of one line of the "E22 crash suite" table.
+type CrashRow struct {
+	Scenario    string
+	Backend     string
+	Rerun       int
+	Ops         uint64
+	OKOps       uint64
+	Abandoned   uint64
+	OpsPerSec   float64
+	SurvivorOps uint64
+	Recovery    time.Duration
+	Conserved   string
+	Robustness  string
+}
+
+// crashRowColumns are the E22 table columns, same contract as
+// rowColumns: resolved by name, adding columns is compatible,
+// removing or renaming one breaks cmd/slogate loudly.
+var crashRowColumns = []string{"scenario", "backend", "rerun", "procs", "ops", "ok-ops", "abandoned", "ops/s", "survivor-ops", "recovery-ns", "conserved", "robustness"}
+
+// CrashRowColumns returns the required E22 table header, in order.
+func CrashRowColumns() []string { return append([]string(nil), crashRowColumns...) }
+
+// ParseCrashRows decodes an E22 crash-suite table into typed rows.
+func ParseCrashRows(headers []string, rows [][]string) ([]CrashRow, error) {
+	col := map[string]int{}
+	for i, h := range headers {
+		col[h] = i
+	}
+	for _, want := range crashRowColumns {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("scenario: E22 table is missing column %q (have %v)", want, headers)
+		}
+	}
+	out := make([]CrashRow, 0, len(rows))
+	for i, cells := range rows {
+		get := func(name string) string { return cells[col[name]] }
+		var r CrashRow
+		var err error
+		r.Scenario, r.Backend = get("scenario"), get("backend")
+		r.Conserved, r.Robustness = get("conserved"), get("robustness")
+		if r.Rerun, err = strconv.Atoi(get("rerun")); err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad rerun %q", i, get("rerun"))
+		}
+		for _, u := range []struct {
+			name string
+			dst  *uint64
+		}{{"ops", &r.Ops}, {"ok-ops", &r.OKOps}, {"abandoned", &r.Abandoned}, {"survivor-ops", &r.SurvivorOps}} {
+			if *u.dst, err = strconv.ParseUint(get(u.name), 10, 64); err != nil {
+				return nil, fmt.Errorf("scenario: row %d: bad %s %q", i, u.name, get(u.name))
+			}
+		}
+		if r.OpsPerSec, err = strconv.ParseFloat(get("ops/s"), 64); err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad ops/s %q", i, get("ops/s"))
+		}
+		ns, err := strconv.ParseInt(get("recovery-ns"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: row %d: bad recovery-ns %q", i, get("recovery-ns"))
+		}
+		r.Recovery = time.Duration(ns)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EvaluateCrash applies the E22 release gates to the parsed crash
+// rows, mirroring Evaluate's shape: known-scenario and coverage
+// against CrashLibrary(), then per cell survivor-progress (every
+// rerun's survivors completed operations after the first crash),
+// recovery (median worst-process recovery latency within the
+// scenario's bound — the lease-takeover budget made observable),
+// conservation (every rerun's bracket holds), classification (the
+// measured rows carry the catalog's declared Robustness), and the
+// shared throughput-variance methodology gate.
+func EvaluateCrash(rows []CrashRow) []Verdict {
+	byCell := map[[2]string][]CrashRow{}
+	knownScenario := map[string]bool{}
+	for _, s := range CrashLibrary() {
+		knownScenario[s.Name] = true
+	}
+	robustness := map[string]string{}
+	for _, b := range repro.Catalog() {
+		robustness[b.Name] = b.Robustness
+	}
+	var verdicts []Verdict
+	for _, r := range rows {
+		if !knownScenario[r.Scenario] {
+			verdicts = append(verdicts, Verdict{
+				Scenario: r.Scenario, Backend: r.Backend, Gate: "known-scenario",
+				Observed: "not in scenario.CrashLibrary()", Bound: "declared scenario", OK: false,
+			})
+			continue
+		}
+		key := [2]string{r.Scenario, r.Backend}
+		byCell[key] = append(byCell[key], r)
+	}
+
+	for _, sc := range CrashLibrary() {
+		var missing []string
+		total := 0
+		for _, b := range repro.Catalog() {
+			if !sc.AppliesTo(b.Kind) {
+				continue
+			}
+			total++
+			if len(byCell[[2]string{sc.Name, b.Name}]) == 0 {
+				missing = append(missing, b.Name)
+			}
+		}
+		obs := fmt.Sprintf("%d/%d backends", total-len(missing), total)
+		if len(missing) > 0 {
+			obs += fmt.Sprintf(" (missing %v)", missing)
+		}
+		verdicts = append(verdicts, Verdict{
+			Scenario: sc.Name, Backend: "*", Gate: "coverage",
+			Observed: obs, Bound: fmt.Sprintf("%d/%d backends", total, total),
+			OK: len(missing) == 0,
+		})
+
+		var backends []string
+		for key := range byCell {
+			if key[0] == sc.Name {
+				backends = append(backends, key[1])
+			}
+		}
+		sort.Strings(backends)
+		for _, backend := range backends {
+			cell := byCell[[2]string{sc.Name, backend}]
+			verdicts = append(verdicts, evaluateCrashCell(sc, backend, cell, robustness)...)
+		}
+	}
+	return verdicts
+}
+
+// evaluateCrashCell applies the crash gates to one backend's reruns.
+func evaluateCrashCell(sc Scenario, backend string, cell []CrashRow, robustness map[string]string) []Verdict {
+	var out []Verdict
+	add := func(gate, observed, bound string, ok bool) {
+		out = append(out, Verdict{Scenario: sc.Name, Backend: backend,
+			Gate: gate, Observed: observed, Bound: bound, OK: ok})
+	}
+
+	minSurvivor := cell[0].SurvivorOps
+	for _, r := range cell[1:] {
+		if r.SurvivorOps < minSurvivor {
+			minSurvivor = r.SurvivorOps
+		}
+	}
+	add("survivor-progress", fmt.Sprintf("min %d survivor ops", minSurvivor),
+		"> 0 in every rerun", minSurvivor > 0)
+
+	if sc.Gate.MaxRecovery > 0 {
+		recoveries := make([]time.Duration, len(cell))
+		positive := true
+		for i, r := range cell {
+			recoveries[i] = r.Recovery
+			if r.Recovery <= 0 {
+				positive = false
+			}
+		}
+		med := median(recoveries)
+		add("recovery", fmt.Sprintf("median %v", med),
+			fmt.Sprintf("> 0 and ≤ %v", sc.Gate.MaxRecovery),
+			positive && med <= sc.Gate.MaxRecovery)
+	}
+
+	conservedOK := true
+	for _, r := range cell {
+		if r.Conserved != "ok" {
+			conservedOK = false
+		}
+	}
+	obs := "all reruns ok"
+	if !conservedOK {
+		obs = "conservation bracket violated"
+	}
+	add("conservation", obs, "every rerun ok", conservedOK)
+
+	want, known := robustness[backend]
+	labelOK := known
+	got := ""
+	for _, r := range cell {
+		got = r.Robustness
+		if r.Robustness != want {
+			labelOK = false
+		}
+	}
+	add("classification", got, fmt.Sprintf("catalog says %q", want), labelOK)
+
+	if sc.Gate.MaxVarianceRatio > 0 && len(cell) >= 2 {
+		lo, hi := cell[0].OpsPerSec, cell[0].OpsPerSec
+		for _, r := range cell[1:] {
+			if r.OpsPerSec < lo {
+				lo = r.OpsPerSec
+			}
+			if r.OpsPerSec > hi {
+				hi = r.OpsPerSec
+			}
+		}
+		ratio := hi / lo
+		if lo <= 0 {
+			ratio = 0
+		}
+		add("variance", fmt.Sprintf("max/min ops/s = %.2f", ratio),
+			fmt.Sprintf("≤ %.0f over %d reruns", sc.Gate.MaxVarianceRatio, len(cell)),
+			lo > 0 && ratio <= sc.Gate.MaxVarianceRatio)
+	}
 	return out
 }
 

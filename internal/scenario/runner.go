@@ -58,8 +58,26 @@ type Result struct {
 	// Conserved is nil when the post-run accounting holds: every
 	// value popped/drained was pushed exactly once (stack, queue,
 	// deque), or every key's membership equals its add/remove
-	// balance (set). Crash and slow injection must not break it.
+	// balance (set). Crash and slow injection must not break it;
+	// abandoned operations widen the check into a bracket (each may
+	// or may not have taken effect) but never suspend it.
 	Conserved error
+	// Abandoned counts operations the §5 crash model left in flight:
+	// published to the object (or killed mid-combining-pass by the
+	// armed combiner crash) with the response never collected. Each
+	// may or may not take effect — even after the run, a later
+	// combiner can serve a dead process's pending slot — so the
+	// conservation check brackets them instead of counting them.
+	Abandoned uint64
+	// SurvivorOps counts successful operations completed by
+	// never-crashing processes after the first crash — the survivor-
+	// progress number the E22 gate requires to stay positive.
+	SurvivorOps uint64
+	// RecoveryNS is the worst-process recovery latency: nanoseconds
+	// from the latest crash to each surviving process's first
+	// completed operation after it, maximized over processes. Zero
+	// when nothing crashed.
+	RecoveryNS int64
 	// OpStream is the recorded op stream when Options.Record is set.
 	OpStream []byte
 }
@@ -132,19 +150,58 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 	res := Result{Scenario: sc.Name, Backend: b.Name, Procs: procs, Hist: &metrics.Histogram{}}
 
 	// Conservation state: produce/consume totals for the LIFO/FIFO
-	// kinds, per-key add/remove balances for sets.
+	// kinds, per-key add/remove balances for sets. The abandoned
+	// counters carry the crash model's uncertainty: an abandoned op
+	// may or may not take effect, so verify brackets with them.
 	var produced, consumed atomic.Uint64
-	var adds, removes []atomic.Int64
+	var abandonedPush, abandonedPop atomic.Uint64
+	var adds, removes, abAdds, abRemoves []atomic.Int64
 	if b.Kind == repro.KindSet {
 		adds = make([]atomic.Int64, maxKeys)
 		removes = make([]atomic.Int64, maxKeys)
+		abAdds = make([]atomic.Int64, maxKeys)
+		abRemoves = make([]atomic.Int64, maxKeys)
 	}
-	var attempted, okOps atomic.Uint64
+	var attempted, okOps, abandoned, survivorOps atomic.Uint64
+	var crashNS, recoveryNS atomic.Int64
 
 	var streamMu sync.Mutex
 	var streams []byte
 
 	start := time.Now()
+	// markCrash stamps the latest crash instant (ns since start, min
+	// 1 so zero keeps meaning "nothing crashed yet").
+	markCrash := func() {
+		ns := time.Since(start).Nanoseconds()
+		if ns < 1 {
+			ns = 1
+		}
+		crashNS.Store(ns)
+	}
+	// book records one abandoned operation into the bracket state.
+	book := func(op int, v uint64) {
+		abandoned.Add(1)
+		switch b.Kind {
+		case repro.KindSet:
+			if op == 0 {
+				abAdds[v].Add(1)
+			} else if op == 1 {
+				abRemoves[v].Add(1)
+			}
+		case repro.KindDeque:
+			if op <= 1 {
+				abandonedPush.Add(1)
+			} else {
+				abandonedPop.Add(1)
+			}
+		default:
+			if op == 0 {
+				abandonedPush.Add(1)
+			} else {
+				abandonedPop.Add(1)
+			}
+		}
+	}
 	for phaseIdx, phase := range sc.Phases {
 		ph := phase.withDefaults()
 		n := int(float64(ph.Ops) * scale)
@@ -166,6 +223,9 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 				crashAt := -1
 				if ph.CrashPids > 0 && pid >= ph.Procs-ph.CrashPids {
 					crashAt = int(ph.CrashFrac * float64(n))
+					if ph.CrashCombiner && drv.ArmCrash != nil {
+						drv.ArmCrash(pid, 1)
+					}
 				}
 				slow := ph.SlowPids > 0 && pid >= ph.Procs-ph.SlowPids
 				var buf []byte
@@ -173,9 +233,52 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 					buf = make([]byte, 0, n*9)
 				}
 				var myAttempted, myOK uint64
+				inOp := false
+				var curOp int
+				var curV uint64
+				recovered := false
+				// All totals flush in the defer: the armed combiner
+				// crash kills this goroutine inside drv.Do (the pass
+				// exits via runtime.Goexit with the lease held), so
+				// nothing after the loop is guaranteed to run.
+				defer func() {
+					if inOp {
+						// Died inside Do: the op stays pending in its
+						// slot — abandoned, effect uncertain.
+						myAttempted++
+						book(curOp, curV)
+						markCrash()
+					}
+					attempted.Add(myAttempted)
+					okOps.Add(myOK)
+					if opt.Record {
+						framed := make([]byte, 0, len(buf)+6)
+						framed = append(framed, byte(phaseIdx), byte(pid))
+						framed = binary.BigEndian.AppendUint32(framed, uint32(len(buf)))
+						framed = append(framed, buf...)
+						streamMu.Lock()
+						streams = append(streams, framed...)
+						streamMu.Unlock()
+					}
+				}()
 				tick := 1
 				for i := 0; i < n; i++ {
 					if i == crashAt {
+						if ph.CrashMidOp && drv.Abandon != nil {
+							// §5 mid-operation crash: publish the next
+							// update and die without collecting the
+							// response. Reads have nothing to abandon.
+							class := ph.draw(pid, rng)
+							op, v := nextOp(b.Kind, class, ph, zipf, rng, pid, i)
+							if opt.Record {
+								buf = append(buf, byte(op))
+								buf = binary.BigEndian.AppendUint64(buf, v)
+							}
+							if !(b.Kind == repro.KindSet && op == 2) && drv.Abandon(pid, op, v) {
+								book(op, v)
+							}
+						}
+						markCrash()
 						break // crashed: no further steps, ever
 					}
 					if interval > 0 && i > 0 && i%ph.Burst == 0 {
@@ -195,27 +298,36 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 						buf = binary.BigEndian.AppendUint64(buf, v)
 					}
 					t0 := time.Now()
+					inOp, curOp, curV = true, op, v
 					got, err := drv.Do(pid, op, v)
+					inOp = false
 					res.Hist.Record(time.Since(t0))
 					myAttempted++
 					if err == nil {
 						myOK++
 						account(b.Kind, op, got, v, &produced, &consumed, adds, removes)
+						if crashAt == -1 {
+							if c := crashNS.Load(); c != 0 {
+								survivorOps.Add(1)
+								if !recovered {
+									recovered = true
+									d := time.Since(start).Nanoseconds() - c
+									if d < 1 {
+										d = 1
+									}
+									for {
+										cur := recoveryNS.Load()
+										if d <= cur || recoveryNS.CompareAndSwap(cur, d) {
+											break
+										}
+									}
+								}
+							}
+						}
 					}
 					if slow && (i+1)%ph.SlowEvery == 0 {
 						time.Sleep(ph.SlowPause)
 					}
-				}
-				attempted.Add(myAttempted)
-				okOps.Add(myOK)
-				if opt.Record {
-					framed := make([]byte, 0, len(buf)+6)
-					framed = append(framed, byte(phaseIdx), byte(pid))
-					framed = binary.BigEndian.AppendUint32(framed, uint32(len(buf)))
-					framed = append(framed, buf...)
-					streamMu.Lock()
-					streams = append(streams, framed...)
-					streamMu.Unlock()
 				}
 			}(pid)
 		}
@@ -224,10 +336,14 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 	res.Duration = time.Since(start)
 	res.Ops = attempted.Load()
 	res.OKOps = okOps.Load()
+	res.Abandoned = abandoned.Load()
+	res.SurvivorOps = survivorOps.Load()
+	res.RecoveryNS = recoveryNS.Load()
 	if opt.Record {
 		res.OpStream = canonicalize(streams, len(sc.Phases), procs)
 	}
-	res.Conserved = verify(b.Kind, drv, maxKeys, &produced, &consumed, adds, removes)
+	res.Conserved = verify(b.Kind, drv, maxKeys, &produced, &consumed, adds, removes,
+		&abandonedPush, &abandonedPop, abAdds, abRemoves)
 	return res
 }
 
@@ -304,20 +420,31 @@ func isEmpty(err error) bool {
 // verify runs the quiescent conservation check: drain-and-count for
 // the container kinds, per-key balance vs membership for sets. Weak
 // backends cannot abort here — the runner is the only client left
-// (the solo-never-aborts property E2 model-checks).
-func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64) error {
+// (the solo-never-aborts property E2 model-checks). Abandoned
+// operations (§5 mid-op crashes) have uncertain effect, so they widen
+// the equality into a bracket: with AP abandoned pushes and AC
+// abandoned pops, produced − AC ≤ consumed + drained ≤ produced + AP;
+// sets bracket per key the same way. Without crashes the bracket
+// collapses back to the exact check.
+func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64, abPush, abPop *atomic.Uint64, abAdds, abRemoves []atomic.Int64) error {
 	if kind == repro.KindSet {
 		for k := 0; k < maxKeys; k++ {
 			bal := adds[k].Load() - removes[k].Load()
-			if bal < 0 || bal > 1 {
-				return fmt.Errorf("key %d: add/remove balance %d (want 0 or 1)", k, bal)
+			var slackUp, slackDown int64
+			if abAdds != nil {
+				slackUp, slackDown = abAdds[k].Load(), abRemoves[k].Load()
 			}
 			member, err := retryContains(drv, uint64(k))
 			if err != nil {
 				return fmt.Errorf("key %d: contains kept aborting at quiescence: %v", k, err)
 			}
-			if member != (bal == 1) {
-				return fmt.Errorf("key %d: member=%v but add/remove balance %d", k, member, bal)
+			var m int64
+			if member {
+				m = 1
+			}
+			if m-bal > slackUp || bal-m > slackDown {
+				return fmt.Errorf("key %d: member=%v but add/remove balance %d (abandoned adds %d, removes %d)",
+					k, member, bal, slackUp, slackDown)
 			}
 		}
 		return nil
@@ -326,8 +453,9 @@ func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.
 	if kind == repro.KindDeque {
 		popOps = []int{2, 3}
 	}
+	ap, ac := abPush.Load(), abPop.Load()
 	var drained uint64
-	limit := produced.Load() + 1 // at most this many values can remain
+	limit := produced.Load() + ap + 1 // at most this many values can remain
 	for _, op := range popOps {
 		aborts := 0
 		for drained <= limit {
@@ -345,8 +473,10 @@ func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.
 			}
 		}
 	}
-	if p, c := produced.Load(), consumed.Load(); c+drained != p {
-		return fmt.Errorf("conservation: produced %d != consumed %d + drained %d", p, c, drained)
+	p, c := produced.Load(), consumed.Load()
+	if c+drained > p+ap || c+drained+ac < p {
+		return fmt.Errorf("conservation: produced %d vs consumed %d + drained %d (abandoned pushes %d, pops %d)",
+			p, c, drained, ap, ac)
 	}
 	return nil
 }

@@ -68,6 +68,24 @@ type Phase struct {
 	// for the survivors (the conservation check still must pass).
 	CrashPids int
 	CrashFrac float64
+
+	// CrashMidOp upgrades the crash from "stop between operations"
+	// to the §5 mid-operation crash on backends with an Abandon seam
+	// (the flat-combining family): the crashing process publishes
+	// its next update without collecting the response and never
+	// takes another step, leaving a pending request a combiner may
+	// or may not serve. Backends without the seam fall back to
+	// stopping between operations — the honest model for lock-free
+	// code, where a process holds no object state between its atomic
+	// steps. Abandoned operations relax the conservation check into
+	// a bracket (see Result.Abandoned).
+	CrashMidOp bool
+	// CrashCombiner additionally arms the one-shot combiner crash
+	// for the crashing pids (Ops.ArmCrash, flat-combining backends
+	// only): the pid's next combining pass dies mid-pass with the
+	// lease held and CONTENTION raised — the worst §5 failure — and
+	// the survivors must recover via the heartbeat lease takeover.
+	CrashCombiner bool
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -105,6 +123,14 @@ type Gate struct {
 	// across reruns, so this ratio is pure timing noise — the
 	// methodology gate that makes the SLO numbers trustworthy.
 	MaxVarianceRatio float64
+	// MaxRecovery bounds the crash-recovery latency (E22 crash
+	// scenarios only): the nanoseconds from a crash to each
+	// survivor's first completed operation after it, worst process,
+	// checked against the median across reruns. The bound is the
+	// scenario-level form of the lease budget: a crashed combiner
+	// must be deposed and the survivors moving again within it.
+	// Zero = ungated.
+	MaxRecovery time.Duration
 }
 
 // defaultGate is deliberately loose: the gates must hold on a noisy,
@@ -259,6 +285,81 @@ func Library() []Scenario {
 // ByName resolves a library scenario.
 func ByName(name string) (Scenario, bool) {
 	for _, s := range Library() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// defaultCrashGate gates the crash scenarios: survivor progress and
+// conservation are absolute (checked by EvaluateCrash regardless);
+// the recovery bound is loose for the same 1-core shared CI runner
+// reason as defaultGate — it exists to catch a wedged takeover (a
+// survivor spinning forever on a dead combiner's lease), not to
+// benchmark the steal latency.
+var defaultCrashGate = Gate{
+	MaxVarianceRatio: 25,
+	MaxRecovery:      2 * time.Second,
+}
+
+// CrashLibrary returns the E22 crash-injection suite, in run order —
+// separate from Library() so the E21 latency rows never carry crash
+// noise. Every scenario keeps pid 0 crash-free (crashes always take
+// the highest pids), and no phase reuses a previously crashed pid: a
+// §5 crashed process never takes another step, drain and verification
+// included. Two structural choices make the gates deterministic on a
+// 1-core runner: the crashing phases run open-loop (the shared
+// arrival clock encourages survivors and crashers to overlap), and
+// every scenario ends with a survivor-only phase — those operations
+// run strictly after every crash, so survivor progress and a recorded
+// recovery latency are properties of the object, never of goroutine
+// spawn order. Names, kinds, and phase counts are pinned against the
+// EXPERIMENTS.md crash table by TestScenariosMatchDocs.
+func CrashLibrary() []Scenario {
+	return []Scenario{
+		{
+			Name: "mid-op-storm",
+			Desc: "3 of 8 processes crash mid-operation at 40% of their budget, then the survivors run on — abandoned requests bracket conservation",
+			Seed: 0x5ced1001,
+			Gate: defaultCrashGate,
+			Phases: []Phase{
+				{Name: "storm", Procs: 8, Ops: 3000, Write: 0.45, Erase: 0.45,
+					Interval: 2 * time.Millisecond, Burst: 32,
+					CrashPids: 3, CrashFrac: 0.4, CrashMidOp: true},
+				{Name: "aftermath", Procs: 5, Ops: 1500, Write: 0.45, Erase: 0.45},
+			},
+		},
+		{
+			Name: "combiner-crash",
+			Desc: "2 of 8 crash with the combiner crash armed — a combining pass dies lease-held and survivors must steal the lease to run on",
+			Seed: 0x5ced1002,
+			Gate: defaultCrashGate,
+			Phases: []Phase{
+				{Name: "combiner", Procs: 8, Ops: 3000, Write: 0.45, Erase: 0.45,
+					Interval: 2 * time.Millisecond, Burst: 32,
+					CrashPids: 2, CrashFrac: 0.5, CrashMidOp: true, CrashCombiner: true},
+				{Name: "aftermath", Procs: 6, Ops: 1500, Write: 0.45, Erase: 0.45},
+			},
+		},
+		{
+			Name: "crash-storm",
+			Desc: "half the processes crash mid-operation at 30%, then the 4 survivors run a full phase alone",
+			Seed: 0x5ced1003,
+			Gate: defaultCrashGate,
+			Phases: []Phase{
+				{Name: "storm", Procs: 8, Ops: 2000, Write: 0.45, Erase: 0.45,
+					Interval: 2 * time.Millisecond, Burst: 32,
+					CrashPids: 4, CrashFrac: 0.3, CrashMidOp: true},
+				{Name: "survivors", Procs: 4, Ops: 2000, Write: 0.45, Erase: 0.45},
+			},
+		},
+	}
+}
+
+// CrashByName resolves a crash-suite scenario.
+func CrashByName(name string) (Scenario, bool) {
+	for _, s := range CrashLibrary() {
 		if s.Name == name {
 			return s, true
 		}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceString renders a trace compactly for exact (byte-for-byte)
+// schedule pinning.
+func traceString(tr []Step) string {
+	s := ""
+	for _, st := range tr {
+		s += fmt.Sprintf("%d:%v ", st.Pid, st.Access)
+	}
+	return s
+}
+
+func TestCombiningTakeoverSchedule(t *testing.T) {
+	// The canonical pinned lease takeover: the combiner crashes with
+	// the lease held, CONTENTION raised and a foreign request pending;
+	// the survivor's pop can only complete by stealing the lease (the
+	// builder's Check asserts Steals >= 1 on top of linearizability).
+	build, sched, plan := CombiningTakeoverSchedule()
+	tr, err := ReplayWithCrashes(build, sched, plan, 0)
+	if err != nil {
+		t.Fatalf("takeover schedule failed: %v", err)
+	}
+	// The schedule is exact: p0 gets its planned prefix and nothing
+	// after the crash; every remaining step is the survivor's.
+	for i, st := range tr {
+		want := 1
+		if i < len(sched) {
+			want = sched[i]
+		}
+		if st.Pid != want {
+			t.Fatalf("step %d ran pid %d, want %d (trace %s)", i, st.Pid, want, traceString(tr))
+		}
+	}
+	// Deterministic replay: the same schedule reproduces the identical
+	// access trace, byte for byte.
+	build2, sched2, plan2 := CombiningTakeoverSchedule()
+	tr2, err := ReplayWithCrashes(build2, sched2, plan2, 0)
+	if err != nil {
+		t.Fatalf("takeover replay failed: %v", err)
+	}
+	if traceString(tr) != traceString(tr2) {
+		t.Fatalf("replay diverged:\n  first:  %s\n  second: %s", traceString(tr), traceString(tr2))
+	}
+}
+
+func TestCombiningCrashGateCount(t *testing.T) {
+	// CombiningCrashGates is implementation-exact: one past the number
+	// of shared accesses p0's crash-free contended push performs under
+	// the default schedule. A drift here silently weakens the sweep.
+	tr, err := ReplayWithCrashes(CombiningCrashBuilder(false), nil, nil, 0)
+	if err != nil {
+		t.Fatalf("crash-free combining run failed: %v", err)
+	}
+	p0 := 0
+	for _, st := range tr {
+		if st.Pid == 0 {
+			p0++
+		}
+	}
+	if p0+1 != CombiningCrashGates {
+		t.Fatalf("p0 performed %d accesses; CombiningCrashGates = %d, want %d (trace %s)",
+			p0, CombiningCrashGates, p0+1, traceString(tr))
+	}
+}
+
+func TestCombiningCrashSweep(t *testing.T) {
+	// Crash the combiner at every §5 step of the contended push —
+	// before publication is collected, between lease acquisition and
+	// CONTENTION, mid-apply, after serving the foreign slot, and past
+	// the end (no crash) — and require the survivor to complete with a
+	// linearizable history at every point.
+	err := SweepCrashPoints(CombiningCrashGates, func(crashAt int) (Builder, CrashPlan) {
+		return CombiningCrashBuilder(false), CrashPlan{0: crashAt}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombiningCrashPooledBackends(t *testing.T) {
+	// The generalized single-op crash runs on the pooled backends too:
+	// a crashed process's in-flight node is leaked, never recycled, and
+	// the survivor stays consistent at every crash point.
+	survivor := []StackOp{{Push: true, Value: 100}, {Push: false}, {Push: false}, {Push: false}}
+	for _, backend := range []StackBackend{PooledTreiber, PooledAbortable} {
+		for _, op := range []StackOp{{Push: true, Value: 77}, {Push: false}} {
+			err := SweepCrashPoints(8, func(crashAt int) (Builder, CrashPlan) {
+				return CrashStackOp(backend, 8, []uint64{10, 20}, op, crashAt, survivor)
+			})
+			if err != nil {
+				t.Fatalf("%v op=%+v: %v", backend, op, err)
+			}
+		}
+	}
+}
+
+func TestCrashPopEveryPoint(t *testing.T) {
+	// The pop sibling of TestCrashMidPushEveryPoint: crash a popper at
+	// every point; the history must be explainable with the crashed pop
+	// absent, returning any reachable value, or reporting empty.
+	survivor := []StackOp{{Push: true, Value: 100}, {Push: false}, {Push: false}, {Push: false}}
+	for _, backend := range []StackBackend{Boxed, PackedWords} {
+		err := SweepCrashPoints(6, func(crashAt int) (Builder, CrashPlan) {
+			return CrashStackOp(backend, 8, []uint64{10, 20}, StackOp{}, crashAt, survivor)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+	}
+}

@@ -134,12 +134,12 @@ func runRandom(build Builder, rng *uint64, maxSteps int) runOutcome {
 }
 
 // runSchedule executes one schedule, consulting pick at every decision
-// point. crashAfter maps a pid to the number of granted accesses after
-// which that process crashes: it is never scheduled again and stays
-// parked at its gate (the paper's §5 crash model — a process stops
-// between two shared accesses and takes no further steps). A nil map
-// disables crashes.
-func runSchedule(build Builder, maxSteps int, crashAfter map[int]int, pick func(d int, cands []int, blocked map[int]memory.Kind) (int, error)) runOutcome {
+// point. crashAfter is the run's CrashPlan: it maps a pid to the
+// number of granted accesses after which that process crashes — it is
+// never scheduled again and stays parked at its gate (the paper's §5
+// crash model — a process stops between two shared accesses and takes
+// no further steps). A nil plan disables crashes.
+func runSchedule(build Builder, maxSteps int, crashAfter CrashPlan, pick func(d int, cands []int, blocked map[int]memory.Kind) (int, error)) runOutcome {
 	var out runOutcome
 
 	c := newController()
@@ -244,12 +244,12 @@ func runSchedule(build Builder, maxSteps int, crashAfter map[int]int, pick func(
 }
 
 // ReplayWithCrashes executes one explicit schedule in which each pid
-// in crashAfter permanently stops after its given number of granted
+// in the CrashPlan permanently stops after its given number of granted
 // shared accesses (the §5 crash model: a crashed process takes no
 // further steps; its goroutine is leaked parked). The run ends when
 // every non-crashed process finishes; Check then validates the
 // survivors' view.
-func ReplayWithCrashes(build Builder, schedule []int, crashAfter map[int]int, maxSteps int) (trace []Step, err error) {
+func ReplayWithCrashes(build Builder, schedule []int, crashAfter CrashPlan, maxSteps int) (trace []Step, err error) {
 	if maxSteps == 0 {
 		maxSteps = 10000
 	}

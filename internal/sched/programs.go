@@ -145,26 +145,31 @@ func weakStackBuilder(backend StackBackend, k int, initial []uint64, plans [][]S
 	return weakStackBuilderPost(backend, k, initial, plans, forbidAborts, nil)
 }
 
+// newWeakStack builds the observed weak stack a backend selects, for
+// procs processes (the pooled backends size their free lists by it).
+func newWeakStack(backend StackBackend, k, procs int, obs memory.Observer) weakStack {
+	switch backend {
+	case Boxed:
+		return pidlessStack{stack.NewAbortableObserved[uint64](k, obs)}
+	case PackedWords:
+		return pidlessStack{packedAdapter{stack.NewPackedObserved(k, obs)}}
+	case NaiveABA:
+		return pidlessStack{stack.NewNaiveObserved[uint64](k, obs)}
+	case PooledTreiber:
+		return stack.NewTreiberPooledObserved(max(procs, 1), obs)
+	case PooledAbortable:
+		return stack.NewAbortablePooledObserved(k, max(procs, 1), obs)
+	default:
+		panic("sched: unknown stack backend")
+	}
+}
+
 // weakStackBuilderPost additionally runs post(s) during Check, after
 // the linearizability verdict; the pooled ABA schedules use it to
 // assert that node recycling actually occurred.
 func weakStackBuilderPost(backend StackBackend, k int, initial []uint64, plans [][]StackOp, forbidAborts bool, post func(s weakStack) error) Builder {
 	return func(obs memory.Observer) Run {
-		var s weakStack
-		switch backend {
-		case Boxed:
-			s = pidlessStack{stack.NewAbortableObserved[uint64](k, obs)}
-		case PackedWords:
-			s = pidlessStack{packedAdapter{stack.NewPackedObserved(k, obs)}}
-		case NaiveABA:
-			s = pidlessStack{stack.NewNaiveObserved[uint64](k, obs)}
-		case PooledTreiber:
-			s = stack.NewTreiberPooledObserved(max(len(plans), 1), obs)
-		case PooledAbortable:
-			s = stack.NewAbortablePooledObserved(k, max(len(plans), 1), obs)
-		default:
-			panic("sched: unknown stack backend")
-		}
+		s := newWeakStack(backend, k, len(plans), obs)
 		for _, v := range initial {
 			if err := s.TryPush(0, v); err != nil {
 				panic(fmt.Sprintf("sched: prefill: %v", err))
@@ -432,94 +437,6 @@ func WeakDequeBuilder(k int, initial []uint64, plans [][]DequeOp) Builder {
 			return nil
 		}}
 	}
-}
-
-// CrashPush builds a §5 crash-tolerance run and the crash map for it:
-// process 0 pushes marker onto a stack prefilled with initial and is
-// crashed after crashAt shared accesses (0..5 covers every point of a
-// boxed weak push); process 1 then runs its plan to completion, solo.
-//
-// Check asserts the paper's §5 claim for lock-free code: the survivor
-// completes every operation, and its history is linearizable either
-// with or without the marker push — a crashed operation may or may
-// not have taken effect, but the object is never left inconsistent.
-func CrashPush(backend StackBackend, k int, initial []uint64, marker uint64, crashAt int, survivor []StackOp) (Builder, map[int]int) {
-	build := func(obs memory.Observer) Run {
-		var s weakStack
-		switch backend {
-		case Boxed:
-			s = pidlessStack{stack.NewAbortableObserved[uint64](k, obs)}
-		case PackedWords:
-			s = pidlessStack{packedAdapter{stack.NewPackedObserved(k, obs)}}
-		default:
-			panic("sched: CrashPush supports the tagged backends only")
-		}
-		for _, v := range initial {
-			if err := s.TryPush(0, v); err != nil {
-				panic(fmt.Sprintf("sched: prefill: %v", err))
-			}
-		}
-		rec := lin.NewRecorder(2)
-		for _, v := range initial {
-			pend := rec.Invoke(0, "push", v)
-			rec.Return(pend, 0, lin.OutcomeOK)
-		}
-		var markerCall int64
-		crasher := func() {
-			pend := rec.Invoke(0, "push", marker)
-			markerCall = pend.CallTime()
-			_ = s.TryPush(0, marker) // never completes: p0 crashes inside
-			// If the crash point is past the op (crashAt too large),
-			// the op completes; record it normally so the check stays
-			// exact.
-			rec.Return(pend, 0, lin.OutcomeOK)
-			markerCall = 0
-		}
-		ops := [][]func(){{crasher}, nil}
-		for _, p := range survivor {
-			p := p
-			if p.Push {
-				ops[1] = append(ops[1], func() {
-					pend := rec.Invoke(1, "push", p.Value)
-					err := s.TryPush(1, p.Value)
-					rec.Return(pend, 0, stackOutcome(err))
-				})
-			} else {
-				ops[1] = append(ops[1], func() {
-					pend := rec.Invoke(1, "pop", 0)
-					v, err := s.TryPop(1)
-					rec.Return(pend, v, stackOutcome(err))
-				})
-			}
-		}
-		return Run{Ops: ops, Check: func() error {
-			h := rec.History()
-			if res := lin.Check(lin.StackModel(k), h, 0); res.Ok {
-				return nil // the crashed push took no effect
-			}
-			if markerCall == 0 {
-				return fmt.Errorf("completed history not linearizable: %v", h)
-			}
-			// Retry with the crashed push counted as effective,
-			// spanning from its real invocation to after everything.
-			var maxRet int64
-			for _, op := range h {
-				if op.Return > maxRet {
-					maxRet = op.Return
-				}
-			}
-			h2 := append([]lin.Op{{
-				Proc: 0, Call: markerCall, Return: maxRet + 1,
-				Kind: "push", Input: marker, Outcome: lin.OutcomeOK,
-			}}, h...)
-			sortOpsByCall(h2)
-			if res := lin.Check(lin.StackModel(k), h2, 0); res.Ok {
-				return nil // the crashed push took effect
-			}
-			return fmt.Errorf("history not linearizable with or without the crashed push: %v", h)
-		}}
-	}
-	return build, map[int]int{0: crashAt}
 }
 
 func sortOpsByCall(h []lin.Op) {

@@ -98,6 +98,29 @@ func (s *Combining) ContainsContended(pid int, k uint64) bool {
 	return s.core.DoContended(pid, setOp{kind: opContains, key: k})
 }
 
+// AbandonAdd publishes an add request that will never be collected —
+// the scenario layer's model of a process crashing mid-add: the
+// request is pending and a combiner may or may not serve it. pid must
+// never operate on this set again.
+func (s *Combining) AbandonAdd(pid int, k uint64) {
+	s.core.Publish(pid, setOp{kind: opAdd, key: k})
+}
+
+// AbandonRemove is AbandonAdd for a remove request.
+func (s *Combining) AbandonRemove(pid int, k uint64) {
+	s.core.Publish(pid, setOp{kind: opRemove, key: k})
+}
+
+// ArmCombinerCrash arms the combine.Core fault injection: pid's next
+// combining pass dies after `after` slot applications with the lease
+// held. See combine.Core.ArmCombinerCrash.
+func (s *Combining) ArmCombinerCrash(pid, after int) bool {
+	return s.core.ArmCombinerCrash(pid, after)
+}
+
+// SetLeaseBudget forwards to combine.Core.SetLeaseBudget (tests).
+func (s *Combining) SetLeaseBudget(n int) { s.core.SetLeaseBudget(n) }
+
 // Stats exposes the fast-path and combining counters.
 func (s *Combining) Stats() combine.Stats { return s.core.Stats() }
 

@@ -10,8 +10,9 @@ import (
 // an individual update may retry unboundedly. A contention manager
 // (§5) may pace the retries; the paper's bare loop is the nil manager.
 type NonBlocking struct {
-	weak Weak
-	m    core.Manager
+	weak   Weak
+	m      core.Manager
+	budget int
 }
 
 // NewNonBlocking returns a non-blocking set over a fresh abortable
@@ -26,10 +27,32 @@ func NewNonBlockingFrom(weak Weak, m core.Manager) *NonBlocking {
 	return &NonBlocking{weak: weak, m: m}
 }
 
+// SetRetryPolicy replaces the contention manager and sets an attempt
+// budget (0 = unbounded). The Strong set interface reports updates as
+// booleans, so a budget-exhausted Add/Remove sheds the operation with
+// no effect and reports false — accurate in effect terms (nothing was
+// inserted or removed), indistinguishable from a no-op outcome. Call
+// at quiescence.
+func (s *NonBlocking) SetRetryPolicy(m core.Manager, budget int) {
+	s.m, s.budget = m, budget
+}
+
+// RetryPolicy reports the current contention manager and attempt
+// budget (tests and diagnostics).
+func (s *NonBlocking) RetryPolicy() (core.Manager, int) { return s.m, s.budget }
+
+func (s *NonBlocking) retry(try func() (bool, bool)) bool {
+	if s.budget > 0 {
+		ok, err := core.RetryBudget(s.m, s.budget, try)
+		return ok && err == nil
+	}
+	return core.Retry(s.m, try)
+}
+
 // Add inserts k, retrying aborted attempts; it reports whether k was
 // newly inserted. The pid is unused (kept for the Strong shape).
 func (s *NonBlocking) Add(_ int, k uint64) bool {
-	return core.Retry(s.m, func() (bool, bool) {
+	return s.retry(func() (bool, bool) {
 		added, err := s.weak.TryAdd(k)
 		return added, err == nil
 	})
@@ -38,7 +61,7 @@ func (s *NonBlocking) Add(_ int, k uint64) bool {
 // Remove deletes k, retrying aborted attempts; it reports whether k
 // was present.
 func (s *NonBlocking) Remove(_ int, k uint64) bool {
-	return core.Retry(s.m, func() (bool, bool) {
+	return s.retry(func() (bool, bool) {
 		removed, err := s.weak.TryRemove(k)
 		return removed, err == nil
 	})

@@ -3,6 +3,7 @@ package stack
 import (
 	"repro/internal/combine"
 	"repro/internal/core"
+	"repro/internal/memory"
 )
 
 // combOp is one published stack request: push (with the value) or pop.
@@ -71,6 +72,22 @@ func NewCombiningPooled(k, n int) *Combining[uint64] {
 	return s
 }
 
+// NewCombiningObserved returns a flat-combining stack of capacity k
+// for n processes over the observed boxed weak stack, with the
+// combiner lease, heartbeat and CONTENTION observed too: under
+// internal/sched's controller the whole contended path — publication,
+// combining, crash, takeover — becomes deterministically schedulable.
+func NewCombiningObserved(k, n int, obs memory.Observer) *Combining[uint64] {
+	weak := NewAbortableObserved[uint64](k, obs)
+	s := &Combining[uint64]{
+		tryPush: func(_ int, v uint64) error { return weak.TryPush(v) },
+		tryPop:  func(_ int) (uint64, error) { return weak.TryPop() },
+		length:  weak.Len,
+	}
+	s.core = combine.NewCoreObserved[combOp[uint64], combRes[uint64]](n, s.attempt, obs)
+	return s
+}
+
 // attempt adapts the weak stack to combine.Core's try shape: one weak
 // attempt by pid, ok=false iff it aborted.
 func (s *Combining[T]) attempt(pid int, op combOp[T]) (combRes[T], bool) {
@@ -116,6 +133,29 @@ func (s *Combining[T]) Len() int {
 	}
 	return -1
 }
+
+// AbandonPush publishes a push request that will never be collected —
+// the scenario layer's model of a process crashing mid-push: the
+// request is pending and a combiner may or may not serve it. pid must
+// never operate on this stack again.
+func (s *Combining[T]) AbandonPush(pid int, v T) {
+	s.core.Publish(pid, combOp[T]{push: true, v: v})
+}
+
+// AbandonPop is AbandonPush for a pop request.
+func (s *Combining[T]) AbandonPop(pid int) {
+	s.core.Publish(pid, combOp[T]{})
+}
+
+// ArmCombinerCrash arms the combine.Core fault injection: pid's next
+// combining pass dies after `after` slot applications with the lease
+// held. See combine.Core.ArmCombinerCrash.
+func (s *Combining[T]) ArmCombinerCrash(pid, after int) bool {
+	return s.core.ArmCombinerCrash(pid, after)
+}
+
+// SetLeaseBudget forwards to combine.Core.SetLeaseBudget (tests).
+func (s *Combining[T]) SetLeaseBudget(n int) { s.core.SetLeaseBudget(n) }
 
 // Stats exposes the fast-path and combining counters.
 func (s *Combining[T]) Stats() combine.Stats { return s.core.Stats() }

@@ -13,8 +13,9 @@ import (
 // A contention manager (§5) may pace the retries; the paper's bare
 // loop is the nil manager.
 type NonBlocking[T any] struct {
-	weak Weak[T]
-	m    core.Manager
+	weak   Weak[T]
+	m      core.Manager
+	budget int
 }
 
 // NewNonBlocking returns a non-blocking stack of capacity k over a
@@ -31,25 +32,56 @@ func NewNonBlockingFrom[T any](weak Weak[T], m core.Manager) *NonBlocking[T] {
 	return &NonBlocking[T]{weak: weak, m: m}
 }
 
-// Push pushes v, retrying aborted attempts; it returns nil or ErrFull.
+// SetRetryPolicy replaces the contention manager and sets an attempt
+// budget for Push/Pop (0 = unbounded, the paper's loop). With a
+// budget, an operation whose every attempt aborts returns
+// core.ErrExhausted with no effect — graceful degradation instead of
+// livelock. Call at quiescence (construction time).
+func (s *NonBlocking[T]) SetRetryPolicy(m core.Manager, budget int) {
+	s.m, s.budget = m, budget
+}
+
+// RetryPolicy reports the current contention manager and attempt
+// budget (tests and diagnostics).
+func (s *NonBlocking[T]) RetryPolicy() (core.Manager, int) { return s.m, s.budget }
+
+// Push pushes v, retrying aborted attempts; it returns nil or ErrFull
+// (or core.ErrExhausted when a retry budget is set and spent).
 func (s *NonBlocking[T]) Push(v T) error {
-	return core.Retry(s.m, func() (error, bool) {
+	try := func() (error, bool) {
 		err := s.weak.TryPush(v)
 		return err, err != ErrAborted
-	})
+	}
+	if s.budget > 0 {
+		err, rerr := core.RetryBudget(s.m, s.budget, try)
+		if rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return core.Retry(s.m, try)
 }
 
 // Pop pops the top value, retrying aborted attempts; it returns the
-// value or ErrEmpty.
+// value or ErrEmpty (or core.ErrExhausted when a retry budget is set
+// and spent).
 func (s *NonBlocking[T]) Pop() (T, error) {
 	type res struct {
 		v   T
 		err error
 	}
-	r := core.Retry(s.m, func() (res, bool) {
+	try := func() (res, bool) {
 		v, err := s.weak.TryPop()
 		return res{v, err}, err != ErrAborted
-	})
+	}
+	if s.budget > 0 {
+		r, rerr := core.RetryBudget(s.m, s.budget, try)
+		if rerr != nil {
+			return r.v, rerr
+		}
+		return r.v, r.err
+	}
+	r := core.Retry(s.m, try)
 	return r.v, r.err
 }
 

@@ -143,6 +143,12 @@ var (
 	ErrQueueAborted = queue.ErrAborted
 )
 
+// ErrExhausted reports a WithRetryPolicy budget spent without the
+// operation taking effect: every weak attempt aborted, and the
+// operation degraded gracefully (shed, no effect) instead of retrying
+// unboundedly. Re-exported from internal/core.
+var ErrExhausted = core.ErrExhausted
+
 // NewStack returns a contention-sensitive, starvation-free stack of
 // capacity k for n processes — the paper's exact Figure 3
 // configuration (abortable stack + round-robin over a test-and-set

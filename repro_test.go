@@ -9,6 +9,10 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cmanager"
+	"repro/internal/core"
+	"repro/internal/set"
+	"repro/internal/stack"
 )
 
 func TestPublicStackQuickstart(t *testing.T) {
@@ -519,9 +523,181 @@ func TestUnwrapExtensions(t *testing.T) {
 	}
 }
 
+// retryPolicied mirrors the seam the catalog forwards WithRetryPolicy
+// through; every Figure 2 backend also reports the policy back.
+type retryPolicied interface {
+	RetryPolicy() (core.Manager, int)
+}
+
+// TestWithRetryPolicyReachesEveryFigure2Backend builds the four
+// non-blocking backends through their public constructors with
+// WithRetryPolicy and reads the policy back through Unwrap: the option
+// must survive the adapter layers on every kind.
+func TestWithRetryPolicyReachesEveryFigure2Backend(t *testing.T) {
+	opt := repro.WithRetryPolicy("adaptive", 4)
+	check := func(name string, x any, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rp, ok := repro.Unwrap(x).(retryPolicied)
+		if !ok {
+			t.Fatalf("%s: Unwrap does not expose the retry policy", name)
+		}
+		m, budget := rp.RetryPolicy()
+		if budget != 4 {
+			t.Fatalf("%s: budget = %d, want 4", name, budget)
+		}
+		if _, ok := m.(*cmanager.Adaptive); !ok {
+			t.Fatalf("%s: manager = %T, want *cmanager.Adaptive", name, m)
+		}
+	}
+	s, err := repro.NewStackBackend[uint64]("non-blocking", opt)
+	check("stack/non-blocking", s, err)
+	q, err := repro.NewQueueBackend[uint64]("non-blocking", opt)
+	check("queue/non-blocking", q, err)
+	d, err := repro.NewDequeBackend("non-blocking", opt)
+	check("deque/non-blocking", d, err)
+	st, err := repro.NewSetBackend("non-blocking", opt)
+	check("set/non-blocking", st, err)
+}
+
+// TestWithRetryPolicySoloNeverSheds pins the E2 corollary at the API
+// surface: a solo weak attempt always succeeds, so even the tightest
+// budget (1 attempt, the obstruction-free rung) never degrades an
+// uncontended operation.
+func TestWithRetryPolicySoloNeverSheds(t *testing.T) {
+	opt := repro.WithRetryPolicy("none", 1)
+	s, err := repro.NewStackBackend[uint64]("non-blocking", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(0, 7); err != nil {
+		t.Fatalf("solo Push under budget 1: %v", err)
+	}
+	if v, err := s.Pop(0); err != nil || v != 7 {
+		t.Fatalf("solo Pop under budget 1 = (%d, %v)", v, err)
+	}
+	st, err := repro.NewSetBackend("non-blocking", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added, err := st.Add(0, 5); err != nil || !added {
+		t.Fatalf("solo Add under budget 1 = (%v, %v)", added, err)
+	}
+	if removed, err := st.Remove(0, 5); err != nil || !removed {
+		t.Fatalf("solo Remove under budget 1 = (%v, %v)", removed, err)
+	}
+}
+
+// alwaysAbortedStack is a weak stack under livelock-grade interference:
+// every attempt aborts.
+type alwaysAbortedStack struct{ attempts int }
+
+func (a *alwaysAbortedStack) TryPush(uint64) error { a.attempts++; return repro.ErrStackAborted }
+func (a *alwaysAbortedStack) TryPop() (uint64, error) {
+	a.attempts++
+	return 0, repro.ErrStackAborted
+}
+
+// alwaysAbortedSet is its set sibling.
+type alwaysAbortedSet struct{}
+
+func (alwaysAbortedSet) TryAdd(uint64) (bool, error)      { return false, repro.ErrSetAborted }
+func (alwaysAbortedSet) TryRemove(uint64) (bool, error)   { return false, repro.ErrSetAborted }
+func (alwaysAbortedSet) TryContains(uint64) (bool, error) { return false, nil }
+
+// TestRetryBudgetDegradesGracefully drives the Figure 2 construction
+// over weak objects whose every attempt aborts — the deterministic
+// stand-in for unbounded interference. Container operations must
+// surface repro.ErrExhausted (the public alias of core.ErrExhausted)
+// after exactly the budgeted attempts; set updates shed and report
+// false, with no effect either way.
+func TestRetryBudgetDegradesGracefully(t *testing.T) {
+	weak := &alwaysAbortedStack{}
+	nb := stack.NewNonBlockingFrom[uint64](weak, nil)
+	nb.SetRetryPolicy(nil, 3)
+	if err := nb.Push(9); !errors.Is(err, repro.ErrExhausted) {
+		t.Fatalf("exhausted Push error = %v, want repro.ErrExhausted", err)
+	}
+	if weak.attempts != 3 {
+		t.Fatalf("Push made %d attempts, want the budget of 3", weak.attempts)
+	}
+	if _, err := nb.Pop(); !errors.Is(err, repro.ErrExhausted) {
+		t.Fatalf("exhausted Pop error = %v, want repro.ErrExhausted", err)
+	}
+
+	ns := set.NewNonBlockingFrom(alwaysAbortedSet{}, nil)
+	ns.SetRetryPolicy(nil, 2)
+	if ns.Add(0, 5) {
+		t.Fatal("exhausted Add reported true (claims an effect it did not have)")
+	}
+	if ns.Remove(0, 5) {
+		t.Fatal("exhausted Remove reported true")
+	}
+}
+
+// TestWithRetryPolicyConservesUnderContention hammers the budgeted
+// non-blocking stack from several goroutines: however many operations
+// shed with ErrExhausted, a shed push must leave nothing behind — the
+// drain must recover exactly the successful pushes.
+func TestWithRetryPolicyConservesUnderContention(t *testing.T) {
+	const procs, per = 4, 1000 // capacity procs·per must stay under memory.MaxIndex
+	s, err := repro.NewStackBackend[uint64]("non-blocking",
+		repro.WithCapacity(procs*per), repro.WithRetryPolicy("none", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed, shed sync.Map
+	var wg sync.WaitGroup
+	counts := make([]int, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := uint64(pid*per + i)
+				switch err := s.Push(pid, v); {
+				case err == nil:
+					counts[pid]++
+					pushed.Store(v, true)
+				case errors.Is(err, repro.ErrExhausted):
+					shed.Store(v, true)
+				default:
+					t.Errorf("Push(%d) = %v", v, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	ok := 0
+	for _, c := range counts {
+		ok += c
+	}
+	drained := 0
+	for {
+		v, err := s.Pop(0)
+		if errors.Is(err, repro.ErrStackEmpty) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("drain Pop: %v", err)
+		}
+		if _, was := pushed.Load(v); !was {
+			t.Fatalf("drained %d, which never reported a successful push", v)
+		}
+		drained++
+	}
+	if drained != ok {
+		t.Fatalf("drained %d values, want exactly the %d successful pushes (%d shed)",
+			drained, ok, procs*per-ok)
+	}
+}
+
 // readmeRow matches one body row of the README backend-catalog table:
-// | `name` | `constructor` | object | progress | allocation | experiments |
-var readmeRow = regexp.MustCompile("^\\| `([^`]+)` \\| `([^`]+)` \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\|$")
+// | `name` | `constructor` | object | progress | allocation | robustness | experiments |
+var readmeRow = regexp.MustCompile("^\\| `([^`]+)` \\| `([^`]+)` \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\| ([^|]+) \\|$")
 
 // TestCatalogMatchesReadme keeps the README backend-catalog table and
 // repro.Catalog() in lockstep, both directions: every catalog entry
@@ -533,7 +709,7 @@ func TestCatalogMatchesReadme(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading README.md: %v", err)
 	}
-	type row struct{ constructor, object, progress, allocation, experiments string }
+	type row struct{ constructor, object, progress, allocation, robustness, experiments string }
 	documented := map[string]row{}
 	for _, line := range strings.Split(string(raw), "\n") {
 		m := readmeRow.FindStringSubmatch(line)
@@ -541,7 +717,7 @@ func TestCatalogMatchesReadme(t *testing.T) {
 			continue
 		}
 		documented[m[1]] = row{m[2], strings.TrimSpace(m[3]), strings.TrimSpace(m[4]),
-			strings.TrimSpace(m[5]), strings.TrimSpace(m[6])}
+			strings.TrimSpace(m[5]), strings.TrimSpace(m[6]), strings.TrimSpace(m[7])}
 	}
 	if len(documented) == 0 {
 		t.Fatal("no backend-catalog rows found in README.md (pattern drift?)")
@@ -554,7 +730,7 @@ func TestCatalogMatchesReadme(t *testing.T) {
 			t.Errorf("catalog backend %s has no README table row", b.Name)
 			continue
 		}
-		want := row{b.Constructor, b.Object, b.Progress, b.Allocation, strings.Join(b.Experiments, " ")}
+		want := row{b.Constructor, b.Object, b.Progress, b.Allocation, b.Robustness, strings.Join(b.Experiments, " ")}
 		if doc != want {
 			t.Errorf("README row for %s drifted:\n  readme:  %+v\n  catalog: %+v", b.Name, doc, want)
 		}
