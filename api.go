@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"repro/internal/adaptive"
 	"repro/internal/cmanager"
 	"repro/internal/core"
 	"repro/internal/queue"
@@ -69,8 +70,18 @@ type options struct {
 	shards      int
 	width       int
 	pooled      bool
+	adaptive    bool
+	thresholds  *adaptive.Thresholds
 	retryMgr    string
 	retryBudget int
+}
+
+// thr resolves the adaptation thresholds an adaptive constructor uses.
+func (o options) thr() adaptive.Thresholds {
+	if o.thresholds != nil {
+		return *o.thresholds
+	}
+	return adaptive.DefaultThresholds()
 }
 
 // Option configures a catalog constructor (NewStackBackend and
@@ -110,6 +121,22 @@ func WithWidth(w int) Option { return func(o *options) { o.width = w } }
 // sibling report an error; already-pooled backends are unchanged.
 func WithPooled() Option { return func(o *options) { o.pooled = true } }
 
+// WithAdaptive redirects a constructor to the kind's contention-
+// adaptive meta-backend (stack/adaptive and siblings): the same object
+// contract served by a ladder of catalog rungs that the object morphs
+// between as live contention signals cross the WithThresholds
+// boundaries. Kinds without an adaptive entry (the deque) report an
+// error; the adaptive backends themselves are unchanged.
+func WithAdaptive() Option { return func(o *options) { o.adaptive = true } }
+
+// WithThresholds replaces DefaultThresholds on an adaptive backend:
+// when the object climbs and descends its rung ladder, and how long a
+// migration window may spin for quiescence before aborting. Other
+// backends ignore the option. ForcingThresholds makes every decision
+// window migrate — the harness configuration that puts the epoch-gated
+// handoff on every tested path.
+func WithThresholds(t Thresholds) Option { return func(o *options) { o.thresholds = &t } }
+
 // WithRetryPolicy bounds the retry loop of the non-blocking (Figure 2)
 // backends: each operation makes at most budget weak attempts, paced
 // by the named contention manager ("none", "yield", "spin", "backoff",
@@ -129,13 +156,25 @@ type retryPolicied interface {
 }
 
 // applyRetryPolicy forwards a WithRetryPolicy setting to the backend
-// underneath the adapters, when it has a retry loop to bound.
+// underneath the adapters, when it has a retry loop to bound. The walk
+// is layer-aware — one Unwrap hop at a time, first policy surface wins
+// — so a wrapper with its own retry loop (the adaptive set pacing its
+// cow rung) receives the policy instead of having it skipped past to
+// the rung underneath.
 func applyRetryPolicy(x any, o options) {
 	if o.retryMgr == "" && o.retryBudget == 0 {
 		return
 	}
-	if rp, ok := Unwrap(x).(retryPolicied); ok {
-		rp.SetRetryPolicy(cmanager.ByName(o.retryMgr), o.retryBudget)
+	for {
+		if rp, ok := x.(retryPolicied); ok {
+			rp.SetRetryPolicy(cmanager.ByName(o.retryMgr), o.retryBudget)
+			return
+		}
+		u, ok := x.(Unwrapper)
+		if !ok {
+			return
+		}
+		x = u.Unwrap()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/adaptive"
 	"repro/internal/deque"
 	"repro/internal/queue"
 	"repro/internal/set"
@@ -46,12 +47,15 @@ const (
 	nameDequeSensitive     = "deque/sensitive"
 	nameDequeAbortable     = "deque/abortable"
 	nameDequeNonBlocking   = "deque/non-blocking"
+	nameStackAdaptive      = "stack/adaptive"
+	nameQueueAdaptive      = "queue/adaptive"
 	nameSetSensitive       = "set/sensitive"
 	nameSetAbortable       = "set/abortable"
 	nameSetNonBlocking     = "set/non-blocking"
 	nameSetCombining       = "set/combining"
 	nameSetHarris          = "set/harris"
 	nameSetHash            = "set/hashset"
+	nameSetAdaptive        = "set/adaptive"
 )
 
 // Ops is a uniform op-indexed driver over one backend instance: Do
@@ -78,6 +82,13 @@ type Ops struct {
 	Do       func(pid, op int, v uint64) (uint64, error)
 	Abandon  func(pid, op int, v uint64) bool
 	ArmCrash func(pid, after int) bool
+
+	// Instance is the capability-interface value Do drives (Drive
+	// fills it; Direct builders may leave it nil). Harnesses that need
+	// an optional extension — an adaptive backend's migration stats,
+	// a pool's reuse counters — reach it through repro.Unwrap or
+	// repro.AdaptiveStatsOf instead of rebuilding the instance.
+	Instance any
 }
 
 // Backend describes one catalog entry. The string fields mirror the
@@ -95,7 +106,9 @@ type Backend struct {
 	Object string
 	// Tier places the backend on the ladder: "paper" (Figures 1-3),
 	// "baseline" (classic lock-free), "scaling" (combining/sharded),
-	// "allocation" (pooled recycled nodes), "hash" (split-ordered).
+	// "allocation" (pooled recycled nodes), "hash" (split-ordered),
+	// "adaptive" (contention-adaptive meta-backends morphing between
+	// the other tiers' rungs).
 	Tier string
 	// Progress is the liveness guarantee, as prose ("lock-free",
 	// "starvation-free", "abortable", qualified where mixed).
@@ -158,7 +171,7 @@ func Drive(b Backend, opts ...Option) Ops {
 	case KindStack:
 		s := b.Stack(opts...)
 		applyRetryPolicy(s, o)
-		ops := Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+		ops := Ops{N: 2, Instance: s, Do: func(pid, op int, v uint64) (uint64, error) {
 			if op == 0 {
 				return 0, s.Push(pid, v)
 			}
@@ -182,7 +195,7 @@ func Drive(b Backend, opts ...Option) Ops {
 	case KindQueue:
 		q := b.Queue(opts...)
 		applyRetryPolicy(q, o)
-		ops := Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+		ops := Ops{N: 2, Instance: q, Do: func(pid, op int, v uint64) (uint64, error) {
 			if op == 0 {
 				return 0, q.Enqueue(pid, v)
 			}
@@ -206,7 +219,7 @@ func Drive(b Backend, opts ...Option) Ops {
 	case KindDeque:
 		d := b.Deque(opts...)
 		applyRetryPolicy(d, o)
-		return Ops{N: 4, Do: func(pid, op int, v uint64) (uint64, error) {
+		return Ops{N: 4, Instance: d, Do: func(pid, op int, v uint64) (uint64, error) {
 			switch op {
 			case 0:
 				return 0, d.PushLeft(pid, uint32(v))
@@ -223,7 +236,7 @@ func Drive(b Backend, opts ...Option) Ops {
 	default: // KindSet
 		s := b.Set(opts...)
 		applyRetryPolicy(s, o)
-		ops := Ops{N: 3, Do: func(pid, op int, v uint64) (uint64, error) {
+		ops := Ops{N: 3, Instance: s, Do: func(pid, op int, v uint64) (uint64, error) {
 			var got bool
 			var err error
 			switch op {
@@ -475,6 +488,31 @@ func stackCatalog() []Backend {
 				}}
 			},
 		},
+		{
+			Name: nameStackAdaptive, Kind: KindStack,
+			Constructor: "NewAdaptiveStack[T](k, n)",
+			Object:      "contention-adaptive stack, sensitive-combining ladder",
+			Tier:        "adaptive", Progress: "starvation-free", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E5", "E11", "E17", "E20", "E21", "E22", "E23"},
+			Robustness:  "lock-vulnerable",
+			Bounded:     true,
+			LinOpts:     []Option{WithThresholds(adaptive.ForcingThresholds())},
+			LinNote:     "forced morphs",
+			Stack: func(opts ...Option) StackAPI[uint64] {
+				o := applyOptions(opts)
+				return adaptive.NewStack[uint64](o.capacity, o.procs, o.thr())
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := adaptive.NewStack[uint64](o.capacity, o.procs, o.thr())
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, s.Push(pid, v)
+					}
+					return s.Pop(pid)
+				}}
+			},
+		},
 	}
 }
 
@@ -635,6 +673,31 @@ func queueCatalog() []Backend {
 			Direct: func(opts ...Option) Ops {
 				o := applyOptions(opts)
 				q := queue.NewCombiningPooled(o.capacity, o.procs)
+				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
+					if op == 0 {
+						return 0, q.Enqueue(pid, v)
+					}
+					return q.Dequeue(pid)
+				}}
+			},
+		},
+		{
+			Name: nameQueueAdaptive, Kind: KindQueue,
+			Constructor: "NewAdaptiveQueue[T](k, n, shards)",
+			Object:      "contention-adaptive queue, sensitive-combining-sharded ladder",
+			Tier:        "adaptive", Progress: "starvation-free, relaxed cross-shard order on the top rung", Domain: "generic", Allocation: "boxed",
+			Experiments: []string{"E9", "E11", "E17", "E20", "E21", "E22", "E23"},
+			Robustness:  "lock-vulnerable",
+			Bounded:     true,
+			LinOpts:     []Option{WithShards(1), WithThresholds(adaptive.ForcingThresholds())},
+			LinNote:     "K=1, forced morphs",
+			Queue: func(opts ...Option) QueueAPI[uint64] {
+				o := applyOptions(opts)
+				return adaptive.NewQueue[uint64](o.capacity, o.procs, o.shards, o.thr())
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				q := adaptive.NewQueue[uint64](o.capacity, o.procs, o.shards, o.thr())
 				return Ops{N: 2, Do: func(pid, op int, v uint64) (uint64, error) {
 					if op == 0 {
 						return 0, q.Enqueue(pid, v)
@@ -854,6 +917,25 @@ func setCatalog() []Backend {
 				return setDirect(s.Add, s.Remove, s.Contains)
 			},
 		},
+		{
+			Name: nameSetAdaptive, Kind: KindSet,
+			Constructor: "NewAdaptiveSet(n)",
+			Object:      "contention-adaptive set, cow-harris-hash ladder (keys < 2^63)",
+			Tier:        "adaptive", Progress: "non-blocking updates, wait-free reads on the cow rung", Domain: "uint64", Allocation: "rung-dependent",
+			Experiments: []string{"E11", "E18", "E20", "E21", "E22", "E23"},
+			Robustness:  "survivor-safe",
+			LinOpts:     []Option{WithThresholds(adaptive.ForcingThresholds())},
+			LinNote:     "forced morphs",
+			Set: func(opts ...Option) SetAPI {
+				o := applyOptions(opts)
+				return liftSet(adaptive.NewSet(o.procs, o.thr()))
+			},
+			Direct: func(opts ...Option) Ops {
+				o := applyOptions(opts)
+				s := adaptive.NewSet(o.procs, o.thr())
+				return setDirect(s.Add, s.Remove, s.Contains)
+			},
+		},
 	}
 }
 
@@ -905,6 +987,13 @@ func find(kind, name string, opts []Option) (Backend, options, error) {
 		}
 		b = p
 	}
+	if o.adaptive && b.Tier != "adaptive" {
+		a, ok := lookup(kind + "/adaptive")
+		if !ok {
+			return Backend{}, o, fmt.Errorf("repro: the %s kind has no adaptive meta-backend", kind)
+		}
+		b = a
+	}
 	return b, o, nil
 }
 
@@ -925,6 +1014,8 @@ func genericStack[T any](name string, o options) (StackAPI[T], bool) {
 		return liftStack[T](stack.NewElimination[T](o.width)), true
 	case nameStackCombining:
 		return stack.NewCombining[T](o.capacity, o.procs), true
+	case nameStackAdaptive:
+		return adaptive.NewStack[T](o.capacity, o.procs, o.thr()), true
 	}
 	return nil, false
 }
@@ -942,6 +1033,8 @@ func genericQueue[T any](name string, o options) (QueueAPI[T], bool) {
 		return queue.NewCombining[T](o.capacity, o.procs), true
 	case nameQueueSharded:
 		return queue.NewSharded[T](o.capacity, o.procs, o.shards), true
+	case nameQueueAdaptive:
+		return adaptive.NewQueue[T](o.capacity, o.procs, o.shards, o.thr()), true
 	}
 	return nil, false
 }

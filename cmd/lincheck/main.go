@@ -159,6 +159,22 @@ func runCrashSweeps(w *os.File) error {
 	}
 	tb.AddRow("stack/combining", "push (lease-held, pinned)", 1, "lease stolen, linearizable")
 
+	// Adaptive set: the migrator dies at every gate of its cow→harris
+	// window — before the open, between open and seal, mid-rebuild, at
+	// the close — and the survivor must finish with nothing stranded.
+	if err := sched.SweepCrashPoints(sched.AdaptiveMigrationGates+1, sched.CrashAdaptiveMigration); err != nil {
+		fmt.Fprint(w, tb.String())
+		return fmt.Errorf("adaptive migration crash sweep: %v", err)
+	}
+	tb.AddRow("set/adaptive", "morph (migrator)", sched.AdaptiveMigrationGates+2, "survivors complete, linearizable")
+
+	mbuild, msched := sched.AdaptiveMigrationSchedule()
+	if _, err := sched.Replay(mbuild, msched, 0); err != nil {
+		fmt.Fprint(w, tb.String())
+		return fmt.Errorf("pinned migration replay: %v", err)
+	}
+	tb.AddRow("set/adaptive", "add (parked across flip, pinned)", 1, "stale CAS fails, re-dispatched")
+
 	fmt.Fprint(w, tb.String())
 	fmt.Fprintln(w, "crash plans are replayable values: (pid -> granted shared accesses before the crash)")
 	return nil

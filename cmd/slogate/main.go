@@ -1,18 +1,21 @@
 // Command slogate is the release gate over the scenario suites: it
 // loads a contbench -json document (the bench.Doc schema), finds the
 // experiment's scenario table — "E21 scenario suite" rows gated by
-// SLO/variance (internal/scenario.Evaluate), or "E22 crash suite"
-// rows gated by survivor progress, recovery latency, the conservation
-// bracket, and the Robustness classification (scenario.EvaluateCrash)
-// — and prints a deterministic per-gate verdict table. Exit status 1
-// means at least one gate failed — CI runs it after the E21/E22
-// smokes so a latency regression, a throughput flap, a conservation
-// violation, a stalled survivor, a wedged takeover, or a silently
-// dropped scenario cell fails the build.
+// SLO/variance (internal/scenario.Evaluate), "E22 crash suite" rows
+// gated by survivor progress, recovery latency, the conservation
+// bracket, and the Robustness classification (scenario.EvaluateCrash),
+// or "E23 adaptive suite" per-phase rows gated by within-slack against
+// the best fixed rung, migration sanity, and conservation
+// (scenario.EvaluateAdaptive) — and prints a deterministic per-gate
+// verdict table. Exit status 1 means at least one gate failed — CI
+// runs it after the E21/E22/E23 smokes so a latency regression, a
+// throughput flap, a conservation violation, a stalled survivor, a
+// wedged takeover, a frozen (or thrashing) adaptive ladder, or a
+// silently dropped scenario cell fails the build.
 //
 // Usage:
 //
-//	slogate [-exp E21|E22] [-all] BENCH_E21.json
+//	slogate [-exp E21|E22|E23] [-all] BENCH_E21.json
 //
 // -all prints every verdict row; by default passing gates are
 // summarized per scenario and only failures are expanded.
@@ -67,8 +70,14 @@ func run(path, exp string, showAll bool, w *os.File) error {
 			return err
 		}
 		nrows, verdicts = len(rows), scenario.EvaluateCrash(rows)
+	} else if table, ok := rec.FindTable(exp + " adaptive suite"); ok {
+		rows, err := scenario.ParseAdaptiveRows(table.Headers, table.Rows)
+		if err != nil {
+			return err
+		}
+		nrows, verdicts = len(rows), scenario.EvaluateAdaptive(rows, doc.Provenance.NumCPU)
 	} else {
-		return fmt.Errorf("%s: %s record carries no scenario or crash table", path, exp)
+		return fmt.Errorf("%s: %s record carries no scenario, crash, or adaptive table", path, exp)
 	}
 
 	fmt.Fprintf(w, "slogate: %d rows from %s (%s, go %s, %s/%s, %d cpu, sha %s)\n",

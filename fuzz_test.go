@@ -135,6 +135,101 @@ func FuzzDequeBackendsAgree(f *testing.F) {
 	})
 }
 
+// FuzzAdaptiveVsSpec drives the three adaptive meta-backends in
+// lockstep with the sequential specs while the op stream forces rung
+// migrations in BOTH directions at fuzzer-chosen points: opcode 3
+// morphs all three objects to a data-chosen rung, so climbs, descents,
+// and no-op self-morphs land between arbitrary op prefixes. Every op
+// must agree with the spec exactly as if no migration had happened —
+// migration is a representation change, never an abstract-state change
+// — and the final drain re-checks the complete contents (order
+// included) on whatever rung each object ended.
+func FuzzAdaptiveVsSpec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 1, 0, 3, 0, 1, 0})
+	f.Add([]byte{0, 5, 3, 2, 0, 6, 3, 0, 1, 0, 1, 0, 2, 5})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 3, 1, 1, 0, 1, 0, 3, 2, 0, 7, 3, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		st := repro.NewAdaptiveStack[uint64](k, 1)
+		qu := repro.NewAdaptiveQueue[uint64](k, 1, 1) // 1 shard: global FIFO on the top rung
+		se := repro.NewAdaptiveSet(1)
+		refS := spec.NewStack[uint64](k)
+		refQ := spec.NewQueue[uint64](k)
+		refSet := spec.NewSet()
+		for i := 0; i+1 < len(data); i += 2 {
+			op, v := int(data[i])%4, uint64(data[i+1])
+			switch op {
+			case 0:
+				gotErr := st.Push(0, v)
+				if wantOK := refS.Push(v); (gotErr == nil) != wantOK {
+					t.Fatalf("op %d: stack push(%d) err %v, spec ok %v", i, v, gotErr, wantOK)
+				}
+				gotErr = qu.Enqueue(0, v)
+				if wantOK := refQ.Enqueue(v); (gotErr == nil) != wantOK {
+					t.Fatalf("op %d: queue enqueue(%d) err %v, spec ok %v", i, v, gotErr, wantOK)
+				}
+				if got, want := se.Add(0, v%16), refSet.Add(v%16); got != want {
+					t.Fatalf("op %d: set add(%d) = %v, spec %v", i, v%16, got, want)
+				}
+			case 1:
+				got, gotErr := st.Pop(0)
+				if want, ok := refS.Pop(); (gotErr == nil) != ok || (ok && got != want) {
+					t.Fatalf("op %d: stack pop = (%d, %v), spec (%d, %v)", i, got, gotErr, want, ok)
+				}
+				got, gotErr = qu.Dequeue(0)
+				if want, ok := refQ.Dequeue(); (gotErr == nil) != ok || (ok && got != want) {
+					t.Fatalf("op %d: queue dequeue = (%d, %v), spec (%d, %v)", i, got, gotErr, want, ok)
+				}
+				if got, want := se.Remove(0, v%16), refSet.Remove(v%16); got != want {
+					t.Fatalf("op %d: set remove(%d) = %v, spec %v", i, v%16, got, want)
+				}
+			case 2:
+				if got, want := se.Contains(0, v%16), refSet.Contains(v%16); got != want {
+					t.Fatalf("op %d: set contains(%d) = %v, spec %v", i, v%16, got, want)
+				}
+			default:
+				// Forced migration: solo, it must always reach its rung.
+				if !st.MorphTo(0, int(v)%2) {
+					t.Fatalf("op %d: stack MorphTo(%d) failed", i, int(v)%2)
+				}
+				if !qu.MorphTo(0, int(v)%3) {
+					t.Fatalf("op %d: queue MorphTo(%d) failed", i, int(v)%3)
+				}
+				if !se.MorphTo(0, int(v)%3) {
+					t.Fatalf("op %d: set MorphTo(%d) failed", i, int(v)%3)
+				}
+			}
+		}
+		// Drain both containers and sweep the key space: the complete
+		// remaining contents must match the spec on the final rung.
+		for {
+			got, gotErr := st.Pop(0)
+			want, ok := refS.Pop()
+			if (gotErr == nil) != ok || (ok && got != want) {
+				t.Fatalf("drain: stack pop = (%d, %v), spec (%d, %v)", got, gotErr, want, ok)
+			}
+			if !ok {
+				break
+			}
+		}
+		for {
+			got, gotErr := qu.Dequeue(0)
+			want, ok := refQ.Dequeue()
+			if (gotErr == nil) != ok || (ok && got != want) {
+				t.Fatalf("drain: queue dequeue = (%d, %v), spec (%d, %v)", got, gotErr, want, ok)
+			}
+			if !ok {
+				break
+			}
+		}
+		for key := uint64(0); key < 16; key++ {
+			if got, want := se.Contains(0, key), refSet.Contains(key); got != want {
+				t.Fatalf("sweep: set contains(%d) = %v, spec %v", key, got, want)
+			}
+		}
+	})
+}
+
 func FuzzSetBackendsAgree(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 2, 1, 1, 1, 2, 1})
 	f.Add([]byte{0, 5, 0, 3, 1, 5, 0, 4, 1, 3, 2, 4})

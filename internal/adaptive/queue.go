@@ -1,0 +1,105 @@
+package adaptive
+
+import (
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+// Queue is the contention-adaptive FIFO queue: sensitive while solo,
+// flat-combining once the slow path says contention pays for batching,
+// pid-striped shards once even the combiner saturates (the E16
+// regime). The sharded rung relaxes cross-shard order exactly as
+// queue.Sharded documents; descending restores the strict FIFO rungs.
+type Queue[T any] struct {
+	m *meta[T]
+}
+
+// queueRungs names the ladder, bottom first.
+var queueRungs = []string{"sensitive", "combining", "sharded"}
+
+// NewQueue returns an adaptive queue of total capacity k for n
+// processes governed by t; shards parameterizes the top rung (<= 0
+// picks queue.NewSharded's default).
+func NewQueue[T any](k, n, shards int, t Thresholds) *Queue[T] {
+	build := []func() container[T]{
+		func() container[T] { return sensQueue[T]{queue.NewSensitive[T](k, n)} },
+		func() container[T] { return combQueue[T]{queue.NewCombining[T](k, n)} },
+		func() container[T] { return shardQueue[T]{queue.NewSharded[T](k, n, shards)} },
+	}
+	return &Queue[T]{m: newMeta[T](n, t, queueRungs, build)}
+}
+
+// Enqueue appends v on behalf of pid; it returns nil or queue.ErrFull
+// and never aborts, whatever rung serves it.
+func (q *Queue[T]) Enqueue(pid int, v T) error {
+	_, err := q.m.do(pid, func(c container[T]) (T, error) {
+		var zero T
+		return zero, c.put(pid, v)
+	})
+	return err
+}
+
+// Dequeue removes a value on behalf of pid; it returns the value or
+// queue.ErrEmpty and never aborts.
+func (q *Queue[T]) Dequeue(pid int) (T, error) {
+	return q.m.do(pid, func(c container[T]) (T, error) { return c.take(pid) })
+}
+
+// Stats returns the migration counters and time-in-regime.
+func (q *Queue[T]) Stats() Stats { return q.m.stats() }
+
+// Rung returns the current rung's name.
+func (q *Queue[T]) Rung() string { return q.m.names[q.m.curRung.Load()] }
+
+// Rungs returns the ladder's rung names, bottom first.
+func (q *Queue[T]) Rungs() []string { return append([]string(nil), q.m.names...) }
+
+// MorphTo steps the queue to rung dst (an index into Rungs) ignoring
+// thresholds; it reports whether dst was reached. Test hook.
+func (q *Queue[T]) MorphTo(pid, dst int) bool { return q.m.morphTo(pid, dst) }
+
+// Unwrap returns the current rung's concrete backend. After a morph it
+// returns the new rung — callers holding extensions across migrations
+// must re-Unwrap.
+func (q *Queue[T]) Unwrap() any { return q.m.unwrap() }
+
+// Progress reports StarvationFree: every rung of the ladder is.
+func (q *Queue[T]) Progress() core.Progress { return core.StarvationFree }
+
+// sensQueue adapts the sensitive rung; contention is the guard's
+// slow-path counter.
+type sensQueue[T any] struct{ q *queue.Sensitive[T] }
+
+func (a sensQueue[T]) put(pid int, v T) error  { return a.q.Enqueue(pid, v) }
+func (a sensQueue[T]) take(pid int) (T, error) { return a.q.Dequeue(pid) }
+func (a sensQueue[T]) snapshot() []T           { return a.q.Snapshot() }
+func (a sensQueue[T]) contended() uint64       { return a.q.Guard().Stats().Slow }
+func (a sensQueue[T]) inner() any              { return a.q }
+
+// combQueue adapts the combining rung; contention is the publication
+// counter.
+type combQueue[T any] struct{ q *queue.Combining[T] }
+
+func (a combQueue[T]) put(pid int, v T) error  { return a.q.Enqueue(pid, v) }
+func (a combQueue[T]) take(pid int) (T, error) { return a.q.Dequeue(pid) }
+func (a combQueue[T]) snapshot() []T           { return a.q.Snapshot() }
+func (a combQueue[T]) contended() uint64       { return a.q.Stats().Published }
+func (a combQueue[T]) inner() any              { return a.q }
+
+// shardQueue adapts the sharded rung; contention is the summed
+// publication counter of every shard.
+type shardQueue[T any] struct{ q *queue.Sharded[T] }
+
+func (a shardQueue[T]) put(pid int, v T) error  { return a.q.Enqueue(pid, v) }
+func (a shardQueue[T]) take(pid int) (T, error) { return a.q.Dequeue(pid) }
+func (a shardQueue[T]) snapshot() []T           { return a.q.Snapshot() }
+func (a shardQueue[T]) contended() uint64 {
+	var t uint64
+	for i := 0; i < a.q.Shards(); i++ {
+		t += a.q.ShardStats(i).Published
+	}
+	return t
+}
+func (a shardQueue[T]) inner() any { return a.q }
+
+var _ queue.Strong[int] = (*Queue[int])(nil)

@@ -167,8 +167,13 @@ func SetLinTargets() []SetLinTarget {
 	var out []SetLinTarget
 	for _, b := range repro.CatalogByKind(repro.KindSet) {
 		b := b
-		out = append(out, SetLinTarget{b.Name, func(procs int) (func(int, int, uint64) (bool, error), error) {
-			s := b.Set(repro.WithProcs(procs))
+		name := b.Name
+		if b.LinNote != "" {
+			name += "[" + b.LinNote + "]"
+		}
+		out = append(out, SetLinTarget{name, func(procs int) (func(int, int, uint64) (bool, error), error) {
+			opts := append([]repro.Option{repro.WithProcs(procs)}, b.LinOpts...)
+			s := b.Set(opts...)
 			return func(pid int, op int, k uint64) (bool, error) {
 				switch op {
 				case 0:

@@ -35,6 +35,10 @@ func NewRefObserved[T any](init *T, obs Observer) *Ref[T] {
 	return r
 }
 
+// Observe sets the observer for subsequent accesses. It must be called
+// before the register is shared between goroutines.
+func (r *Ref[T]) Observe(obs Observer) { r.obs = obs }
+
 // Read returns the current record. The caller must not mutate it.
 func (r *Ref[T]) Read() *T {
 	if r.obs != nil {

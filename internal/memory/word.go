@@ -26,6 +26,10 @@ func NewWordObserved(init uint64, obs Observer) *Word {
 	return w
 }
 
+// Observe sets the observer for subsequent accesses. It must be called
+// before the register is shared between goroutines.
+func (w *Word) Observe(obs Observer) { w.obs = obs }
+
 // Read returns the current value of the register.
 func (w *Word) Read() uint64 {
 	if w.obs != nil {

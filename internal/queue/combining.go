@@ -101,6 +101,17 @@ func (q *Combining[T]) Len() int {
 	return -1
 }
 
+// Snapshot returns the weak backend's elements oldest-first when it
+// exposes a snapshot, nil otherwise. Quiescent states only — the
+// adaptive tier calls it on a quiesced source to rebuild the migration
+// target.
+func (q *Combining[T]) Snapshot() []T {
+	if s, ok := q.weak.(interface{ Snapshot() []T }); ok {
+		return s.Snapshot()
+	}
+	return nil
+}
+
 // Capacity returns the weak backend's capacity when it exposes one,
 // -1 otherwise.
 func (q *Combining[T]) Capacity() int {

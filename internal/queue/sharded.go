@@ -135,6 +135,19 @@ func (q *Sharded[T]) Len() int {
 	return total
 }
 
+// Snapshot returns the elements of every shard concatenated in shard
+// order, each shard oldest-first; quiescent states only. Cross-shard
+// order is relaxed while the queue is live, so the concatenation is
+// "the multiset of elements" rather than a FIFO history — exactly what
+// the adaptive tier needs to rebuild a migration target.
+func (q *Sharded[T]) Snapshot() []T {
+	var out []T
+	for _, s := range q.shards {
+		out = append(out, s.Snapshot()...)
+	}
+	return out
+}
+
 // ShardStats returns shard i's combining counters.
 func (q *Sharded[T]) ShardStats(i int) combine.Stats { return q.shards[i].Stats() }
 

@@ -133,6 +133,26 @@ func (q *Sensitive[T]) Dequeue(pid int) (T, error) {
 // Guard exposes the fast/slow-path counters.
 func (q *Sensitive[T]) Guard() *core.Guard { return q.guard }
 
+// Snapshot returns the elements oldest-first when the weak backend
+// exposes a snapshot, nil otherwise. Quiescent states only: the weak
+// snapshot is not atomic under concurrent updates. The adaptive tier
+// calls it on a quiesced source to rebuild the migration target.
+func (q *Sensitive[T]) Snapshot() []T {
+	if w, ok := q.weak.(interface{ Snapshot() []T }); ok {
+		return w.Snapshot()
+	}
+	return nil
+}
+
+// Len returns the number of elements when the weak backend exposes a
+// length (quiescent states only), -1 otherwise.
+func (q *Sensitive[T]) Len() int {
+	if w, ok := q.weak.(interface{ Len() int }); ok {
+		return w.Len()
+	}
+	return -1
+}
+
 // Progress reports StarvationFree.
 func (q *Sensitive[T]) Progress() core.Progress { return core.StarvationFree }
 

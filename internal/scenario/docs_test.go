@@ -14,11 +14,12 @@ import (
 var docsRow = regexp.MustCompile("^\\s*\\| `([a-z-]+)` \\| ([a-z, ]+) \\| (\\d+) \\| (.+) \\|\\s*$")
 
 // TestScenariosMatchDocs keeps the EXPERIMENTS.md scenario tables and
-// scenario.Library() + scenario.CrashLibrary() in lockstep, both
-// directions: every library scenario must appear in the tables with
-// exactly its kind set and phase count, and every table row must name
-// a library scenario — in the same order, so the docs read as the
-// suites run (the E21 table first, then the E22 crash table).
+// scenario.Library() + scenario.CrashLibrary() + scenario.
+// AdaptiveLibrary() in lockstep, both directions: every library
+// scenario must appear in the tables with exactly its kind set and
+// phase count, and every table row must name a library scenario — in
+// the same order, so the docs read as the suites run (the E21 table
+// first, then the E22 crash table, then the E23 adaptive table).
 func TestScenariosMatchDocs(t *testing.T) {
 	raw, err := os.ReadFile("../../EXPERIMENTS.md")
 	if err != nil {
@@ -46,7 +47,7 @@ func TestScenariosMatchDocs(t *testing.T) {
 		t.Fatal("no scenario-library rows found in EXPERIMENTS.md (pattern drift?)")
 	}
 
-	lib := append(Library(), CrashLibrary()...)
+	lib := append(append(Library(), CrashLibrary()...), AdaptiveLibrary()...)
 	if len(order) != len(lib) {
 		t.Errorf("EXPERIMENTS.md documents %d scenarios, libraries have %d", len(order), len(lib))
 	}

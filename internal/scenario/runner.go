@@ -28,6 +28,16 @@ type Options struct {
 	Record bool
 	// Capacity bounds bounded backends (0 = 1024).
 	Capacity int
+	// ExtraOpts are appended to the constructor options the runner
+	// passes to repro.Drive — E23 uses it to hand the adaptive
+	// meta-backends quick-scaled thresholds; backends that do not
+	// consume an option ignore it.
+	ExtraOpts []repro.Option
+	// AfterPhase, when set, runs at the quiescent point after each
+	// phase's processes have joined, with the phase index, its name,
+	// and the driven backend (whose Instance field reaches the live
+	// object). E23 samples per-phase adaptation stats here.
+	AfterPhase func(phase int, name string, drv repro.Ops)
 }
 
 // minOps is the per-process floor a scaled phase budget never drops
@@ -80,6 +90,24 @@ type Result struct {
 	RecoveryNS int64
 	// OpStream is the recorded op stream when Options.Record is set.
 	OpStream []byte
+	// Phases is the per-phase slice of the run: attempted ops and
+	// wall time between the phase's spawn and join, in phase order.
+	Phases []PhaseStat
+}
+
+// PhaseStat is one phase's slice of a Result.
+type PhaseStat struct {
+	Name     string
+	Ops      uint64
+	Duration time.Duration
+}
+
+// OpsPerSec is the phase's attempted-op throughput.
+func (p PhaseStat) OpsPerSec() float64 {
+	if p.Duration <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Duration.Seconds()
 }
 
 // OpsPerSec is the run's attempted-op throughput.
@@ -145,7 +173,8 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 			maxKeys = p.KeyRange
 		}
 	}
-	drv := repro.Drive(b, repro.WithProcs(procs), repro.WithCapacity(capacity))
+	drv := repro.Drive(b, append([]repro.Option{
+		repro.WithProcs(procs), repro.WithCapacity(capacity)}, opt.ExtraOpts...)...)
 
 	res := Result{Scenario: sc.Name, Backend: b.Name, Procs: procs, Hist: &metrics.Histogram{}}
 
@@ -332,6 +361,17 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 			}(pid)
 		}
 		wg.Wait()
+		// Every per-goroutine total has flushed (the defers ran before
+		// Wait returned), so the attempted delta is this phase's ops.
+		phaseOps := attempted.Load()
+		for _, prev := range res.Phases {
+			phaseOps -= prev.Ops
+		}
+		res.Phases = append(res.Phases, PhaseStat{
+			Name: ph.Name, Ops: phaseOps, Duration: time.Since(phaseStart)})
+		if opt.AfterPhase != nil {
+			opt.AfterPhase(phaseIdx, ph.Name, drv)
+		}
 	}
 	res.Duration = time.Since(start)
 	res.Ops = attempted.Load()

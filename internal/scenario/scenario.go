@@ -366,3 +366,65 @@ func CrashByName(name string) (Scenario, bool) {
 	}
 	return Scenario{}, false
 }
+
+// AdaptiveLadder pairs one adaptive meta-backend with its fixed rungs,
+// bottom first — the comparison set E23 measures and gates: in every
+// phase the adaptive backend must stay within the gate's slack of the
+// BEST fixed rung, which is what "adapting" means operationally.
+type AdaptiveLadder struct {
+	Kind     string
+	Adaptive string
+	Fixed    []string
+}
+
+// AdaptiveLadders returns the three ladders, in catalog kind order.
+// The set ladder's cow rung is compared against set/non-blocking (the
+// retrying strong form of the abortable list, which is exactly how the
+// adaptive set drives its cow rung) rather than the weak set/abortable.
+func AdaptiveLadders() []AdaptiveLadder {
+	return []AdaptiveLadder{
+		{Kind: repro.KindStack, Adaptive: "stack/adaptive",
+			Fixed: []string{"stack/sensitive", "stack/combining"}},
+		{Kind: repro.KindQueue, Adaptive: "queue/adaptive",
+			Fixed: []string{"queue/sensitive", "queue/combining", "queue/sharded"}},
+		{Kind: repro.KindSet, Adaptive: "set/adaptive",
+			Fixed: []string{"set/non-blocking", "set/harris", "set/hashset"}},
+	}
+}
+
+// adaptiveKinds lists the kinds with an adaptive meta-backend; the
+// deque ladder has a single rung, so there is nothing to adapt.
+var adaptiveKinds = []string{repro.KindStack, repro.KindQueue, repro.KindSet}
+
+// AdaptiveLibrary returns the E23 phase-shift suite: scenarios whose
+// regimes sweep an adaptive ladder up and back down within one run.
+// Separate from Library() so the E21 rows never carry the fixed-rung
+// comparison cells. Names, kinds, and phase counts are pinned against
+// the EXPERIMENTS.md table by TestScenariosMatchDocs.
+func AdaptiveLibrary() []Scenario {
+	return []Scenario{
+		{
+			Name:  "contention-wave",
+			Desc:  "solo calm, 8-process storm, write-heavy key growth, solo erase-heavy cooldown — contention and size sweep the whole ladder up and back down",
+			Kinds: adaptiveKinds,
+			Seed:  0x5ced2001,
+			Gate:  defaultGate,
+			Phases: []Phase{
+				{Name: "solo-calm", Procs: 1, Ops: 4000, Write: 0.45, Erase: 0.45, KeyRange: 32},
+				{Name: "storm", Procs: 8, Ops: 4000, Write: 0.45, Erase: 0.45, KeyRange: 64},
+				{Name: "grow", Procs: 8, Ops: 4000, Write: 0.80, Erase: 0.10, KeyRange: 4096},
+				{Name: "solo-cool", Procs: 1, Ops: 4000, Write: 0.10, Erase: 0.80, KeyRange: 32},
+			},
+		},
+	}
+}
+
+// AdaptiveByName resolves an adaptive-suite scenario.
+func AdaptiveByName(name string) (Scenario, bool) {
+	for _, s := range AdaptiveLibrary() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,34 @@
+package sched
+
+import "testing"
+
+// TestAdaptiveMigrationScheduleReplays verifies the adaptive set's
+// mid-flight migration property deterministically: a writer parked
+// between its cow root read and root CAS while a full cow→harris
+// migration runs to completion MUST fail its stale CAS against the
+// sealed root and re-dispatch onto the new rung. The trace length is
+// pinned to the schedule length: any drift in the protocol's gate
+// count (an access added or removed anywhere in the open/seal/
+// snapshot/rebuild/close window) fails loudly here rather than
+// silently exploring a different interleaving.
+func TestAdaptiveMigrationScheduleReplays(t *testing.T) {
+	build, schedule := AdaptiveMigrationSchedule()
+	trace, err := Replay(build, schedule, 0)
+	if err != nil {
+		t.Fatalf("adaptive migration schedule failed: %v (trace %v)", err, trace)
+	}
+	if len(trace) != len(schedule) {
+		t.Fatalf("trace has %d steps, schedule %d (gate-count drift)", len(trace), len(schedule))
+	}
+}
+
+// TestAdaptiveMigrationCrashSweep kills the migrating process at every
+// gate of the cow→harris window — before the open, between open and
+// seal, mid-rebuild, at the close, and past the end — and checks that
+// the survivor always completes with the exact expected membership:
+// a crashed migrator must never strand an element.
+func TestAdaptiveMigrationCrashSweep(t *testing.T) {
+	if err := SweepCrashPoints(AdaptiveMigrationGates+1, CrashAdaptiveMigration); err != nil {
+		t.Fatalf("adaptive migration crash sweep: %v", err)
+	}
+}

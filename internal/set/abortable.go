@@ -11,6 +11,9 @@ import (
 type cowNode struct {
 	key  uint64
 	next *cowNode
+	// sealed is set only on the wrapper node installed by Seal: the
+	// wrapper is not an element, it freezes the list hanging off next.
+	sealed bool
 }
 
 // Abortable is the set tier's Figure 1 analogue: an abortable sorted
@@ -74,6 +77,9 @@ func rebuild(prefix []*cowNode, tail *cowNode) *cowNode {
 // a concurrent update won the root CAS.
 func (s *Abortable) TryAdd(k uint64) (bool, error) {
 	old := s.root.Read()
+	if old != nil && old.sealed {
+		return false, ErrSealed
+	}
 	prefix, at, suffix := search(old, k)
 	if at != nil {
 		return false, nil
@@ -90,6 +96,9 @@ func (s *Abortable) TryAdd(k uint64) (bool, error) {
 // on interference.
 func (s *Abortable) TryRemove(k uint64) (bool, error) {
 	old := s.root.Read()
+	if old != nil && old.sealed {
+		return false, ErrSealed
+	}
 	prefix, at, suffix := search(old, k)
 	if at == nil {
 		return false, nil
@@ -108,6 +117,9 @@ func (s *Abortable) TryRemove(k uint64) (bool, error) {
 // strong constructions can treat the three operations uniformly).
 func (s *Abortable) TryContains(k uint64) (bool, error) {
 	n := s.root.Read()
+	if n != nil && n.sealed {
+		n = n.next
+	}
 	for n != nil && n.key < k {
 		n = n.next
 	}
@@ -123,7 +135,11 @@ func (s *Abortable) Contains(k uint64) bool {
 // Len returns the number of keys (a wait-free snapshot walk).
 func (s *Abortable) Len() int {
 	n := 0
-	for c := s.root.Read(); c != nil; c = c.next {
+	c := s.root.Read()
+	if c != nil && c.sealed {
+		c = c.next
+	}
+	for ; c != nil; c = c.next {
 		n++
 	}
 	return n
@@ -133,10 +149,41 @@ func (s *Abortable) Len() int {
 // read.
 func (s *Abortable) Snapshot() []uint64 {
 	var out []uint64
-	for c := s.root.Read(); c != nil; c = c.next {
+	c := s.root.Read()
+	if c != nil && c.sealed {
+		c = c.next
+	}
+	for ; c != nil; c = c.next {
 		out = append(out, c.key)
 	}
 	return out
+}
+
+// Seal is one attempt to freeze the set for migration: it CASes the
+// root to a wrapper node that retains the current list but makes every
+// later update attempt return ErrSealed. Reads keep working through the
+// wrapper. Crucially, an update that read the root before the seal
+// landed fails its root CAS (the register no longer holds the head it
+// read) — sealing wins every race with in-flight writers, so the
+// snapshot taken after a successful Seal is the set's final abstract
+// state. Seal returns nil when the set is sealed after the call
+// (freshly, or already — sealing is idempotent) and ErrAborted when a
+// concurrent update won the root CAS; a sealed root is never unsealed.
+func (s *Abortable) Seal() error {
+	old := s.root.Read()
+	if old != nil && old.sealed {
+		return nil
+	}
+	if s.root.CAS(old, &cowNode{sealed: true, next: old}) {
+		return nil
+	}
+	return ErrAborted
+}
+
+// Sealed reports whether the set is frozen (one root read).
+func (s *Abortable) Sealed() bool {
+	n := s.root.Read()
+	return n != nil && n.sealed
 }
 
 // Progress classifies the weak set: abortable, hence on the

@@ -10,6 +10,12 @@ var (
 	// interference and had no effect. Only Try* operations return it;
 	// strong operations never do (Lemma 1).
 	ErrAborted = errors.New("set: aborted by contention")
+
+	// ErrSealed reports an update attempt against a sealed
+	// copy-on-write root (see Abortable.Seal): the set has been frozen
+	// for migration, the attempt had no effect, and the caller should
+	// redirect to the migration target. Reads never return it.
+	ErrSealed = errors.New("set: sealed for migration")
 )
 
 // Strong is the interface of total, never-aborting sets whose

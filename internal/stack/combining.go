@@ -31,10 +31,11 @@ type Combining[T any] struct {
 	// pid of the executing process (the caller on the fast path, the
 	// combiner when serving the publication list) so pooled backends
 	// can recycle through per-pid free lists.
-	tryPush func(pid int, v T) error
-	tryPop  func(pid int) (T, error)
-	length  func() int // nil when the backend exposes no Len
-	core    *combine.Core[combOp[T], combRes[T]]
+	tryPush  func(pid int, v T) error
+	tryPop   func(pid int) (T, error)
+	length   func() int // nil when the backend exposes no Len
+	snapshot func() []T // nil when the backend exposes no Snapshot
+	core     *combine.Core[combOp[T], combRes[T]]
 }
 
 // NewCombining returns a flat-combining stack of capacity k for n
@@ -53,6 +54,9 @@ func NewCombiningFrom[T any](weak Weak[T], n int) *Combining[T] {
 	if w, ok := weak.(interface{ Len() int }); ok {
 		s.length = w.Len
 	}
+	if w, ok := weak.(interface{ Snapshot() []T }); ok {
+		s.snapshot = w.Snapshot
+	}
 	s.core = combine.NewCore[combOp[T], combRes[T]](n, s.attempt)
 	return s
 }
@@ -64,9 +68,10 @@ func NewCombiningFrom[T any](weak Weak[T], n int) *Combining[T] {
 func NewCombiningPooled(k, n int) *Combining[uint64] {
 	weak := NewAbortablePooled(k, n)
 	s := &Combining[uint64]{
-		tryPush: weak.TryPush,
-		tryPop:  weak.TryPop,
-		length:  weak.Len,
+		tryPush:  weak.TryPush,
+		tryPop:   weak.TryPop,
+		length:   weak.Len,
+		snapshot: weak.Snapshot,
 	}
 	s.core = combine.NewCore[combOp[uint64], combRes[uint64]](n, s.attempt)
 	return s
@@ -80,9 +85,10 @@ func NewCombiningPooled(k, n int) *Combining[uint64] {
 func NewCombiningObserved(k, n int, obs memory.Observer) *Combining[uint64] {
 	weak := NewAbortableObserved[uint64](k, obs)
 	s := &Combining[uint64]{
-		tryPush: func(_ int, v uint64) error { return weak.TryPush(v) },
-		tryPop:  func(_ int) (uint64, error) { return weak.TryPop() },
-		length:  weak.Len,
+		tryPush:  func(_ int, v uint64) error { return weak.TryPush(v) },
+		tryPop:   func(_ int) (uint64, error) { return weak.TryPop() },
+		length:   weak.Len,
+		snapshot: weak.Snapshot,
 	}
 	s.core = combine.NewCoreObserved[combOp[uint64], combRes[uint64]](n, s.attempt, obs)
 	return s
@@ -132,6 +138,17 @@ func (s *Combining[T]) Len() int {
 		return s.length()
 	}
 	return -1
+}
+
+// Snapshot returns the weak backend's elements bottom-first when it
+// exposes a snapshot, nil otherwise. Quiescent states only — the
+// adaptive tier calls it on a quiesced source to rebuild the migration
+// target.
+func (s *Combining[T]) Snapshot() []T {
+	if s.snapshot != nil {
+		return s.snapshot()
+	}
+	return nil
 }
 
 // AbandonPush publishes a push request that will never be collected —

@@ -78,6 +78,26 @@ func (s *Sensitive[T]) Pop(pid int) (T, error) {
 // experiments.
 func (s *Sensitive[T]) Guard() *core.Guard { return s.guard }
 
+// Snapshot returns the elements bottom-first when the weak backend
+// exposes a snapshot, nil otherwise. Quiescent states only: the weak
+// snapshot is not atomic under concurrent updates. The adaptive tier
+// calls it on a quiesced source to rebuild the migration target.
+func (s *Sensitive[T]) Snapshot() []T {
+	if w, ok := s.weak.(interface{ Snapshot() []T }); ok {
+		return w.Snapshot()
+	}
+	return nil
+}
+
+// Len returns the number of elements when the weak backend exposes a
+// length (quiescent states only), -1 otherwise.
+func (s *Sensitive[T]) Len() int {
+	if w, ok := s.weak.(interface{ Len() int }); ok {
+		return w.Len()
+	}
+	return -1
+}
+
 // Progress reports StarvationFree (Theorem 1).
 func (s *Sensitive[T]) Progress() core.Progress { return core.StarvationFree }
 

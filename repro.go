@@ -76,6 +76,7 @@
 package repro
 
 import (
+	"repro/internal/adaptive"
 	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/deque"
@@ -351,6 +352,79 @@ func NewCombiningSet(n int) *CombiningSet { return set.NewCombining(n) }
 // NewHashSet returns the split-ordered hash set for n processes (pids
 // in [0, n)).
 func NewHashSet(n int) *HashSet { return set.NewHash(n) }
+
+// AdaptiveStack is the contention-adaptive stack: one LIFO contract
+// served by a ladder of catalog rungs (sensitive ⇄ flat combining)
+// that the object morphs between as live contention signals — the
+// guard's slow-path counter, the combiner's publication counter, and
+// the set of active pids per decision window — cross the Thresholds
+// boundaries. Morphs use an epoch-gated dual-structure handoff that
+// preserves the LIFO state and linearizability mid-flight (see
+// internal/adaptive and DESIGN.md §9). Use NewAdaptiveStack.
+type AdaptiveStack[T any] = adaptive.Stack[T]
+
+// AdaptiveQueue is the FIFO sibling of AdaptiveStack, with a
+// three-rung ladder: sensitive ⇄ flat combining ⇄ pid-striped shards.
+// The top rung relaxes cross-shard FIFO order exactly as ShardedQueue
+// documents; descending restores strict FIFO. Use NewAdaptiveQueue.
+type AdaptiveQueue[T any] = adaptive.Queue[T]
+
+// AdaptiveSet is the contention-adaptive sorted set: copy-on-write
+// while small and calm, the Harris/Michael list once size or abort
+// rate says the single COW root is the bottleneck, the split-ordered
+// hash layer once the sorted walk dominates. Keys must be < 2^63 (the
+// hash rung's reserved bit). Use NewAdaptiveSet.
+type AdaptiveSet = adaptive.Set
+
+// Thresholds parameterizes when an adaptive backend migrates between
+// rungs; see DefaultThresholds and ForcingThresholds.
+type Thresholds = adaptive.Thresholds
+
+// AdaptiveStats is a snapshot of an adaptive backend's migration
+// history: completed and aborted migrations, the current rung, and
+// wall-clock time-in-regime per rung.
+type AdaptiveStats = adaptive.Stats
+
+// DefaultThresholds returns the adaptation thresholds seeded from the
+// measured crossover points (E15, E16, E18/E19).
+func DefaultThresholds() Thresholds { return adaptive.DefaultThresholds() }
+
+// ForcingThresholds returns thresholds that migrate on every decision
+// window — the harness configuration that forces the epoch-gated
+// handoff onto every tested path.
+func ForcingThresholds() Thresholds { return adaptive.ForcingThresholds() }
+
+// NewAdaptiveStack returns a contention-adaptive stack of capacity k
+// for n processes under DefaultThresholds.
+func NewAdaptiveStack[T any](k, n int) *AdaptiveStack[T] {
+	return adaptive.NewStack[T](k, n, adaptive.DefaultThresholds())
+}
+
+// NewAdaptiveQueue returns a contention-adaptive queue of capacity k
+// for n processes under DefaultThresholds (shards as NewShardedQueue).
+func NewAdaptiveQueue[T any](k, n, shards int) *AdaptiveQueue[T] {
+	return adaptive.NewQueue[T](k, n, shards, adaptive.DefaultThresholds())
+}
+
+// NewAdaptiveSet returns a contention-adaptive sorted set for n
+// processes under DefaultThresholds.
+func NewAdaptiveSet(n int) *AdaptiveSet { return adaptive.NewSet(n, adaptive.DefaultThresholds()) }
+
+// AdaptiveStatsOf walks the adapter layers of a catalog-built object
+// one Unwrap hop at a time and returns the first adaptive backend's
+// migration stats; ok is false when no layer is adaptive.
+func AdaptiveStatsOf(x any) (AdaptiveStats, bool) {
+	for {
+		if a, ok := x.(interface{ Stats() adaptive.Stats }); ok {
+			return a.Stats(), true
+		}
+		u, ok := x.(Unwrapper)
+		if !ok {
+			return AdaptiveStats{}, false
+		}
+		x = u.Unwrap()
+	}
+}
 
 // NewGuard returns the Figure 3 protocol state over the given lock;
 // combine with Do to make any abortable operation contention-sensitive

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"regexp"
 	"strings"
@@ -739,5 +740,188 @@ func TestCatalogMatchesReadme(t *testing.T) {
 		if !inCatalog[name] {
 			t.Errorf("README documents backend %s but repro.Catalog() does not export it", name)
 		}
+	}
+}
+
+// TestUnwrapThroughAdaptive pins the adapter contract the adaptive
+// tier adds: Unwrap must reach the CURRENT rung's concrete backend, so
+// optional extensions (Snapshot, combining Stats) keep working after a
+// morph — stale Unwrap results are the caller's responsibility.
+func TestUnwrapThroughAdaptive(t *testing.T) {
+	s, err := repro.NewStackBackend[uint64]("sensitive", repro.WithAdaptive(),
+		repro.WithCapacity(16), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := s.(*repro.AdaptiveStack[uint64])
+	if !ok {
+		t.Fatalf("WithAdaptive did not redirect: got %T", s)
+	}
+	if _, ok := repro.Unwrap(s).(*repro.Stack[uint64]); !ok {
+		t.Fatalf("Unwrap before morph = %T, want *repro.Stack", repro.Unwrap(s))
+	}
+	if err := s.Push(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !as.MorphTo(0, 1) {
+		t.Fatal("MorphTo(combining) failed")
+	}
+	inner, ok := repro.Unwrap(s).(*repro.CombiningStack[uint64])
+	if !ok {
+		t.Fatalf("Unwrap after morph = %T, want *repro.CombiningStack", repro.Unwrap(s))
+	}
+	// The extension surface of the current rung works post-morph.
+	if got := inner.Snapshot(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("post-morph Snapshot through Unwrap = %v", got)
+	}
+
+	st, err := repro.NewSetBackend("sensitive", repro.WithAdaptive(), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Add(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	aset, ok := repro.Unwrap(st).(*repro.AdaptiveSet)
+	if ok {
+		t.Fatalf("full Unwrap stopped at the adaptive wrapper: %T", aset)
+	}
+	if _, ok := repro.Unwrap(st).(*repro.AbortableSet); !ok {
+		t.Fatalf("set Unwrap on cow rung = %T", repro.Unwrap(st))
+	}
+	var hop any = st
+	for {
+		if a, ok2 := hop.(*repro.AdaptiveSet); ok2 {
+			a.MorphTo(0, 2)
+			break
+		}
+		u, ok2 := hop.(repro.Unwrapper)
+		if !ok2 {
+			t.Fatal("no adaptive layer found under the set adapter")
+		}
+		hop = u.Unwrap()
+	}
+	hs, ok := repro.Unwrap(st).(*repro.HashSet)
+	if !ok {
+		t.Fatalf("set Unwrap after morph = %T, want *repro.HashSet", repro.Unwrap(st))
+	}
+	if got := hs.Snapshot(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("post-morph set Snapshot through Unwrap = %v", got)
+	}
+}
+
+// TestUnwrapForwardingMultiHop walks every multi-hop adapter chain the
+// options constructors can assemble — WithPooled redirects and the
+// adaptive wrappers — one Unwrap hop at a time: each layer must
+// implement Unwrapper (or be the concrete backend), with no chain
+// silently truncated.
+func TestUnwrapForwardingMultiHop(t *testing.T) {
+	build := []struct {
+		name string
+		x    func() (any, error)
+		want string
+	}{
+		{"stack treiber pooled", func() (any, error) {
+			return repro.NewStackBackend[uint64]("treiber", repro.WithPooled(), repro.WithProcs(2))
+		}, "*stack.TreiberPooled"},
+		{"stack combining pooled", func() (any, error) {
+			return repro.NewStackBackend[uint64]("combining", repro.WithPooled(), repro.WithProcs(2))
+		}, "*stack.Combining[uint64]"},
+		{"queue combining pooled", func() (any, error) {
+			return repro.NewQueueBackend[uint64]("combining", repro.WithPooled(), repro.WithProcs(2))
+		}, "*queue.Combining[uint64]"},
+		{"stack adaptive", func() (any, error) {
+			return repro.NewStackBackend[uint64]("adaptive", repro.WithProcs(2))
+		}, "*stack.Sensitive[uint64]"},
+		{"queue adaptive", func() (any, error) {
+			return repro.NewQueueBackend[uint64]("sensitive", repro.WithAdaptive(), repro.WithProcs(2))
+		}, "*queue.Sensitive[uint64]"},
+		{"set adaptive", func() (any, error) {
+			return repro.NewSetBackend("adaptive", repro.WithProcs(2))
+		}, "*set.Abortable"},
+	}
+	for _, tc := range build {
+		x, err := tc.x()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// Every hop must make progress and terminate at the concrete type.
+		hops := 0
+		for cur := x; ; hops++ {
+			if hops > 8 {
+				t.Fatalf("%s: unwrap chain does not terminate", tc.name)
+			}
+			u, ok := cur.(repro.Unwrapper)
+			if !ok {
+				break
+			}
+			next := u.Unwrap()
+			if next == cur {
+				t.Fatalf("%s: Unwrap hop returned itself", tc.name)
+			}
+			cur = next
+		}
+		got := typeName(repro.Unwrap(x))
+		if got != tc.want {
+			t.Errorf("%s: Unwrap = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func typeName(x any) string { return fmt.Sprintf("%T", x) }
+
+// TestAdaptiveStatsOf checks the layer-aware stats walk and that
+// WithThresholds reaches the constructor: forcing thresholds must
+// yield migrations through the plain catalog surface.
+func TestAdaptiveStatsOf(t *testing.T) {
+	q, err := repro.NewQueueBackend[uint64]("adaptive",
+		repro.WithThresholds(repro.ForcingThresholds()), repro.WithShards(1),
+		repro.WithCapacity(32), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if err := q.Enqueue(0, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Dequeue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := repro.AdaptiveStatsOf(q)
+	if !ok {
+		t.Fatal("AdaptiveStatsOf found no adaptive layer")
+	}
+	if st.Migrations == 0 {
+		t.Fatalf("no migrations under forcing thresholds: %+v", st)
+	}
+	if _, ok := repro.AdaptiveStatsOf(repro.NewStack[int](4, 1)); ok {
+		t.Fatal("AdaptiveStatsOf reported an adaptive layer on a fixed backend")
+	}
+}
+
+// TestAdaptiveSetRetryPolicyIsLayerAware pins the applyRetryPolicy
+// fix: the adaptive set's own cow-rung retry loop must receive
+// WithRetryPolicy instead of the option being forwarded past it to
+// the rung underneath.
+func TestAdaptiveSetRetryPolicyIsLayerAware(t *testing.T) {
+	st, err := repro.NewSetBackend("adaptive", repro.WithRetryPolicy("backoff", 5), repro.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hop any = st
+	for {
+		if a, ok := hop.(*repro.AdaptiveSet); ok {
+			m, budget := a.RetryPolicy()
+			if m == nil || budget != 5 {
+				t.Fatalf("adaptive set retry policy = (%v, %d), want (backoff, 5)", m, budget)
+			}
+			return
+		}
+		u, ok := hop.(repro.Unwrapper)
+		if !ok {
+			t.Fatal("no adaptive layer under the set adapter")
+		}
+		hop = u.Unwrap()
 	}
 }
