@@ -1,14 +1,17 @@
-// Command contbench runs the reproduction experiments (E1..E21,
+// Command contbench runs the reproduction experiments (E1..E24,
 // including the E15/E16 scaling tier, the E17 allocation tier, the
-// E18/E19 set tier, the E20 catalog-dispatch sweep, and the E21
-// scenario suite) and prints the tables EXPERIMENTS.md quotes.
+// E18/E19 set tier, the E20 catalog-dispatch sweep, the E21 scenario
+// suite, the E22 crash suite, the E23 adaptive suite, and the E24
+// soak suite) and prints the tables EXPERIMENTS.md quotes.
 //
 // Usage:
 //
 //	contbench [-run E1,E5,...|all] [-list] [-procs N] [-duration D] [-seed S] [-quick] [-json path]
 //
-// -list prints the experiment registry — id, name, and the one-line
-// paper claim each experiment reproduces — and exits. Each executed
+// -list prints the experiment registry — id, name, the one-line
+// paper claim each experiment reproduces, and (for the gated suites)
+// the cmd/slogate invocation that applies the release gates to the
+// experiment's -json rows — and exits. Each executed
 // experiment prints its paper claim followed by the measured table; a
 // non-zero exit status means a correctness experiment
 // (E1/E2/E3/E8/E11/E12/E13/E14/E17/E18/E19/E21) observed a violation.
@@ -44,6 +47,9 @@ func main() {
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+			if e.Gate != "" {
+				fmt.Printf("     gate:  %s (on -json output)\n", e.Gate)
+			}
 		}
 		return
 	}

@@ -4,18 +4,21 @@
 // SLO/variance (internal/scenario.Evaluate), "E22 crash suite" rows
 // gated by survivor progress, recovery latency, the conservation
 // bracket, and the Robustness classification (scenario.EvaluateCrash),
-// or "E23 adaptive suite" per-phase rows gated by within-slack against
+// "E23 adaptive suite" per-phase rows gated by within-slack against
 // the best fixed rung, migration sanity, and conservation
-// (scenario.EvaluateAdaptive) — and prints a deterministic per-gate
+// (scenario.EvaluateAdaptive), or "E24 soak suite" windowed rows
+// gated by the strict soak contract — watchdog silence, live and
+// drain audits, fault recovery, bounded heap/pool drift, coverage
+// (internal/soak.Evaluate) — and prints a deterministic per-gate
 // verdict table. Exit status 1 means at least one gate failed — CI
-// runs it after the E21/E22/E23 smokes so a latency regression, a
+// runs it after the E21/E22/E23/E24 smokes so a latency regression, a
 // throughput flap, a conservation violation, a stalled survivor, a
-// wedged takeover, a frozen (or thrashing) adaptive ladder, or a
-// silently dropped scenario cell fails the build.
+// wedged takeover, a frozen (or thrashing) adaptive ladder, a leaking
+// soak, or a silently dropped scenario cell fails the build.
 //
 // Usage:
 //
-//	slogate [-exp E21|E22|E23] [-all] BENCH_E21.json
+//	slogate [-exp E21|E22|E23|E24] [-all] BENCH_E21.json
 //
 // -all prints every verdict row; by default passing gates are
 // summarized per scenario and only failures are expanded.
@@ -29,6 +32,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/soak"
 )
 
 func main() {
@@ -76,8 +80,16 @@ func run(path, exp string, showAll bool, w *os.File) error {
 			return err
 		}
 		nrows, verdicts = len(rows), scenario.EvaluateAdaptive(rows, doc.Provenance.NumCPU)
+	} else if table, ok := rec.FindTable(exp + " soak suite"); ok {
+		rows, err := soak.ParseRows(table.Headers, table.Rows)
+		if err != nil {
+			return err
+		}
+		// The release gate always applies the strict full-run contract;
+		// interrupted runs are judged (non-strict) by cmd/soak itself.
+		nrows, verdicts = len(rows), soak.Evaluate(rows, true)
 	} else {
-		return fmt.Errorf("%s: %s record carries no scenario, crash, or adaptive table", path, exp)
+		return fmt.Errorf("%s: %s record carries no scenario, crash, adaptive, or soak table", path, exp)
 	}
 
 	fmt.Fprintf(w, "slogate: %d rows from %s (%s, go %s, %s/%s, %d cpu, sha %s)\n",

@@ -60,6 +60,10 @@ type Experiment struct {
 	Title string
 	// Claim restates what the paper claims (the expected shape).
 	Claim string
+	// Gate, when non-empty, is the command that applies the
+	// experiment's release gates to its -json rows (contbench -list
+	// prints it so the gate tool is discoverable next to the id).
+	Gate string
 	// Run executes the experiment and writes its table(s) to w.
 	Run func(cfg Config, w io.Writer) error
 }

@@ -10,7 +10,7 @@ func quickCfg() Config { return Config{Quick: true, Procs: 4} }
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}
@@ -325,6 +325,24 @@ func TestE22CrashSuite(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("E22 reported a conservation failure:\n%s", out)
+	}
+}
+
+func TestE24SoakSuite(t *testing.T) {
+	out := runQuick(t, "E24")
+	// Every default soak backend, the schema columns slogate's soak
+	// gates parse, and the invariant verdict must appear.
+	for _, row := range []string{
+		"queue/combining", "stack/treiber-pooled", "set/adaptive",
+		"faults", "recovered", "stalls", "heap-bytes", "pool-allocs", "audit",
+		"soak invariants hold",
+	} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("E24 missing %s:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "INVARIANT FAILED") {
+		t.Fatalf("E24 reported an invariant failure:\n%s", out)
 	}
 }
 

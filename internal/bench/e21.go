@@ -14,6 +14,7 @@ func init() {
 		ID:    "E21",
 		Title: "scenario suite: the standard workload scenarios over every applicable backend, with latency quantiles",
 		Claim: "which rung of the ladder wins is regime-dependent: under the declarative scenario suite (bursty arrivals, Zipf hot keys, phase flips, role imbalance, slow/crashed processes) every backend keeps its conservation invariant, and the per-op p50/p99/p999 rows — one per scenario x backend x rerun — are what cmd/slogate's SLO and variance release gates check",
+		Gate:  "cmd/slogate -exp E21",
 		Run:   runE21,
 	})
 }

@@ -15,6 +15,7 @@ func init() {
 		ID:    "E22",
 		Title: "crash injection: §5 mid-operation crashes and combiner kills over every applicable backend",
 		Claim: "crash tolerance is a property of the implementation, not the object: lock-free backends keep survivor progress with a crashed process's request at worst leaked (survivor-safe); flat combining survives even a combiner killed with the lease held, via the heartbeat lease takeover, recovering within the lease budget (lease-takeover); the Figure 3 lock family would wedge on an in-lock crash and is classified, not crashed (lock-vulnerable)",
+		Gate:  "cmd/slogate -exp E22",
 		Run:   runE22,
 	})
 }

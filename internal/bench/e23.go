@@ -17,6 +17,7 @@ func init() {
 		ID:    "E23",
 		Title: "contention-adaptive meta-backends: phase-shifting workloads over the adaptive ladders vs their fixed rungs",
 		Claim: "no single rung wins every regime (E15/E16/E18 crossovers), but an object that MIGRATES between rungs as live contention and size signals cross the measured boundaries tracks the best fixed rung in every phase — within slack — while the epoch-gated handoff stays linearizable under a writer parked across the flip and under a migrator crashed at every gate of its window",
+		Gate:  "cmd/slogate -exp E23",
 		Run:   runE23,
 	})
 }

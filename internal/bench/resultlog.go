@@ -3,7 +3,9 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/metrics"
@@ -35,8 +37,9 @@ type Provenance struct {
 	Arch      string `json:"arch"`
 	NumCPU    int    `json:"num_cpu"`
 	// GitSHA is the commit of the checked-out tree the run was built
-	// from, taken from $GITHUB_SHA (CI) or $GIT_SHA; "unknown" when
-	// neither is set.
+	// from, taken from $GITHUB_SHA (CI) or $GIT_SHA, else from
+	// `git rev-parse HEAD` so local soak artifacts are attributable
+	// too; "unknown" only when all three are unavailable.
 	GitSHA string `json:"git_sha"`
 }
 
@@ -48,6 +51,9 @@ func CollectProvenance() Provenance {
 		sha = os.Getenv("GIT_SHA")
 	}
 	if sha == "" {
+		sha = gitHeadSHA()
+	}
+	if sha == "" {
 		sha = "unknown"
 	}
 	return Provenance{
@@ -57,6 +63,27 @@ func CollectProvenance() Provenance {
 		NumCPU:    runtime.NumCPU(),
 		GitSHA:    sha,
 	}
+}
+
+// gitHeadSHA asks git for the working tree's HEAD commit; empty when
+// git is missing, the cwd is not a repository, or the output is not a
+// 40-hex sha (a shallow environment printing an error to stdout must
+// not become the provenance stamp).
+func gitHeadSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if len(sha) != 40 {
+		return ""
+	}
+	for _, c := range sha {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return ""
+		}
+	}
+	return sha
 }
 
 // WriteFile marshals the document (indented, trailing newline) to

@@ -203,11 +203,35 @@ func TestCollectProvenance(t *testing.T) {
 		t.Fatalf("implausible provenance: %+v", p)
 	}
 	t.Setenv("GIT_SHA", "")
-	if p := CollectProvenance(); p.GitSHA != "unknown" {
-		t.Fatalf("GitSHA with no env = %q, want unknown", p.GitSHA)
+	// With no env override the stamp comes from `git rev-parse HEAD`
+	// (the local-soak-artifact path); only with git unavailable too
+	// does it degrade to "unknown".
+	if head := gitHeadSHA(); head != "" {
+		if p := CollectProvenance(); p.GitSHA != head {
+			t.Fatalf("GitSHA with no env = %q, want git HEAD %q", p.GitSHA, head)
+		}
+	} else if p := CollectProvenance(); p.GitSHA != "unknown" {
+		t.Fatalf("GitSHA with no env and no git = %q, want unknown", p.GitSHA)
 	}
 	t.Setenv("GITHUB_SHA", "ci-sha")
 	if p := CollectProvenance(); p.GitSHA != "ci-sha" {
 		t.Fatalf("GitSHA = %q, want GITHUB_SHA to win", p.GitSHA)
+	}
+}
+
+func TestGitHeadSHAShape(t *testing.T) {
+	// Whatever git answers (or doesn't), the helper only ever returns
+	// the empty string or a full 40-hex sha — never an error message.
+	sha := gitHeadSHA()
+	if sha == "" {
+		t.Skip("git unavailable here; the empty-string path is the result")
+	}
+	if len(sha) != 40 {
+		t.Fatalf("gitHeadSHA = %q, not 40 chars", sha)
+	}
+	for _, c := range sha {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("gitHeadSHA = %q, not lowercase hex", sha)
+		}
 	}
 }

@@ -318,3 +318,79 @@ func TestTaggedRefObserved(t *testing.T) {
 		t.Fatal("Deref must not count as a shared access")
 	}
 }
+
+func TestPoolChurnStaysBounded(t *testing.T) {
+	// The long-run invariant the soak leak audit relies on: once a
+	// pool's working set is warm, unbounded get/put churn is served
+	// entirely by recycling — Allocs plateau at the high-water mark,
+	// ArenaSize never grows past it, and nothing is ever dropped,
+	// generation after generation.
+	const (
+		procs       = 4
+		perPid      = 48 // working set per pid, below and above localCap in mix
+		generations = 500
+	)
+	p := NewPool[uint64](procs, nil)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			held := make([]Handle, 0, perPid)
+			for gen := 0; gen < generations; gen++ {
+				// Vary the per-generation working set so the local list
+				// crosses its spill threshold on some generations and
+				// not others.
+				n := perPid
+				if gen%3 == 0 {
+					n = 2 * perPid
+				}
+				for i := 0; i < n; i++ {
+					held = append(held, p.Get(pid))
+				}
+				for _, h := range held {
+					p.Put(pid, h)
+				}
+				held = held[:0]
+			}
+		}(pid)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Drops != 0 {
+		t.Fatalf("churn dropped %d handles: %+v", st.Drops, st)
+	}
+	// The peak simultaneous demand is procs * 2*perPid records; with
+	// every handle recycled between generations, allocations can never
+	// exceed that (plus nothing: a Get only allocates when no free
+	// record exists anywhere for the pid).
+	peak := uint64(procs * 2 * perPid)
+	if st.Allocs > peak {
+		t.Fatalf("Allocs %d exceeded the peak working set %d — the free lists leak: %+v",
+			st.Allocs, peak, st)
+	}
+	if got := uint64(p.ArenaSize()); got != st.Allocs {
+		t.Fatalf("ArenaSize %d != Allocs %d", got, st.Allocs)
+	}
+	// ~500 generations over a plateaued arena means reuse dominates
+	// allocation by orders of magnitude.
+	if st.Reuses < 100*st.Allocs {
+		t.Fatalf("reuse is not carrying the churn: %+v", st)
+	}
+	// A second churn round must not move the high-water mark at all.
+	before := p.ArenaSize()
+	for pid := 0; pid < procs; pid++ {
+		for gen := 0; gen < 10; gen++ {
+			var held []Handle
+			for i := 0; i < perPid; i++ {
+				held = append(held, p.Get(pid))
+			}
+			for _, h := range held {
+				p.Put(pid, h)
+			}
+		}
+	}
+	if after := p.ArenaSize(); after != before {
+		t.Fatalf("arena grew %d -> %d on a warm pool", before, after)
+	}
+}

@@ -21,15 +21,18 @@ type Histogram struct {
 	max     atomic.Uint64
 }
 
-// Record adds one latency sample.
+// Record adds one latency sample. The count word is bumped before the
+// bucket — paired with Snapshot reading buckets before count, that
+// order guarantees every snapshot's bucket sum is <= its count word
+// even while recorders are live.
 func (h *Histogram) Record(d time.Duration) {
 	ns := uint64(d.Nanoseconds())
 	if ns == 0 {
 		ns = 1
 	}
-	h.buckets[bits.Len64(ns)-1].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
+	h.buckets[bits.Len64(ns)-1].Add(1)
 	for {
 		cur := h.max.Load()
 		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
@@ -97,6 +100,52 @@ func (h *Histogram) Merge(o *Histogram) {
 			break
 		}
 	}
+}
+
+// Snapshot returns a copy of the histogram for live scraping: a soak
+// or monitoring loop snapshots mid-flight, then computes windowed
+// quantiles via Delta, without merging into a scratch histogram or
+// pausing the recorders. Safe against concurrent Record with the same
+// consistency contract as Merge — each counter is read atomically, so
+// a snapshot racing a Record may hold the sample in some counters and
+// not yet others; snapshot at quiescence when exact totals matter.
+// Buckets are read before the count word — the reverse of Record's
+// write order — so the one cross-counter invariant windowed quantiles
+// rely on (bucket sum <= count) holds in every snapshot.
+func (h *Histogram) Snapshot() *Histogram {
+	s := &Histogram{}
+	for i := range h.buckets {
+		s.buckets[i].Store(h.buckets[i].Load())
+	}
+	s.count.Store(h.count.Load())
+	s.sum.Store(h.sum.Load())
+	s.max.Store(h.max.Load())
+	return s
+}
+
+// Delta returns the histogram of the samples recorded between prev
+// and h, where prev is an earlier Snapshot of the same (monotonically
+// growing) histogram: bucket counts, count, and sum subtract; the
+// returned Max is h's cumulative max, an upper bound on the window's
+// true max (the bucket resolution, not the max word, is what windowed
+// quantiles are computed from). Counters that would go negative (h
+// and prev from different histograms, or arguments swapped) clamp to
+// zero.
+func (h *Histogram) Delta(prev *Histogram) *Histogram {
+	d := &Histogram{}
+	sub := func(cur, old uint64) uint64 {
+		if cur < old {
+			return 0
+		}
+		return cur - old
+	}
+	for i := range h.buckets {
+		d.buckets[i].Store(sub(h.buckets[i].Load(), prev.buckets[i].Load()))
+	}
+	d.count.Store(sub(h.count.Load(), prev.count.Load()))
+	d.sum.Store(sub(h.sum.Load(), prev.sum.Load()))
+	d.max.Store(h.max.Load())
+	return d
 }
 
 // Reset zeroes the histogram; not atomic with concurrent Record.

@@ -140,6 +140,113 @@ func TestHistogramMergeEquivalence(t *testing.T) {
 	}
 }
 
+func TestHistogramSnapshotDelta(t *testing.T) {
+	// A snapshot is a full copy, and the delta of two snapshots
+	// bracketing a recording burst answers quantiles exactly as a
+	// histogram fed only that burst would — the contract the soak
+	// monitor's windowed rows rely on.
+	r := &histRNG{state: 5}
+	var h, windowOnly Histogram
+	for i := 0; i < 20000; i++ {
+		h.Record(time.Duration(1 + r.next()%1000000))
+	}
+	prev := h.Snapshot()
+	if prev.Count() != h.Count() || prev.Mean() != h.Mean() || prev.Max() != h.Max() {
+		t.Fatalf("snapshot diverges: count %d/%d mean %v/%v max %v/%v",
+			prev.Count(), h.Count(), prev.Mean(), h.Mean(), prev.Max(), h.Max())
+	}
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(1 + r.next()%1000000)
+		h.Record(d)
+		windowOnly.Record(d)
+	}
+	delta := h.Snapshot().Delta(prev)
+	if delta.Count() != windowOnly.Count() {
+		t.Fatalf("delta Count = %d, want %d", delta.Count(), windowOnly.Count())
+	}
+	if delta.Mean() != windowOnly.Mean() {
+		t.Fatalf("delta Mean = %v, want %v", delta.Mean(), windowOnly.Mean())
+	}
+	for p := 0.0; p <= 100; p += 0.5 {
+		if got, want := delta.Percentile(p), windowOnly.Percentile(p); got != want {
+			t.Fatalf("delta p%v = %v, want %v", p, got, want)
+		}
+	}
+	// Max is documented as the cumulative upper bound, never below the
+	// window's true max.
+	if delta.Max() < windowOnly.Max() {
+		t.Fatalf("delta Max = %v, below window max %v", delta.Max(), windowOnly.Max())
+	}
+	// Mutating the snapshot must not touch the source.
+	before := h.Count()
+	prev.Record(time.Second)
+	if h.Count() != before {
+		t.Fatal("recording into a snapshot mutated the source histogram")
+	}
+}
+
+func TestHistogramSnapshotConcurrentRecord(t *testing.T) {
+	// Snapshot while recorders are live (the soak monitor scrapes
+	// mid-flight): under -race this doubles as the data-race proof, and
+	// every snapshot must be internally sane — counts monotone across
+	// snapshots and bucket sums never ahead of the count word (Record
+	// bumps the count before the bucket; Snapshot reads in the reverse
+	// order).
+	var h Histogram
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed uint64) {
+			defer func() { done <- struct{}{} }()
+			r := &histRNG{state: seed}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(time.Duration(1 + r.next()%100000))
+				}
+			}
+		}(uint64(g + 1))
+	}
+	var prevCount uint64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count() < prevCount {
+			t.Errorf("snapshot %d: count went backwards (%d -> %d)", i, prevCount, s.Count())
+		}
+		prevCount = s.Count()
+		var inBuckets uint64
+		for b := range s.buckets {
+			inBuckets += s.buckets[b].Load()
+		}
+		if inBuckets > s.Count() {
+			t.Errorf("snapshot %d: %d samples in buckets but count %d", i, inBuckets, s.Count())
+		}
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	final := h.Snapshot()
+	if final.Count() != h.Count() {
+		t.Fatalf("quiescent snapshot count = %d, want %d", final.Count(), h.Count())
+	}
+}
+
+func TestHistogramDeltaClampsMismatched(t *testing.T) {
+	// Swapped arguments (prev ahead of cur) clamp to zero rather than
+	// wrapping the unsigned counters.
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	b.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	d := a.Snapshot().Delta(b.Snapshot())
+	if d.Count() != 0 {
+		t.Fatalf("clamped delta Count = %d, want 0", d.Count())
+	}
+}
+
 func TestHistogramMergeEmpty(t *testing.T) {
 	var h, empty Histogram
 	h.Record(5 * time.Microsecond)

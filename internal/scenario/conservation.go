@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro"
+)
+
+// Conservation is the shared accounting state behind the PR 7 crash
+// bracket: produce/consume totals for the LIFO/FIFO kinds, per-key
+// add/remove balances for sets, and the abandoned-operation counters
+// that widen the exact check into a bracket under the §5 crash model.
+// The scenario runner and the soak engine both feed one instance from
+// their operation loops (Account/Book are atomic and safe from any
+// number of goroutines) and judge it at quiescence with Verify; the
+// soak monitor additionally polls LiveCheck mid-traffic.
+type Conservation struct {
+	kind    string
+	maxKeys int
+
+	produced, consumed          atomic.Uint64
+	abandonedPush, abandonedPop atomic.Uint64
+	adds, removes               []atomic.Int64
+	abAdds, abRemoves           []atomic.Int64
+}
+
+// NewConservation returns accounting state for one instance of the
+// given kind; maxKeys bounds the set key space (ignored for the
+// container kinds).
+func NewConservation(kind string, maxKeys int) *Conservation {
+	c := &Conservation{kind: kind, maxKeys: maxKeys}
+	if kind == repro.KindSet {
+		c.adds = make([]atomic.Int64, maxKeys)
+		c.removes = make([]atomic.Int64, maxKeys)
+		c.abAdds = make([]atomic.Int64, maxKeys)
+		c.abRemoves = make([]atomic.Int64, maxKeys)
+	}
+	return c
+}
+
+// Account books one successful operation (op code and returned value
+// per the Ops contract).
+func (c *Conservation) Account(op int, got, v uint64) {
+	switch c.kind {
+	case repro.KindSet:
+		if op == 0 && got == 1 {
+			c.adds[v].Add(1)
+		}
+		if op == 1 && got == 1 {
+			c.removes[v].Add(1)
+		}
+	case repro.KindDeque:
+		if op <= 1 {
+			c.produced.Add(1)
+		} else {
+			c.consumed.Add(1)
+		}
+	default:
+		if op == 0 {
+			c.produced.Add(1)
+		} else {
+			c.consumed.Add(1)
+		}
+	}
+}
+
+// Book records one abandoned operation: published under the §5 crash
+// model with the response never collected, so its effect is uncertain
+// and the checks bracket it instead of counting it.
+func (c *Conservation) Book(op int, v uint64) {
+	switch c.kind {
+	case repro.KindSet:
+		if op == 0 {
+			c.abAdds[v].Add(1)
+		} else if op == 1 {
+			c.abRemoves[v].Add(1)
+		}
+	case repro.KindDeque:
+		if op <= 1 {
+			c.abandonedPush.Add(1)
+		} else {
+			c.abandonedPop.Add(1)
+		}
+	default:
+		if op == 0 {
+			c.abandonedPush.Add(1)
+		} else {
+			c.abandonedPop.Add(1)
+		}
+	}
+}
+
+// LiveCheck is the audit a soak monitor can run without stopping
+// traffic: nothing has ever been consumed that was not produced, up
+// to the abandoned-push uncertainty plus an in-flight slack of one
+// operation per process (an operation's effect lands in the object
+// before its Account call runs, so a consumer may book the matching
+// consume first). Each counter pair is loaded consumer-side first,
+// making a transiently stale producer counter err on the safe side.
+func (c *Conservation) LiveCheck(procs int) error {
+	slack := int64(procs)
+	if c.kind == repro.KindSet {
+		for k := 0; k < c.maxKeys; k++ {
+			rem := c.removes[k].Load()
+			if ad, ab := c.adds[k].Load(), c.abAdds[k].Load(); rem > ad+ab+slack {
+				return fmt.Errorf("key %d: %d removes vs %d adds (+%d abandoned, +%d in-flight)",
+					k, rem, ad, ab, slack)
+			}
+		}
+		return nil
+	}
+	cons := c.consumed.Load()
+	if p, ab := c.produced.Load(), c.abandonedPush.Load(); cons > p+ab+uint64(slack) {
+		return fmt.Errorf("%d consumed vs %d produced (+%d abandoned, +%d in-flight)",
+			cons, p, ab, slack)
+	}
+	return nil
+}
+
+// Verify runs the quiescent conservation check: drain-and-count for
+// the container kinds, per-key balance vs membership for sets. The
+// caller must be the instance's only remaining client. Abandoned
+// operations widen the equality into a bracket — with AP abandoned
+// pushes and AC abandoned pops, produced − AC ≤ consumed + drained ≤
+// produced + AP; sets bracket per key the same way. Without crashes
+// the bracket collapses back to the exact check.
+func (c *Conservation) Verify(drv repro.Ops) error {
+	if c.kind == repro.KindSet {
+		for k := 0; k < c.maxKeys; k++ {
+			bal := c.adds[k].Load() - c.removes[k].Load()
+			slackUp, slackDown := c.abAdds[k].Load(), c.abRemoves[k].Load()
+			member, err := retryContains(drv, uint64(k))
+			if err != nil {
+				return fmt.Errorf("key %d: contains kept aborting at quiescence: %v", k, err)
+			}
+			var m int64
+			if member {
+				m = 1
+			}
+			if m-bal > slackUp || bal-m > slackDown {
+				return fmt.Errorf("key %d: member=%v but add/remove balance %d (abandoned adds %d, removes %d)",
+					k, member, bal, slackUp, slackDown)
+			}
+		}
+		return nil
+	}
+	popOps := []int{1}
+	if c.kind == repro.KindDeque {
+		popOps = []int{2, 3}
+	}
+	ap, ac := c.abandonedPush.Load(), c.abandonedPop.Load()
+	var drained uint64
+	limit := c.produced.Load() + ap + 1 // at most this many values can remain
+	for _, op := range popOps {
+		aborts := 0
+		for drained <= limit {
+			_, err := drv.Do(0, op, 0)
+			if err == nil {
+				drained++
+				aborts = 0
+				continue
+			}
+			if isEmpty(err) {
+				break
+			}
+			if aborts++; aborts > 1000 {
+				return fmt.Errorf("drain kept aborting at quiescence: %v", err)
+			}
+		}
+	}
+	p, cons := c.produced.Load(), c.consumed.Load()
+	if cons+drained > p+ap || cons+drained+ac < p {
+		return fmt.Errorf("conservation: produced %d vs consumed %d + drained %d (abandoned pushes %d, pops %d)",
+			p, cons, drained, ap, ac)
+	}
+	return nil
+}

@@ -3,7 +3,6 @@ package scenario
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,32 +125,42 @@ func streamSeed(seed uint64, phase, pid int) uint64 {
 	return workload.NewRNG(s ^ 0xa24baed4963ee407*uint64(pid+1)).Uint64()
 }
 
-// opClass is the kind-independent operation class a phase mix draws.
-type opClass int
+// OpClass is the kind-independent operation class a workload mix
+// draws; KindOp maps it onto a concrete backend op code. Exported so
+// the soak engine shares the exact class-then-key stream shape the
+// scenario suites pin.
+type OpClass int
 
+// The three classes every kind's op set collapses onto.
 const (
-	classWrite opClass = iota
-	classErase
-	classRead
+	ClassWrite OpClass = iota
+	ClassErase
+	ClassRead
 )
 
-// draw picks the next class from the phase's mix (or role split).
-func (p Phase) draw(pid int, rng *workload.RNG) opClass {
-	if p.Producers > 0 {
-		if pid < p.Producers {
-			return classWrite
-		}
-		return classErase
-	}
+// DrawClass picks the next class from a (write, erase) mix, reads the
+// remainder — the draw every phase mix and soak session makes.
+func DrawClass(write, erase float64, rng *workload.RNG) OpClass {
 	f := rng.Float64()
 	switch {
-	case f < p.Write:
-		return classWrite
-	case f < p.Write+p.Erase:
-		return classErase
+	case f < write:
+		return ClassWrite
+	case f < write+erase:
+		return ClassErase
 	default:
-		return classRead
+		return ClassRead
 	}
+}
+
+// draw picks the next class from the phase's mix (or role split).
+func (p Phase) draw(pid int, rng *workload.RNG) OpClass {
+	if p.Producers > 0 {
+		if pid < p.Producers {
+			return ClassWrite
+		}
+		return ClassErase
+	}
+	return DrawClass(p.Write, p.Erase, rng)
 }
 
 // Run executes sc against a fresh instance of backend b and returns
@@ -178,19 +187,11 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 
 	res := Result{Scenario: sc.Name, Backend: b.Name, Procs: procs, Hist: &metrics.Histogram{}}
 
-	// Conservation state: produce/consume totals for the LIFO/FIFO
-	// kinds, per-key add/remove balances for sets. The abandoned
-	// counters carry the crash model's uncertainty: an abandoned op
-	// may or may not take effect, so verify brackets with them.
-	var produced, consumed atomic.Uint64
-	var abandonedPush, abandonedPop atomic.Uint64
-	var adds, removes, abAdds, abRemoves []atomic.Int64
-	if b.Kind == repro.KindSet {
-		adds = make([]atomic.Int64, maxKeys)
-		removes = make([]atomic.Int64, maxKeys)
-		abAdds = make([]atomic.Int64, maxKeys)
-		abRemoves = make([]atomic.Int64, maxKeys)
-	}
+	// Conservation state: the exported bracket shared with the soak
+	// engine. The abandoned bookings carry the crash model's
+	// uncertainty: an abandoned op may or may not take effect, so
+	// Verify brackets with them.
+	cons := NewConservation(b.Kind, maxKeys)
 	var attempted, okOps, abandoned, survivorOps atomic.Uint64
 	var crashNS, recoveryNS atomic.Int64
 
@@ -210,26 +211,7 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 	// book records one abandoned operation into the bracket state.
 	book := func(op int, v uint64) {
 		abandoned.Add(1)
-		switch b.Kind {
-		case repro.KindSet:
-			if op == 0 {
-				abAdds[v].Add(1)
-			} else if op == 1 {
-				abRemoves[v].Add(1)
-			}
-		case repro.KindDeque:
-			if op <= 1 {
-				abandonedPush.Add(1)
-			} else {
-				abandonedPop.Add(1)
-			}
-		default:
-			if op == 0 {
-				abandonedPush.Add(1)
-			} else {
-				abandonedPop.Add(1)
-			}
-		}
+		cons.Book(op, v)
 	}
 	for phaseIdx, phase := range sc.Phases {
 		ph := phase.withDefaults()
@@ -298,7 +280,7 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 							// update and die without collecting the
 							// response. Reads have nothing to abandon.
 							class := ph.draw(pid, rng)
-							op, v := nextOp(b.Kind, class, ph, zipf, rng, pid, i)
+							op, v := KindOp(b.Kind, class, ph.KeyRange, zipf, rng, pid, i)
 							if opt.Record {
 								buf = append(buf, byte(op))
 								buf = binary.BigEndian.AppendUint64(buf, v)
@@ -321,7 +303,7 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 						}
 					}
 					class := ph.draw(pid, rng)
-					op, v := nextOp(b.Kind, class, ph, zipf, rng, pid, i)
+					op, v := KindOp(b.Kind, class, ph.KeyRange, zipf, rng, pid, i)
 					if opt.Record {
 						buf = append(buf, byte(op))
 						buf = binary.BigEndian.AppendUint64(buf, v)
@@ -334,7 +316,7 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 					myAttempted++
 					if err == nil {
 						myOK++
-						account(b.Kind, op, got, v, &produced, &consumed, adds, removes)
+						cons.Account(op, got, v)
 						if crashAt == -1 {
 							if c := crashNS.Load(); c != 0 {
 								survivorOps.Add(1)
@@ -382,30 +364,30 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 	if opt.Record {
 		res.OpStream = canonicalize(streams, len(sc.Phases), procs)
 	}
-	res.Conserved = verify(b.Kind, drv, maxKeys, &produced, &consumed, adds, removes,
-		&abandonedPush, &abandonedPop, abAdds, abRemoves)
+	res.Conserved = cons.Verify(drv)
 	return res
 }
 
-// nextOp maps an op class onto the kind's op code and draws the
-// value: sets draw a key from the phase distribution, stacks and
-// queues carry the collision-free (pid, i) encoding, deques pack
-// (pid, i) into their uint32 domain and draw the end from the same
-// stream. The RNG draw order per op is fixed (class, then key/side),
-// which is what makes the recorded streams byte-stable.
-func nextOp(kind string, class opClass, ph Phase, zipf *workload.Zipf, rng *workload.RNG, pid, i int) (int, uint64) {
+// KindOp maps an op class onto the kind's op code and draws the
+// value: sets draw a key in [0, keyRange) from zipf when non-nil
+// (uniform otherwise), stacks and queues carry the collision-free
+// (pid, i) encoding, deques pack (pid, i) into their uint32 domain
+// and draw the end from the same stream. The RNG draw order per op is
+// fixed (class, then key/side), which is what makes the recorded
+// streams byte-stable.
+func KindOp(kind string, class OpClass, keyRange int, zipf *workload.Zipf, rng *workload.RNG, pid, i int) (int, uint64) {
 	switch kind {
 	case repro.KindSet:
 		var key uint64
 		if zipf != nil {
 			key = uint64(zipf.Next(rng))
 		} else {
-			key = uint64(rng.Intn(ph.KeyRange))
+			key = uint64(rng.Intn(keyRange))
 		}
 		switch class {
-		case classWrite:
+		case ClassWrite:
 			return 0, key
-		case classErase:
+		case ClassErase:
 			return 1, key
 		default:
 			return 2, key
@@ -413,40 +395,15 @@ func nextOp(kind string, class opClass, ph Phase, zipf *workload.Zipf, rng *work
 	case repro.KindDeque:
 		side := int(rng.Uint64() & 1)
 		v := uint64(pid)<<16 | uint64(i&0xffff)
-		if class == classWrite {
+		if class == ClassWrite {
 			return side, v // 0 = pushL, 1 = pushR
 		}
 		return 2 + side, 0 // 2 = popL, 3 = popR
 	default: // stack, queue: no read op; reads consume
-		if class == classWrite {
+		if class == ClassWrite {
 			return 0, workload.Value(pid, i)
 		}
 		return 1, 0
-	}
-}
-
-// account books one successful operation into the conservation state.
-func account(kind string, op int, got, v uint64, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64) {
-	switch kind {
-	case repro.KindSet:
-		if op == 0 && got == 1 {
-			adds[v].Add(1)
-		}
-		if op == 1 && got == 1 {
-			removes[v].Add(1)
-		}
-	case repro.KindDeque:
-		if op <= 1 {
-			produced.Add(1)
-		} else {
-			consumed.Add(1)
-		}
-	default:
-		if op == 0 {
-			produced.Add(1)
-		} else {
-			consumed.Add(1)
-		}
 	}
 }
 
@@ -455,70 +412,6 @@ func isEmpty(err error) bool {
 	return errors.Is(err, repro.ErrStackEmpty) ||
 		errors.Is(err, repro.ErrQueueEmpty) ||
 		errors.Is(err, repro.ErrDequeEmpty)
-}
-
-// verify runs the quiescent conservation check: drain-and-count for
-// the container kinds, per-key balance vs membership for sets. Weak
-// backends cannot abort here — the runner is the only client left
-// (the solo-never-aborts property E2 model-checks). Abandoned
-// operations (§5 mid-op crashes) have uncertain effect, so they widen
-// the equality into a bracket: with AP abandoned pushes and AC
-// abandoned pops, produced − AC ≤ consumed + drained ≤ produced + AP;
-// sets bracket per key the same way. Without crashes the bracket
-// collapses back to the exact check.
-func verify(kind string, drv repro.Ops, maxKeys int, produced, consumed *atomic.Uint64, adds, removes []atomic.Int64, abPush, abPop *atomic.Uint64, abAdds, abRemoves []atomic.Int64) error {
-	if kind == repro.KindSet {
-		for k := 0; k < maxKeys; k++ {
-			bal := adds[k].Load() - removes[k].Load()
-			var slackUp, slackDown int64
-			if abAdds != nil {
-				slackUp, slackDown = abAdds[k].Load(), abRemoves[k].Load()
-			}
-			member, err := retryContains(drv, uint64(k))
-			if err != nil {
-				return fmt.Errorf("key %d: contains kept aborting at quiescence: %v", k, err)
-			}
-			var m int64
-			if member {
-				m = 1
-			}
-			if m-bal > slackUp || bal-m > slackDown {
-				return fmt.Errorf("key %d: member=%v but add/remove balance %d (abandoned adds %d, removes %d)",
-					k, member, bal, slackUp, slackDown)
-			}
-		}
-		return nil
-	}
-	popOps := []int{1}
-	if kind == repro.KindDeque {
-		popOps = []int{2, 3}
-	}
-	ap, ac := abPush.Load(), abPop.Load()
-	var drained uint64
-	limit := produced.Load() + ap + 1 // at most this many values can remain
-	for _, op := range popOps {
-		aborts := 0
-		for drained <= limit {
-			_, err := drv.Do(0, op, 0)
-			if err == nil {
-				drained++
-				aborts = 0
-				continue
-			}
-			if isEmpty(err) {
-				break
-			}
-			if aborts++; aborts > 1000 {
-				return fmt.Errorf("drain kept aborting at quiescence: %v", err)
-			}
-		}
-	}
-	p, c := produced.Load(), consumed.Load()
-	if c+drained > p+ap || c+drained+ac < p {
-		return fmt.Errorf("conservation: produced %d vs consumed %d + drained %d (abandoned pushes %d, pops %d)",
-			p, c, drained, ap, ac)
-	}
-	return nil
 }
 
 // retryContains asks membership at quiescence, absorbing a bounded

@@ -1,0 +1,259 @@
+package soak
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// Row is one E24 measurement row: one metrics window of one backend's
+// soak run, or — with Window == -1 — the run's drain-time summary.
+// Sessions, Faults, Recovered, RecoveryNS, Stalls, HeapBytes,
+// PoolAllocs, and GCCycles are cumulative at the row's instant; Ops,
+// OKOps, the duration, and the quantiles are the window's own.
+type Row struct {
+	Backend        string
+	Window         int // -1 = summary/drain row
+	DurMS          float64
+	Ops, OKOps     uint64
+	OpsPerSec      float64
+	Sessions       uint64
+	P50, P99, P999 time.Duration
+	Faults         uint64
+	Recovered      uint64
+	RecoveryNS     int64 // worst fault-to-first-worker-op latency so far
+	Stalls         uint64
+	HeapBytes      uint64
+	PoolAllocs     int64 // -1 when the backend has no pool
+	GCCycles       uint64
+	Audit          string // live audit (windows) or drain audit (summary)
+}
+
+// rowColumns are the "E24 soak suite" table columns, same contract as
+// the scenario gate schemas: resolved by name, adding columns is
+// compatible, removing or renaming one breaks cmd/slogate loudly.
+var rowColumns = []string{"backend", "window", "dur-ms", "ops", "ok-ops", "ops/s", "sessions",
+	"p50 ns", "p99 ns", "p999 ns", "faults", "recovered", "recovery-ns", "stalls",
+	"heap-bytes", "pool-allocs", "gc-cycles", "audit"}
+
+// RowColumns returns the required E24 table header, in order.
+func RowColumns() []string { return append([]string(nil), rowColumns...) }
+
+// Table renders rows as the E24 table, in RowColumns order.
+func Table(rows []Row) *metrics.Table {
+	tb := metrics.NewTable(RowColumns()...)
+	for _, r := range rows {
+		tb.AddRow(r.Backend, r.Window, r.DurMS, r.Ops, r.OKOps, r.OpsPerSec, r.Sessions,
+			r.P50.Nanoseconds(), r.P99.Nanoseconds(), r.P999.Nanoseconds(),
+			r.Faults, r.Recovered, r.RecoveryNS, r.Stalls,
+			r.HeapBytes, r.PoolAllocs, r.GCCycles, r.Audit)
+	}
+	return tb
+}
+
+// ParseRows decodes an E24 table (headers plus string cells, the
+// shape bench.TableResult carries) into typed rows.
+func ParseRows(headers []string, rows [][]string) ([]Row, error) {
+	col := map[string]int{}
+	for i, h := range headers {
+		col[h] = i
+	}
+	for _, want := range rowColumns {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("soak: E24 table is missing column %q (have %v)", want, headers)
+		}
+	}
+	out := make([]Row, 0, len(rows))
+	for i, cells := range rows {
+		get := func(name string) string { return cells[col[name]] }
+		var r Row
+		var err error
+		r.Backend, r.Audit = get("backend"), get("audit")
+		if r.Window, err = strconv.Atoi(get("window")); err != nil {
+			return nil, fmt.Errorf("soak: row %d: bad window %q", i, get("window"))
+		}
+		for _, f := range []struct {
+			name string
+			dst  *float64
+		}{{"dur-ms", &r.DurMS}, {"ops/s", &r.OpsPerSec}} {
+			if *f.dst, err = strconv.ParseFloat(get(f.name), 64); err != nil {
+				return nil, fmt.Errorf("soak: row %d: bad %s %q", i, f.name, get(f.name))
+			}
+		}
+		for _, u := range []struct {
+			name string
+			dst  *uint64
+		}{{"ops", &r.Ops}, {"ok-ops", &r.OKOps}, {"sessions", &r.Sessions},
+			{"faults", &r.Faults}, {"recovered", &r.Recovered}, {"stalls", &r.Stalls},
+			{"heap-bytes", &r.HeapBytes}, {"gc-cycles", &r.GCCycles}} {
+			if *u.dst, err = strconv.ParseUint(get(u.name), 10, 64); err != nil {
+				return nil, fmt.Errorf("soak: row %d: bad %s %q", i, u.name, get(u.name))
+			}
+		}
+		for _, q := range []struct {
+			name string
+			dst  *time.Duration
+		}{{"p50 ns", &r.P50}, {"p99 ns", &r.P99}, {"p999 ns", &r.P999}} {
+			ns, err := strconv.ParseInt(get(q.name), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("soak: row %d: bad %s %q", i, q.name, get(q.name))
+			}
+			*q.dst = time.Duration(ns)
+		}
+		for _, s := range []struct {
+			name string
+			dst  *int64
+		}{{"recovery-ns", &r.RecoveryNS}, {"pool-allocs", &r.PoolAllocs}} {
+			if *s.dst, err = strconv.ParseInt(get(s.name), 10, 64); err != nil {
+				return nil, fmt.Errorf("soak: row %d: bad %s %q", i, s.name, get(s.name))
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// The E24 gate bounds.
+const (
+	// maxRecovery bounds the worst fault-to-first-worker-op latency.
+	maxRecovery = 5 * time.Second
+	// minFaultsStrict is the fault floor a full run must inject.
+	minFaultsStrict = 3
+	// heapSlackBytes absorbs the GC noise floor in the heap-drift
+	// bound; poolSlackRecords the pool warm-up tail.
+	heapSlackBytes   = 64 << 20
+	poolSlackRecords = 4096
+)
+
+// Evaluate applies the E24 release gates to the parsed rows and
+// returns the verdict table (Verdict.Scenario is "soak" throughout).
+// Per backend: a summary row must exist (rows gate); the watchdog
+// must have flagged nothing; every window's live audit and the drain
+// audit must hold; every window must carry traffic (survivor progress
+// across every injected fault); every injected fault must be
+// recovered; and with two or more windows, heap and pool growth
+// between the first and last window must stay bounded. Strict mode —
+// the full-run contract cmd/slogate enforces in CI — additionally
+// requires at least two windows, at least minFaultsStrict injected
+// faults with the worst recovery under maxRecovery, and coverage: at
+// least two distinct backends, including one lease-takeover and one
+// adaptive-tier catalog entry. Non-strict mode is for runs cut short
+// by SIGTERM, where the invariants must still hold but the coverage
+// and fault floors cannot be demanded of an interrupted clock.
+func Evaluate(rows []Row, strict bool) []scenario.Verdict {
+	byBackend := map[string][]Row{}
+	var order []string
+	for _, r := range rows {
+		if _, seen := byBackend[r.Backend]; !seen {
+			order = append(order, r.Backend)
+		}
+		byBackend[r.Backend] = append(byBackend[r.Backend], r)
+	}
+
+	var verdicts []scenario.Verdict
+	add := func(backend, gate, observed, bound string, ok bool) {
+		verdicts = append(verdicts, scenario.Verdict{Scenario: "soak", Backend: backend,
+			Gate: gate, Observed: observed, Bound: bound, OK: ok})
+	}
+
+	if strict {
+		robustness := map[string]string{}
+		tier := map[string]string{}
+		for _, b := range repro.Catalog() {
+			robustness[b.Name] = b.Robustness
+			tier[b.Name] = b.Tier
+		}
+		lease, adaptive := 0, 0
+		for _, name := range order {
+			if robustness[name] == "lease-takeover" {
+				lease++
+			}
+			if tier[name] == "adaptive" {
+				adaptive++
+			}
+		}
+		add("*", "coverage",
+			fmt.Sprintf("%d backends (%d lease-takeover, %d adaptive)", len(order), lease, adaptive),
+			"≥ 2 backends incl. ≥ 1 lease-takeover and ≥ 1 adaptive",
+			len(order) >= 2 && lease >= 1 && adaptive >= 1)
+	}
+
+	for _, name := range order {
+		var windows []Row
+		var summary *Row
+		for i, r := range byBackend[name] {
+			if r.Window < 0 {
+				summary = &byBackend[name][i]
+			} else {
+				windows = append(windows, r)
+			}
+		}
+		if summary == nil {
+			add(name, "rows", "no summary row", "one Window == -1 row per backend", false)
+			continue
+		}
+		if strict {
+			add(name, "windows", fmt.Sprintf("%d windows", len(windows)),
+				"≥ 2", len(windows) >= 2)
+		}
+
+		add(name, "watchdog", fmt.Sprintf("%d stalled ops", summary.Stalls),
+			"0", summary.Stalls == 0)
+
+		liveOK, firstFail := true, ""
+		for _, w := range windows {
+			if w.Audit != "ok" && liveOK {
+				liveOK, firstFail = false, fmt.Sprintf("window %d: %s", w.Window, w.Audit)
+			}
+		}
+		obs := "every window ok"
+		if !liveOK {
+			obs = firstFail
+		}
+		add(name, "live-audit", obs, "every window ok", liveOK)
+		add(name, "drain-audit", summary.Audit, "ok", summary.Audit == "ok")
+
+		minOps := uint64(0)
+		if len(windows) > 0 {
+			minOps = windows[0].Ops
+			for _, w := range windows[1:] {
+				if w.Ops < minOps {
+					minOps = w.Ops
+				}
+			}
+		}
+		add(name, "progress", fmt.Sprintf("min %d ops per window", minOps),
+			"> 0 in every window", len(windows) == 0 || minOps > 0)
+
+		recObs := fmt.Sprintf("%d/%d recovered, worst %v",
+			summary.Recovered, summary.Faults, time.Duration(summary.RecoveryNS))
+		if strict {
+			add(name, "fault-recovery", recObs,
+				fmt.Sprintf("≥ %d injected, all recovered ≤ %v", minFaultsStrict, maxRecovery),
+				summary.Faults >= minFaultsStrict && summary.Recovered == summary.Faults &&
+					time.Duration(summary.RecoveryNS) <= maxRecovery)
+		} else if summary.Faults > 0 {
+			add(name, "fault-recovery", recObs, "all injected faults recovered",
+				summary.Recovered == summary.Faults)
+		}
+
+		if len(windows) >= 2 {
+			first, last := windows[0], windows[len(windows)-1]
+			add(name, "heap-drift",
+				fmt.Sprintf("%d -> %d bytes", first.HeapBytes, last.HeapBytes),
+				fmt.Sprintf("≤ 2x first + %dMiB", heapSlackBytes>>20),
+				last.HeapBytes <= 2*first.HeapBytes+heapSlackBytes)
+			if first.PoolAllocs >= 0 && last.PoolAllocs >= 0 {
+				add(name, "pool-drift",
+					fmt.Sprintf("%d -> %d arena records", first.PoolAllocs, last.PoolAllocs),
+					fmt.Sprintf("≤ 2x first + %d", poolSlackRecords),
+					last.PoolAllocs <= 2*first.PoolAllocs+poolSlackRecords)
+			}
+		}
+	}
+	return verdicts
+}

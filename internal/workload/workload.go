@@ -1,5 +1,10 @@
 package workload
 
+import (
+	"math"
+	"time"
+)
+
 // RNG is a splitmix64 pseudo-random generator: tiny, fast, and
 // deterministic for a given seed on every platform. Not safe for
 // concurrent use; give each goroutine its own, seeded distinctly.
@@ -88,6 +93,39 @@ func (m SetMix) Next(r *RNG) SetOpKind {
 	default:
 		return SetContains
 	}
+}
+
+// ExpDuration draws an exponentially distributed duration with the
+// given mean: the inter-arrival gaps of a Poisson arrival process and
+// the memoryless think times an open-loop session engine schedules
+// with. A non-positive mean returns 0 (a closed loop).
+func (r *RNG) ExpDuration(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return time.Duration(-float64(mean) * math.Log(1-u))
+}
+
+// GeometricLen draws a session length (>= 1 operations) from a
+// geometric distribution with the given mean: after each operation the
+// session ends with probability 1/mean, so short sessions dominate but
+// a heavy tail of long-lived connections persists — the connection
+// churn shape a soak run needs. A mean of 1 or less pins every
+// session to a single operation.
+func (r *RNG) GeometricLen(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	n := 1
+	p := 1 / mean
+	for r.Float64() >= p {
+		n++
+	}
+	return n
 }
 
 // Value encodes a collision-free payload for operation i of process

@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRNGDeterministic(t *testing.T) {
@@ -100,6 +101,52 @@ func TestValueCollisionFree(t *testing.T) {
 			}
 			seen[v] = true
 		}
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	mean := 50 * time.Microsecond
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 {
+			t.Fatalf("ExpDuration = %v, negative", d)
+		}
+		sum += d
+	}
+	got := sum / n
+	if got < mean*9/10 || got > mean*11/10 {
+		t.Fatalf("ExpDuration sample mean = %v, want ~%v", got, mean)
+	}
+	if r.ExpDuration(0) != 0 || r.ExpDuration(-time.Second) != 0 {
+		t.Fatal("non-positive mean must draw 0")
+	}
+}
+
+func TestGeometricLenMean(t *testing.T) {
+	r := NewRNG(19)
+	const n = 200000
+	sum, min := 0, 1<<30
+	for i := 0; i < n; i++ {
+		l := r.GeometricLen(32)
+		if l < 1 {
+			t.Fatalf("GeometricLen = %d, below 1", l)
+		}
+		if l < min {
+			min = l
+		}
+		sum += l
+	}
+	if got := float64(sum) / n; got < 32*0.9 || got > 32*1.1 {
+		t.Fatalf("GeometricLen sample mean = %v, want ~32", got)
+	}
+	if min != 1 {
+		t.Fatalf("GeometricLen never drew a 1-op session (min %d)", min)
+	}
+	if r.GeometricLen(1) != 1 || r.GeometricLen(0) != 1 {
+		t.Fatal("mean <= 1 must pin sessions to one op")
 	}
 }
 
