@@ -1,0 +1,202 @@
+// Contlint is the multichecker for the repo's static-enforcement
+// suite (internal/analysis): the concurrency house rules — mixed
+// atomic/plain field access, tagged-register copies, pid plumbing,
+// naked retry loops, experiment-registry hygiene, plus the offline
+// stand-ins for vet's unusedwrite and nilness — checked over whole
+// package patterns.
+//
+// Standalone (what CI's lint job runs):
+//
+//	go run ./cmd/contlint ./...
+//
+// prints file:line:col: [pass] message for every finding and exits 1
+// if there are any. -list prints the suite and exits.
+//
+// As a vet tool, over the unit-checker protocol (which also covers
+// *_test.go files, since vet analyzes test compilations):
+//
+//	go build -o bin/contlint ./cmd/contlint
+//	go vet -vettool=bin/contlint ./...
+//
+// Suppressions use //contlint:allow <pass> <reason> on (or directly
+// above) the offending line; stale or malformed suppressions are
+// themselves diagnostics (pass allowlint).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// selfHash content-hashes the running binary for the -V=full buildID.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet handshake: `-V=full` must print a single version line
+	// the go command can hash into its build cache key, and `-flags`
+	// must describe the tool's flags (contlint has none it needs vet
+	// to forward).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// A "devel" version must carry a buildID the go command can
+		// hash into its cache key; content-hash the binary itself so
+		// rebuilding the tool invalidates stale vet results.
+		fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfHash())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && args[0] == "-list" {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads the packages matching patterns and runs the whole
+// suite, allowlint included.
+func standalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contlint:", err)
+		return 2
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.Suite(), true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "contlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(analysis.FormatDiagnostic(pkg.Fset, d))
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "contlint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package unit (x/tools' unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit per the vet protocol: type-check
+// the unit's files against the export data the go command already
+// compiled, run the suite, print findings, and write the (empty) facts
+// file vet expects. Exit 0 means clean, 1 a tool error, 2 diagnostics.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "contlint: parsing vet config:", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := analysis.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintln(os.Stderr, "contlint:", err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	if !cfg.VetxOnly {
+		diags, err = analysis.RunPackage(pkg, analysis.Suite(), true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "contlint:", err)
+			return 1
+		}
+	}
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, analysis.FormatDiagnostic(pkg.Fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the facts file the go command caches for downstream
+// units. Contlint exports no cross-package facts, so it is empty.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "contlint:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AllowLintName is the name under which problems with the allow
+// comments themselves are reported.
+const AllowLintName = "allowlint"
+
+// allowPrefix is the suppression comment marker. The full form is
+//
+//	//contlint:allow <pass> <reason...>
+//
+// and it silences diagnostics of exactly <pass> raised on the comment's
+// own line or on the line directly below it (so it works both as a
+// trailing comment and as an annotation above the offending statement).
+const allowPrefix = "contlint:allow"
+
+// An allow is one parsed suppression comment.
+type allow struct {
+	pos    token.Pos // of the comment
+	file   string
+	line   int
+	pass   string
+	reason string
+	used   bool
+}
+
+type allowSet struct {
+	all []*allow
+	// byKey indexes file:line -> allows covering that line.
+	byKey map[string][]*allow
+}
+
+func allowKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// collectAllows parses every //contlint:allow comment in pkg.
+func collectAllows(pkg *Package) *allowSet {
+	s := &allowSet{byKey: make(map[string][]*allow)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				pass, reason, _ := strings.Cut(rest, " ")
+				posn := pkg.Fset.Position(c.Pos())
+				a := &allow{
+					pos:    c.Pos(),
+					file:   posn.Filename,
+					line:   posn.Line,
+					pass:   pass,
+					reason: strings.TrimSpace(reason),
+				}
+				s.all = append(s.all, a)
+				for _, line := range []int{a.line, a.line + 1} {
+					k := allowKey(a.file, line)
+					s.byKey[k] = append(s.byKey[k], a)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether d is covered by an allow comment for its
+// pass, marking the comment used.
+func (s *allowSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	posn := fset.Position(d.Pos)
+	hit := false
+	for _, a := range s.byKey[allowKey(posn.Filename, posn.Line)] {
+		if a.pass == d.Analyzer {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// lint reports problems with the allow comments themselves: unknown
+// pass names, missing reasons, and — for passes that actually ran —
+// stale comments that suppressed nothing. ran holds the names of the
+// passes that were executed.
+func (s *allowSet) lint(ran map[string]bool) []Diagnostic {
+	known := knownPassNames()
+	var diags []Diagnostic
+	for _, a := range s.all {
+		switch {
+		case a.pass == "":
+			diags = append(diags, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowLintName,
+				Message:  "malformed allow comment: want //contlint:allow <pass> <reason>",
+			})
+		case !known[a.pass]:
+			diags = append(diags, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowLintName,
+				Message:  "allow comment names unknown pass " + a.pass,
+			})
+		case a.reason == "":
+			diags = append(diags, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowLintName,
+				Message:  "allow comment for " + a.pass + " is missing a reason",
+			})
+		case ran[a.pass] && !a.used:
+			diags = append(diags, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowLintName,
+				Message:  "stale allow comment: " + a.pass + " reports nothing here; delete it",
+			})
+		}
+	}
+	return diags
+}

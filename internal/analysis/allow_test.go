@@ -1,0 +1,74 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAllowSuppression runs the full suite (with the allow linter on,
+// as cmd/contlint does) over the allowlint fixture and asserts the
+// exact surviving diagnostics: an allow suppresses only the pass it
+// names, unknown pass names are findings themselves, and so are
+// missing reasons, malformed comments, and stale allows.
+func TestAllowSuppression(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "allowlint", "mixed")
+	pkg, err := analysis.LoadDir("repro/internal/analysis/testdata/src/allowlint/mixed", dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.Suite(), true)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, "["+d.Analyzer+"] "+d.Message)
+	}
+
+	wantSubstrings := []string{
+		// readB: the allow names retryloop, so mixedatomic still fires
+		// on the plain read of b, and the retryloop allow is stale.
+		"[mixedatomic] plain read of field b",
+		"[allowlint] stale allow comment: retryloop reports nothing here; delete it",
+		// readC: unknown pass names suppress nothing and are reported.
+		"[mixedatomic] plain read of field c",
+		"[allowlint] allow comment names unknown pass nosuchpass",
+		// readD: suppressed, but the reasonless allow is a finding.
+		"[allowlint] allow comment for mixedatomic is missing a reason",
+		// The bare marker is malformed.
+		"[allowlint] malformed allow comment: want //contlint:allow <pass> <reason>",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected diagnostic %q in:\n  %s", want, strings.Join(got, "\n  "))
+		}
+	}
+
+	// readA and readD are correctly suppressed: no surviving
+	// mixedatomic diagnostic may mention fields a or d.
+	for _, g := range got {
+		if strings.Contains(g, "[mixedatomic] plain read of field a") {
+			t.Errorf("allow comment failed to suppress the named pass: %s", g)
+		}
+		if strings.Contains(g, "[mixedatomic] plain read of field d") {
+			t.Errorf("reasonless allow should still suppress (the missing reason is its own finding): %s", g)
+		}
+	}
+	if want, got := len(wantSubstrings), len(diags); want != got {
+		t.Errorf("want exactly %d diagnostics, got %d:\n  %s", want, got, strings.Join(nil, ""))
+		for _, d := range diags {
+			t.Logf("  %s", analysis.FormatDiagnostic(pkg.Fset, d))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the passes port verbatim
+// if the module ever vendors x/tools (see the package comment).
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //contlint:allow comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, attributed to the pass that raised it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Suite returns the full ordered contlint suite. allowlint (the
+// suppression-comment linter) is not listed: RunPackage applies it
+// whenever the whole suite runs, because staleness is only meaningful
+// once every suppressible pass has had its chance to be suppressed.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		MixedAtomic,
+		TaggedWord,
+		PidFlow,
+		RetryLoop,
+		BenchRegistry,
+		UnusedWrite,
+		Nilness,
+	}
+}
+
+// knownPassNames returns every pass name an allow comment may cite.
+func knownPassNames() map[string]bool {
+	m := map[string]bool{AllowLintName: true}
+	for _, a := range Suite() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunPackage runs the given passes over pkg, applies //contlint:allow
+// suppression, and returns the surviving diagnostics sorted by
+// position. When lintAllows is set (the multichecker's mode, i.e. the
+// full suite is running) stale, unknown-pass and reasonless allow
+// comments are reported as allowlint diagnostics; single-pass golden
+// tests leave it off so an allow aimed at another pass is not
+// misreported as stale.
+func RunPackage(pkg *Package, passes []*Analyzer, lintAllows bool) ([]Diagnostic, error) {
+	allows := collectAllows(pkg)
+
+	var kept []Diagnostic
+	ran := make(map[string]bool)
+	for _, a := range passes {
+		ran[a.Name] = true
+		p := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report: func(d Diagnostic) {
+				if allows.suppresses(pkg.Fset, d) {
+					return
+				}
+				kept = append(kept, d)
+			},
+		}
+		if err := a.Run(p); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	if lintAllows {
+		kept = append(kept, allows.lint(ran)...)
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// walkStack walks the tree rooted at root, invoking fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // pruned: Inspect sends no matching pop
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isPkgPath reports whether path is exactly want or ends in "/"+want,
+// letting passes match both the real module layout and golden-test
+// fixture packages.
+func isPkgPath(path, want string) bool {
+	if path == want {
+		return true
+	}
+	n, w := len(path), len(want)
+	return n > w && path[n-w-1] == '/' && path[n-w:] == want
+}
+
+// typeNamed reports whether t (after unwrapping aliases and generic
+// instantiation) is the named type pkgPath.name, matching pkgPath via
+// isPkgPath.
+func typeNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Name() == name && isPkgPath(obj.Pkg().Path(), pkgPath)
+}

@@ -1,0 +1,125 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"repro/internal/analysis"
+	"strings"
+	"testing"
+)
+
+// This file is the golden-test harness, an analysistest workalike (see
+// the package comment for why x/tools is not imported directly).
+// Fixture packages live under testdata/src/<pass>/<name> and annotate
+// the lines where diagnostics are expected:
+//
+//	x = s.words // want `plain write of field words`
+//
+// Each `want` carries one or more backquoted or double-quoted regular
+// expressions; every diagnostic on that line must match one of them,
+// every expectation must be matched by a diagnostic, and diagnostics
+// on unannotated lines fail the test. A fixture with no want comments
+// is a clean fixture: the test asserts the passes stay silent on it.
+
+// wantRe matches one expectation within a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// RunGolden loads the fixture package at testdata/src/<rel> (relative
+// to the caller's package directory) and checks the given passes'
+// diagnostics against its want comments. Suppression comments are
+// honored; the allowlint meta-checks are off, since a fixture
+// exercising one pass legitimately carries allows for others.
+func RunGolden(t *testing.T, rel string, passes ...*analysis.Analyzer) {
+	t.Helper()
+	runGolden(t, rel, false, passes)
+}
+
+// RunGoldenAllowLint is RunGolden with the allowlint meta-checks on,
+// for fixtures exercising the suppression comments themselves.
+func RunGoldenAllowLint(t *testing.T, rel string, passes ...*analysis.Analyzer) {
+	t.Helper()
+	runGolden(t, rel, true, passes)
+}
+
+func runGolden(t *testing.T, rel string, lintAllows bool, passes []*analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	importPath := "repro/internal/analysis/testdata/src/" + rel
+	pkg, err := analysis.LoadDir(importPath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags, err := analysis.RunPackage(pkg, passes, lintAllows)
+	if err != nil {
+		t.Fatalf("running passes over %s: %v", rel, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		key := wantKey(posn)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic matched `%s`", w.posn, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	posn token.Position
+	re   *regexp.Regexp
+	used bool
+}
+
+func wantKey(posn token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+}
+
+// collectWants parses the `// want ...` comments of every fixture file.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", posn, c.Text)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants[wantKey(posn)] = append(wants[wantKey(posn)], &want{posn: posn, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// BenchRegistry checks internal/bench's experiment registrations
+// statically, where `register` today can only panic at init time (the
+// E10/E11 id clash of PR 1 shipped silently as E15/E16 precisely
+// because nothing ran the registering binary). Over all
+// register(Experiment{...}) calls in the package it enforces:
+//
+//   - ID is a string literal matching E<n> with n >= 1 — ids must be
+//     greppable, so no computed ids;
+//   - ids are unique across the package;
+//   - ids are contiguous from E1 (an id beyond the next free number
+//     means a gap: EXPERIMENTS.md allocates ids densely, so a gap is a
+//     typo or a collision dodge);
+//   - a non-empty Gate names its own experiment: exactly
+//     "cmd/slogate -exp <ID>" (a Gate citing another experiment's id
+//     re-gates the wrong rows);
+//   - Title and Run are present (a registration without Run is dead
+//     weight the catalog lists but cannot execute).
+var BenchRegistry = &Analyzer{
+	Name: "benchregistry",
+	Doc:  "statically validate experiment registrations in internal/bench",
+	Run:  runBenchRegistry,
+}
+
+var benchIDPattern = regexp.MustCompile(`^E[1-9][0-9]*$`)
+
+// A benchReg is one register(Experiment{...}) call site.
+type benchReg struct {
+	lit   *ast.CompositeLit
+	id    string // literal value, "" if absent or non-literal
+	idPos ast.Expr
+	num   int
+}
+
+func runBenchRegistry(pass *Pass) error {
+	if pass.Pkg.Name() != "bench" && !isPkgPath(pass.Pkg.Path(), "internal/bench") {
+		return nil
+	}
+	var regs []*benchReg
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isLocalCall(pass, call, "register") || len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			regs = append(regs, checkOneRegistration(pass, lit))
+			return true
+		})
+	}
+
+	// Cross-registration checks: uniqueness, then contiguity.
+	byID := make(map[string]*benchReg)
+	var nums []int
+	for _, r := range regs {
+		if r.id == "" {
+			continue
+		}
+		if prev, ok := byID[r.id]; ok {
+			prevPos := pass.Fset.Position(prev.lit.Pos())
+			pass.Reportf(r.idPos.Pos(), "duplicate experiment id %s (already registered at %s); allocate the next free id", r.id, prevPos)
+			continue
+		}
+		byID[r.id] = r
+		if r.num > 0 {
+			nums = append(nums, r.num)
+		}
+	}
+	sort.Ints(nums)
+	for i, n := range nums {
+		if n != i+1 {
+			want := i + 1
+			r := byID[fmt.Sprintf("E%d", n)]
+			pass.Reportf(r.idPos.Pos(), "experiment id E%d leaves a gap: ids are allocated densely and the next free id is E%d", n, want)
+			break
+		}
+	}
+	return nil
+}
+
+// checkOneRegistration validates a single Experiment literal.
+func checkOneRegistration(pass *Pass, lit *ast.CompositeLit) *benchReg {
+	r := &benchReg{lit: lit, idPos: lit}
+	fields := make(map[string]ast.Expr)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+
+	idExpr, ok := fields["ID"]
+	if !ok {
+		pass.Reportf(lit.Pos(), "experiment registration has no ID field")
+	} else {
+		r.idPos = idExpr
+		if s, isLit := stringLit(idExpr); !isLit {
+			pass.Reportf(idExpr.Pos(), "experiment ID must be a string literal, not a computed value")
+		} else if !benchIDPattern.MatchString(s) {
+			pass.Reportf(idExpr.Pos(), "experiment ID %q is malformed: ids look like E7 (E then a positive number)", s)
+		} else {
+			r.id = s
+			r.num, _ = strconv.Atoi(s[1:])
+		}
+	}
+
+	if gateExpr, ok := fields["Gate"]; ok {
+		if s, isLit := stringLit(gateExpr); !isLit {
+			pass.Reportf(gateExpr.Pos(), "experiment Gate must be a string literal, not a computed value")
+		} else if r.id != "" && s != "cmd/slogate -exp "+r.id {
+			pass.Reportf(gateExpr.Pos(), "experiment %s's Gate is %q; the gate command for an experiment is %q", r.id, s, "cmd/slogate -exp "+r.id)
+		}
+	}
+
+	if _, ok := fields["Run"]; !ok {
+		pass.Reportf(lit.Pos(), "experiment registration has no Run function; it can be listed but never executed")
+	}
+	if _, ok := fields["Title"]; !ok {
+		pass.Reportf(lit.Pos(), "experiment registration has no Title")
+	}
+	return r
+}
+
+// stringLit evaluates e as a constant string.
+func stringLit(e ast.Expr) (string, bool) {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		s, err := strconv.Unquote(lit.Value)
+		if err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// isLocalCall reports whether call invokes the package-level function
+// of the given name declared in the package under analysis.
+func isLocalCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() == pass.Pkg
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each pass gets one fixture package that must fire (every diagnostic
+// annotated with a want comment) and one that must stay silent.
+
+func TestMixedAtomicGolden(t *testing.T) {
+	analysistest.RunGolden(t, "mixedatomic/flagged", analysis.MixedAtomic)
+	analysistest.RunGolden(t, "mixedatomic/clean", analysis.MixedAtomic)
+}
+
+func TestTaggedWordGolden(t *testing.T) {
+	analysistest.RunGolden(t, "taggedword/flagged", analysis.TaggedWord)
+	analysistest.RunGolden(t, "taggedword/clean", analysis.TaggedWord)
+}
+
+func TestPidFlowGolden(t *testing.T) {
+	analysistest.RunGolden(t, "pidflow/flagged", analysis.PidFlow)
+	analysistest.RunGolden(t, "pidflow/clean", analysis.PidFlow)
+}
+
+func TestRetryLoopGolden(t *testing.T) {
+	analysistest.RunGolden(t, "retryloop/flagged", analysis.RetryLoop)
+	analysistest.RunGolden(t, "retryloop/clean", analysis.RetryLoop)
+}
+
+func TestBenchRegistryGolden(t *testing.T) {
+	analysistest.RunGolden(t, "benchregistry/flagged", analysis.BenchRegistry)
+	analysistest.RunGolden(t, "benchregistry/clean", analysis.BenchRegistry)
+}
+
+func TestUnusedWriteGolden(t *testing.T) {
+	analysistest.RunGolden(t, "unusedwrite/flagged", analysis.UnusedWrite)
+	analysistest.RunGolden(t, "unusedwrite/clean", analysis.UnusedWrite)
+}
+
+func TestNilnessGolden(t *testing.T) {
+	analysistest.RunGolden(t, "nilness/flagged", analysis.Nilness)
+	analysistest.RunGolden(t, "nilness/clean", analysis.Nilness)
+}

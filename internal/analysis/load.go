@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load loads and type-checks the non-test compilation of every package
+// matching the go-list patterns (e.g. "./..."), resolving imports from
+// compiled export data. It shells out to the go tool — contlint is a
+// development-time checker and the toolchain is always present where it
+// runs — but performs all parsing and type checking in-process so the
+// passes see full syntax plus types.
+//
+// Offline note (see the package comment): this is the stdlib-only
+// stand-in for golang.org/x/tools/go/packages.Load.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goListTargets(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	exports, err := goListExports(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := CheckFiles(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package rooted at dir (every .go file in it,
+// not recursing), resolving its imports from export data produced by
+// the go tool. Unlike Load it does not require dir to be visible to
+// `go list` — golden-test fixtures live under testdata, which the go
+// tool ignores — so the package path is synthesized from importPath.
+func LoadDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if f, ok := exports[path]; ok {
+			return f, ok
+		}
+		// Resolve lazily so fixtures may import any std or module
+		// package without pre-declaring it.
+		more, err := goListExports(dir, []string{path})
+		if err != nil {
+			return "", false
+		}
+		for k, v := range more {
+			exports[k] = v
+		}
+		f, ok := exports[path]
+		return f, ok
+	})
+	return CheckFiles(fset, imp, importPath, dir, files)
+}
+
+// CheckFiles parses and type-checks one package from explicit file
+// names, resolving imports through imp. It is the shared back end of
+// Load, LoadDir and cmd/contlint's vet-tool mode.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("%s: %w", path, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ExportImporter wraps the standard gc export-data importer with a
+// lookup over files named by the resolve function (an export-file map
+// from `go list -export` in standalone mode, the vet config's
+// PackageFile map in vet-tool mode).
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := resolve(path)
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goListTargets enumerates the packages matching patterns.
+func goListTargets(dir string, patterns []string) ([]*listedPackage, error) {
+	return goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error"}, patterns...))
+}
+
+// goListExports builds (if needed) and locates export data for every
+// dependency of the packages matching patterns, including the packages
+// themselves.
+func goListExports(dir string, patterns []string) (map[string]string, error) {
+	pkgs, err := goList(dir, append([]string{"list", "-deps", "-export", "-json=ImportPath,Export,Error"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// FormatDiagnostic renders d the way the multichecker prints it:
+// file:line:col: [pass] message.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	posn := fset.Position(d.Pos)
+	return posn.String() + ": [" + d.Analyzer + "] " + d.Message
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MixedAtomic reports struct fields that are accessed both atomically
+// and plainly. Two disciplines are enforced over every package:
+//
+//   - A field whose address is passed to a sync/atomic function
+//     (atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f, 1), ...)
+//     anywhere in the package must never be plain-read or
+//     plain-written: the mixed access is a data race the dynamic
+//     detector only reports on interleavings it happens to witness.
+//   - A field of one of the sync/atomic register types (atomic.Uint64,
+//     atomic.Pointer[T], ...) may only be used as a method receiver or
+//     by address; copying it or reassigning it forks or tears the
+//     register. This is the typed-atomics face of the same rule (vet's
+//     copylocks catches some of these; contlint owns the discipline so
+//     suppressions and CI wiring stay uniform).
+//
+// The check is per-package, which in practice is complete: every
+// atomic field in this module is unexported, so all its accesses live
+// in its declaring package.
+var MixedAtomic = &Analyzer{
+	Name: "mixedatomic",
+	Doc:  "report struct fields accessed both through sync/atomic and plainly",
+	Run:  runMixedAtomic,
+}
+
+// atomicOpPrefixes are the sync/atomic function families that take a
+// pointer to the word as their first argument.
+var atomicOpPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func runMixedAtomic(pass *Pass) error {
+	// Phase A: fields whose address reaches a sync/atomic function.
+	called := make(map[*types.Var]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if fld := addrOfField(pass.Info, call.Args[0]); fld != nil {
+				if _, seen := called[fld]; !seen {
+					called[fld] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase B: classify every field use.
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldObj(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			if _, ok := called[fld]; ok {
+				checkCalledFieldUse(pass, sel, fld, stack)
+				return true
+			}
+			if fieldHoldsAtomics(fld.Type()) {
+				checkTypedFieldUse(pass, sel, fld, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCalledFieldUse flags plain uses of a field that is elsewhere
+// accessed through a sync/atomic function. Taking the field's address
+// is always fine (that is how the atomic accesses themselves look).
+func checkCalledFieldUse(pass *Pass, sel *ast.SelectorExpr, fld *types.Var, stack []ast.Node) {
+	cur, parent := climbAccessPath(sel, stack)
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return
+		}
+	case *ast.AssignStmt:
+		if exprInList(cur, p.Lhs) {
+			pass.Reportf(sel.Pos(), "plain write of field %s, which is accessed with sync/atomic elsewhere", fld.Name())
+			return
+		}
+	case *ast.IncDecStmt:
+		pass.Reportf(sel.Pos(), "plain write of field %s, which is accessed with sync/atomic elsewhere", fld.Name())
+		return
+	}
+	pass.Reportf(sel.Pos(), "plain read of field %s, which is accessed with sync/atomic elsewhere", fld.Name())
+}
+
+// checkTypedFieldUse flags value uses of fields that hold atomic.*
+// registers (directly, or as arrays of them). Method calls, address-of,
+// indexing and slice-header manipulation are the allowed shapes.
+func checkTypedFieldUse(pass *Pass, sel *ast.SelectorExpr, fld *types.Var, stack []ast.Node) {
+	cur, parent := climbAccessPath(sel, stack)
+	// Only a use whose resulting type still IS an atomic value can
+	// fork a register; slice headers and derived scalars are fine.
+	if tv, ok := pass.Info.Types[cur.(ast.Expr)]; !ok || !typeIsAtomicValue(tv.Type) {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load(...): selecting a method from the register.
+		return
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return
+		}
+	case *ast.RangeStmt:
+		if p.X == cur {
+			if p.Value != nil {
+				pass.Reportf(sel.Pos(), "range copies atomic field %s; range over indices and use the methods", fld.Name())
+			}
+			return
+		}
+	case *ast.AssignStmt:
+		if exprInList(cur, p.Lhs) {
+			pass.Reportf(sel.Pos(), "atomic field %s reassigned; use its Store/CAS methods", fld.Name())
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "atomic field %s copied; use its methods or take its address", fld.Name())
+}
+
+// climbAccessPath walks up from sel through parens and indexing —
+// the shapes that extend an access path rather than use its value —
+// and returns the topmost path node plus its parent.
+func climbAccessPath(sel ast.Node, stack []ast.Node) (cur, parent ast.Node) {
+	cur = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+		}
+		return cur, stack[i]
+	}
+	return cur, nil
+}
+
+func exprInList(e ast.Node, list []ast.Expr) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObj resolves sel to the struct field it selects, or nil.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// addrOfField unwraps &expr (through parens and indexing) to the
+// struct field whose storage the address denotes, or nil.
+func addrOfField(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	x := ast.Unparen(un.X)
+	for {
+		if ix, ok := x.(*ast.IndexExpr); ok {
+			x = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		return fieldObj(info, sel)
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a sync/atomic
+// package-level function from one of the pointer-taking families.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(sel.Sel.Name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsAtomicValue reports whether t is a sync/atomic register type or
+// an array of them — the types whose plain copy forks a register.
+func typeIsAtomicValue(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		obj := t.Obj()
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+	case *types.Array:
+		return typeIsAtomicValue(t.Elem())
+	}
+	return false
+}
+
+// fieldHoldsAtomics reports whether a field of type t stores atomic
+// registers reachable through the field itself: the register type, an
+// array of them, or a slice of them (whose elements are reached by
+// indexing).
+func fieldHoldsAtomics(t types.Type) bool {
+	if typeIsAtomicValue(t) {
+		return true
+	}
+	if s, ok := types.Unalias(t).(*types.Slice); ok {
+		return typeIsAtomicValue(s.Elem())
+	}
+	return false
+}

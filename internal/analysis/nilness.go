@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness reports dereferences of a variable inside the very branch
+// whose condition proved it nil: the body of `if x == nil`, or the
+// else-arm of `if x != nil`. It is a deliberately conservative,
+// syntax-level subset of x/tools' SSA-based nilness (carried in-tree
+// because the module builds offline; see the package comment): the
+// branch is skipped as soon as it reassigns or takes the address of x,
+// so a surviving report means the dereference really sees nil.
+//
+// Flagged uses are the ones that panic on nil: selecting through a
+// pointer, calling a method or function value, dereferencing, and
+// indexing a slice or assigning through a map/slice index.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences in branches where the condition proved the value nil (straight-line subset)",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			obj, eq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq {
+				checkNilBranch(pass, ifs.Body, obj)
+			} else if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+				checkNilBranch(pass, els, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` / `nil == x` (eq true) and
+// `x != nil` / `nil != x` (eq false) over a plain identifier x of a
+// nilable type, returning x's object.
+func nilComparison(pass *Pass, cond ast.Expr) (obj types.Object, eq bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x := bin.X
+	if isNilIdent(pass, bin.X) {
+		x = bin.Y
+	} else if !isNilIdent(pass, bin.Y) {
+		return nil, false
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+		return v, bin.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch flags panicking uses of obj in a branch where it is
+// known nil, unless the branch also reassigns it, takes its address or
+// closes over it (any of which invalidates the straight-line fact).
+func checkNilBranch(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	invalidated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if pass.Info.Uses[id] == obj || (pass.Info.Defs[id] != nil && id.Name == obj.Name()) {
+						invalidated = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					invalidated = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesObject(pass, n, obj) {
+				invalidated = true
+			}
+			return false
+		}
+		return !invalidated
+	})
+	if invalidated {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				if derefSelector(pass, n) {
+					pass.Reportf(n.Pos(), "%s is nil in this branch; selecting through it panics", obj.Name())
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil in this branch; dereferencing it panics", obj.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil in this branch; calling it panics", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				if indexPanicsOnNil(pass, n) {
+					pass.Reportf(n.Pos(), "%s is nil in this branch; indexing it panics", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// derefSelector reports whether sel.X's nilness makes the selection
+// panic: field or method access through a nil pointer, or a method
+// call on a nil interface. (Methods with pointer receivers that
+// tolerate nil are beyond a syntax-level check; selecting a FIELD
+// through nil always panics, and calling through a nil interface
+// always panics.)
+func derefSelector(pass *Pass, sel *ast.SelectorExpr) bool {
+	v, isVar := pass.Info.Uses[sel.Sel].(*types.Var)
+	if isVar && v.IsField() {
+		return true
+	}
+	// Method value or call: panics when the receiver word itself is
+	// the nil interface.
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return isIface
+}
+
+// indexPanicsOnNil reports whether n indexes a nil value in a way that
+// panics: slice indexing always does; map reads yield zero values and
+// are left alone (map writes through nil also panic, but recognizing
+// the assignment context is not worth the false-positive risk here).
+func indexPanicsOnNil(pass *Pass, n *ast.IndexExpr) bool {
+	tv, ok := pass.Info.Types[n.X]
+	if !ok {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PidFlow enforces the catalog's process-identity plumbing contract: a
+// parameter named pid is minted by the caller's controller (the sched
+// tier or the harness spawning the goroutines) and must reach every
+// pid-taking callee unmodified. Inside any function with a `pid int`
+// parameter the pass flags:
+//
+//   - reassigning or shadowing pid (re-deriving process identity —
+//     e.g. from a goroutine-id hack — breaks the per-process striping
+//     of the combining arrays, pools and the sched controller);
+//   - calls that pass anything other than that pid to a callee
+//     parameter itself named pid (dropping the identity, or hardcoding
+//     one while the real pid is in scope).
+//
+// internal/sched is exempt: its controller is the one place that mints
+// and remaps pids by design.
+var PidFlow = &Analyzer{
+	Name: "pidflow",
+	Doc:  "report pid parameters that are modified, shadowed or not passed through",
+	Run:  runPidFlow,
+}
+
+// pidFlowExempt lists package-path suffixes allowed to mint and remap
+// pids.
+var pidFlowExempt = []string{"internal/sched"}
+
+func runPidFlow(pass *Pass) error {
+	for _, suffix := range pidFlowExempt {
+		if isPkgPath(pass.Pkg.Path(), suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			if pid := pidParam(pass.Info, fn.Type); pid != nil {
+				checkPidBody(pass, fn.Body, pid)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pidParam returns the object of a parameter literally named pid with
+// an integer type, or nil.
+func pidParam(info *types.Info, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "pid" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkPidBody walks one function body holding pid. Nested function
+// literals that declare their own pid parameter are re-checked against
+// that inner pid (the closure spawning pattern `go func(pid int)`),
+// and their bodies are excluded from the outer check.
+func checkPidBody(pass *Pass, body *ast.BlockStmt, pid types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inner := pidParam(pass.Info, n.Type); inner != nil {
+				checkPidBody(pass, n.Body, inner)
+				return false
+			}
+			return true // closure capturing the outer pid: keep checking against it
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if pass.Info.Uses[id] == pid {
+						pass.Reportf(id.Pos(), "pid is reassigned; process identity must flow through unmodified")
+					}
+					if def := pass.Info.Defs[id]; def != nil && id.Name == "pid" && def != pid {
+						pass.Reportf(id.Pos(), "pid is shadowed; process identity must flow through unmodified")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == pid {
+				pass.Reportf(id.Pos(), "pid is reassigned; process identity must flow through unmodified")
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							if name.Name == "pid" {
+								pass.Reportf(name.Pos(), "pid is shadowed; process identity must flow through unmodified")
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkPidArgs(pass, n, pid)
+		}
+		return true
+	})
+}
+
+// checkPidArgs flags arguments that land in a callee parameter named
+// pid but are not the caller's own pid.
+func checkPidArgs(pass *Pass, call *ast.CallExpr, pid types.Object) {
+	sig := calleeSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		p := params.At(pi)
+		if p.Name() != "pid" {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == pid {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument to %s's pid parameter is not the caller's pid; pass it through unmodified", calleeName(call))
+	}
+}
+
+// calleeSignature resolves the (possibly generic, possibly method)
+// signature of call's callee, or nil for builtins, conversions and
+// indirect calls without a known signature.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.IndexExpr:
+		return calleeName(&ast.CallExpr{Fun: f.X})
+	case *ast.IndexListExpr:
+		return calleeName(&ast.CallExpr{Fun: f.X})
+	}
+	return "the callee"
+}

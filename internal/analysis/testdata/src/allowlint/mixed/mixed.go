@@ -1,0 +1,44 @@
+// Package mixed exercises the //contlint:allow suppression comments:
+// a correct allow, an allow naming the wrong pass, an allow naming an
+// unknown pass, one missing its reason, and one malformed. The direct
+// test in allow_test.go asserts exactly which diagnostics survive.
+package mixed
+
+import "sync/atomic"
+
+type counters struct {
+	a uint64
+	b uint64
+	c uint64
+	d uint64
+}
+
+func touch(x *counters) {
+	atomic.AddUint64(&x.a, 1)
+	atomic.AddUint64(&x.b, 1)
+	atomic.AddUint64(&x.c, 1)
+	atomic.AddUint64(&x.d, 1)
+}
+
+// Suppressed: the allow names the pass that fires here.
+//
+//contlint:allow mixedatomic fixture exercising suppression
+func readA(x *counters) uint64 { return x.a }
+
+// Not suppressed: the allow names a different pass, and is stale for it.
+//
+//contlint:allow retryloop wrong pass for this line
+func readB(x *counters) uint64 { return x.b }
+
+// Not suppressed: unknown pass names never match anything.
+//
+//contlint:allow nosuchpass unknown pass names fail the allow linter
+func readC(x *counters) uint64 { return x.c }
+
+// Suppressed, but the missing reason is itself a finding.
+//
+//contlint:allow mixedatomic
+func readD(x *counters) uint64 { return x.d }
+
+//contlint:allow
+func malformed() {}

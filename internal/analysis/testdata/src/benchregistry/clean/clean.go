@@ -1,0 +1,21 @@
+// Package bench (fixture) holds well-formed registrations: dense ids
+// from E1, gates naming their own experiment, Title and Run present.
+// The pass must stay silent on all of it.
+package bench
+
+type Experiment struct {
+	ID    string
+	Title string
+	Gate  string
+	Run   func()
+}
+
+func register(e Experiment) {}
+
+func runNothing() {}
+
+func init() {
+	register(Experiment{ID: "E1", Title: "first", Run: runNothing})
+	register(Experiment{ID: "E2", Title: "second", Run: runNothing, Gate: "cmd/slogate -exp E2"})
+	register(Experiment{ID: "E3", Title: "third", Run: runNothing})
+}

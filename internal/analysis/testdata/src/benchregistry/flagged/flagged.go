@@ -1,0 +1,27 @@
+// Package bench (fixture) exercises every benchregistry diagnostic.
+package bench
+
+// Experiment mirrors the real registry's shape closely enough for the
+// pass, which matches the register call and the literal's field names.
+type Experiment struct {
+	ID    string
+	Title string
+	Gate  string
+	Run   func()
+}
+
+func register(e Experiment) {}
+
+func runNothing() {}
+
+func init() {
+	register(Experiment{ID: "E1", Title: "first", Run: runNothing})
+	register(Experiment{ID: "E2", Title: "second", Run: runNothing, Gate: "cmd/slogate -exp E2"})
+	register(Experiment{ID: "E1", Title: "clash", Run: runNothing})                                   // want `duplicate experiment id E1 \(already registered at .*\); allocate the next free id`
+	register(Experiment{ID: "e9", Title: "bad id", Run: runNothing})                                  // want `experiment ID "e9" is malformed: ids look like E7 \(E then a positive number\)`
+	register(Experiment{ID: "E7", Title: "gap", Run: runNothing})                                     // want `experiment id E7 leaves a gap: ids are allocated densely and the next free id is E5`
+	register(Experiment{ID: "E3", Title: "wrong gate", Run: runNothing, Gate: "cmd/slogate -exp E2"}) // want `experiment E3's Gate is "cmd/slogate -exp E2"; the gate command for an experiment is "cmd/slogate -exp E3"`
+	register(Experiment{Title: "anonymous", Run: runNothing})                                         // want `experiment registration has no ID field`
+	register(Experiment{ID: "E4"})                                                                    // want `experiment registration has no Run function; it can be listed but never executed` `experiment registration has no Title`
+	register(Experiment{ID: "E" + "5", Title: "computed", Run: runNothing})                           // want `experiment ID must be a string literal, not a computed value`
+}

@@ -1,0 +1,37 @@
+// Package clean holds the disciplined counterparts of the mixedatomic
+// fixtures: the pass must stay silent on all of it.
+package clean
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	calls atomic.Uint64
+	slots [4]atomic.Int64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	c.calls.Add(1)
+}
+
+func read(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits) + c.calls.Load()
+}
+
+func reset(c *counters) {
+	atomic.StoreUint64(&c.hits, 0)
+	c.calls.Store(0)
+}
+
+func drain(c *counters) int64 {
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].Load()
+	}
+	return sum
+}
+
+func borrow(c *counters) *atomic.Uint64 {
+	return &c.calls
+}

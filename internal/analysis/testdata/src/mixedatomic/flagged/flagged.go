@@ -1,0 +1,42 @@
+// Package flagged exercises every mixedatomic diagnostic.
+package flagged
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	calls atomic.Uint64
+	slots [4]atomic.Int64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func readPlain(c *counters) uint64 {
+	return c.hits // want `plain read of field hits, which is accessed with sync/atomic elsewhere`
+}
+
+func writePlain(c *counters) {
+	c.hits = 0 // want `plain write of field hits, which is accessed with sync/atomic elsewhere`
+}
+
+func incPlain(c *counters) {
+	c.hits++ // want `plain write of field hits, which is accessed with sync/atomic elsewhere`
+}
+
+func fork(c *counters) atomic.Uint64 {
+	return c.calls // want `atomic field calls copied; use its methods or take its address`
+}
+
+func clobber(c *counters) {
+	c.calls = atomic.Uint64{} // want `atomic field calls reassigned; use its Store/CAS methods`
+}
+
+func drain(c *counters) int64 {
+	var sum int64
+	for _, s := range c.slots { // want `range copies atomic field slots; range over indices and use the methods`
+		sum += s.Load()
+	}
+	return sum
+}

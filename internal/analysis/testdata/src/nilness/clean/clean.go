@@ -1,0 +1,36 @@
+// Package clean holds nil-branch shapes the conservative nilness check
+// must not flag: repairs before use, nil-safe map reads, and branches
+// that close over or take the address of the tested variable.
+package clean
+
+type box struct{ n int }
+
+func repaired(p *box) int {
+	if p == nil {
+		p = &box{}
+		return p.n
+	}
+	return p.n
+}
+
+func mapRead(m map[int]int) int {
+	if m == nil {
+		return m[1]
+	}
+	return m[1]
+}
+
+func rebound(p *box, fill func(**box)) int {
+	if p == nil {
+		fill(&p)
+		return p.n
+	}
+	return p.n
+}
+
+func guarded(p *box) int {
+	if p != nil {
+		return p.n
+	}
+	return 0
+}

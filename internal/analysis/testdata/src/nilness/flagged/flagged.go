@@ -1,0 +1,33 @@
+// Package flagged exercises the nilness diagnostics.
+package flagged
+
+type box struct{ n int }
+
+func deref(p *box) int {
+	if p == nil {
+		return p.n // want `p is nil in this branch; selecting through it panics`
+	}
+	return p.n
+}
+
+func star(p *box) box {
+	if nil == p {
+		return *p // want `p is nil in this branch; dereferencing it panics`
+	}
+	return *p
+}
+
+func call(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil in this branch; calling it panics`
+	}
+	return f()
+}
+
+func index(s []int) int {
+	if s != nil {
+		return s[0]
+	} else {
+		return s[0] // want `s is nil in this branch; indexing it panics`
+	}
+}

@@ -1,0 +1,28 @@
+// Package clean holds the blessed pid-plumbing shapes: the pid reaches
+// every pid-taking callee as-is, and spawned goroutines mint their own
+// pid parameter. The pass must stay silent on all of it.
+package clean
+
+type backend struct{}
+
+func (b *backend) Push(pid int, v uint64) error { return nil }
+
+func forward(b *backend, pid int, v uint64) error {
+	return b.Push(pid, v)
+}
+
+func nest(b *backend, pid int) {
+	done := make(chan struct{})
+	go func(pid int) {
+		_ = b.Push(pid, 1)
+		close(done)
+	}(pid)
+	<-done
+}
+
+func derived(b *backend, pid int) error {
+	// Deriving OTHER values from pid is fine; only the identity itself
+	// must flow unmodified.
+	v := uint64(pid) * 2
+	return b.Push(pid, v)
+}

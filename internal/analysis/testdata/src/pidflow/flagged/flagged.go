@@ -1,0 +1,36 @@
+// Package flagged exercises every pidflow diagnostic.
+package flagged
+
+type backend struct{}
+
+func (b *backend) Push(pid int, v uint64) error { return nil }
+
+func workerID() int { return 0 }
+
+func drop(b *backend, pid int, v uint64) error {
+	return b.Push(0, v) // want `argument to Push's pid parameter is not the caller's pid; pass it through unmodified`
+}
+
+func rederive(b *backend, pid int) {
+	pid = workerID() // want `pid is reassigned; process identity must flow through unmodified`
+	_ = b.Push(pid, 1)
+}
+
+func bump(pid int) {
+	pid++ // want `pid is reassigned; process identity must flow through unmodified`
+}
+
+func shadow(pid int) int {
+	{
+		pid := 0 // want `pid is shadowed; process identity must flow through unmodified`
+		_ = pid
+	}
+	return pid
+}
+
+func declareShadow(pid int) {
+	if pid > 0 {
+		var pid int // want `pid is shadowed; process identity must flow through unmodified`
+		_ = pid
+	}
+}

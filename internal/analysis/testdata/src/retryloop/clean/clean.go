@@ -1,0 +1,39 @@
+// Package clean holds the loop shapes retryloop must not flag:
+// bounded retries, event loops that block on channels, and spins with
+// no weak attempt in them.
+package clean
+
+import "sync/atomic"
+
+type counter struct{ v atomic.Uint64 }
+
+func bounded(c *counter) bool {
+	for i := 0; i < 8; i++ {
+		cur := c.v.Load()
+		if c.v.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+	return false
+}
+
+func eventLoop(c *counter, ch chan uint64) {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		if c.v.CompareAndSwap(c.v.Load(), v) {
+			continue
+		}
+	}
+}
+
+func busyWork(c *counter, n int) {
+	for {
+		if c.v.Load() > uint64(n) {
+			return
+		}
+		c.v.Add(1)
+	}
+}

@@ -1,0 +1,28 @@
+// Package flagged exercises the retryloop diagnostics.
+package flagged
+
+import "sync/atomic"
+
+type node struct{ next *node }
+
+type stack struct{ top atomic.Pointer[node] }
+
+func push(s *stack, n *node) {
+	for { // want `unbounded retry loop around CompareAndSwap; use core.Retry/RetryBudget so retry policies and graceful degradation apply`
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+type weak interface{ TryPush(v uint64) error }
+
+func pushAll(w weak, v uint64) {
+	for { // want `unbounded retry loop around TryPush; use core.Retry/RetryBudget so retry policies and graceful degradation apply`
+		if w.TryPush(v) == nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package clean holds the blessed tagged-register idioms: build in
+// place with Init, advance by CAS, share by pointer. The pass must
+// stay silent on all of it.
+package clean
+
+import "repro/internal/memory"
+
+type slot struct {
+	reg memory.TaggedRef[uint64]
+}
+
+func initSlot(s *slot, pool *memory.Pool[uint64]) {
+	s.reg.Init(pool, memory.PackTagged(memory.NilHandle, 0), nil)
+}
+
+func advance(s *slot, h memory.Handle) bool {
+	old := s.reg.Read()
+	return s.reg.CAS(old, old.Next(h))
+}
+
+func borrow(s *slot) *memory.TaggedRef[uint64] {
+	return &s.reg
+}
+
+func fresh(pool *memory.Pool[uint64]) *memory.TaggedRef[uint64] {
+	return memory.NewTaggedRef(pool, memory.PackTagged(memory.NilHandle, 0))
+}
+
+func words(s *slot) (memory.TaggedVal, memory.TaggedVal) {
+	v := s.reg.Read()
+	return v, v.Next(memory.NilHandle)
+}

@@ -1,0 +1,38 @@
+// Package clean holds writes the straight-line unusedwrite check must
+// not flag: reads before overwrite, address-taken and closure-captured
+// variables, named results, and accumulating assignments.
+package clean
+
+func readFirst() int {
+	x := 1
+	y := x + 1
+	x = y
+	return x
+}
+
+func addressTaken() int {
+	x := 1
+	p := &x
+	x = 2
+	return *p
+}
+
+func captured() func() int {
+	x := 1
+	f := func() int { return x }
+	x = 2
+	return f
+}
+
+func named() (n int) {
+	n = 3
+	return
+}
+
+func accumulate(vals []int) int {
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,27 @@
+// Package flagged exercises the unusedwrite diagnostics.
+package flagged
+
+func overwritten() int {
+	x := 1 // want `value written to x is never read \(overwritten at line \d+\)`
+	x = 2
+	return x
+}
+
+func sink(int) {}
+
+func abandoned(y int) int {
+	z := y + 1
+	sink(z)
+	z = y * 2 // want `value written to z is never read \(function returns at line \d+\)`
+	return y
+}
+
+func midBlock(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	total = 0 // want `value written to total is never read \(overwritten at line \d+\)`
+	total = len(vals)
+	return total
+}

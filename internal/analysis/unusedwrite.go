@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnusedWrite reports straight-line dead stores: a value assigned to a
+// local variable that is overwritten, or abandoned by a return in the
+// same block, before any read. It is a deliberately conservative,
+// syntax-level subset of x/tools' SSA-based pass of the same name
+// (carried in-tree because the module builds offline; see the package
+// comment): a variable is skipped entirely if it is address-taken,
+// captured by a closure, mentioned in a defer, or a named result, and
+// the forward scan stops at the first branchy statement. What it does
+// flag is therefore a real dead store on every path.
+var UnusedWrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "report values written to locals and never read (straight-line subset)",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype = fn.Body, fn.Type
+			case *ast.FuncLit:
+				body, ftype = fn.Body, fn.Type
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkFuncWrites(pass, ftype, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncWrites(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	skip := collectUncheckableVars(pass, ftype, body)
+	if skip == nil {
+		return // function uses goto; give up on the whole body
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // literals get their own checkFuncWrites visit
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		checkBlockWrites(pass, ftype, body, block, skip)
+		return true
+	})
+}
+
+// collectUncheckableVars gathers the objects the straight-line check
+// must not reason about: address-taken variables, variables used inside
+// function literals or defers (whose execution points the scan cannot
+// see), and named results (read by every return). A nil map means the
+// function is entirely uncheckable (it contains a goto or label).
+func collectUncheckableVars(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	skip := make(map[types.Object]bool)
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					skip[obj] = true
+				}
+			}
+		}
+	}
+	bad := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				bad = true
+			}
+		case *ast.LabeledStmt:
+			bad = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						skip[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			markIdentObjects(pass, n.Body, skip)
+		case *ast.DeferStmt:
+			markIdentObjects(pass, n, skip)
+		case *ast.GoStmt:
+			markIdentObjects(pass, n, skip)
+		}
+		return true
+	})
+	if bad {
+		return nil
+	}
+	return skip
+}
+
+func markIdentObjects(pass *Pass, n ast.Node, set map[types.Object]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				set[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkBlockWrites runs the straight-line scan over one statement list.
+func checkBlockWrites(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, block *ast.BlockStmt, skip map[types.Object]bool) {
+	for i, stmt := range block.List {
+		obj, id := simpleWrite(pass, stmt)
+		if obj == nil || skip[obj] {
+			continue
+		}
+		// Only reason about variables declared in the function being
+		// checked: a write to a captured outer variable is visible to
+		// the enclosing function and is the outer scan's business.
+		if obj.Pos() < ftype.Pos() || obj.Pos() > body.End() {
+			continue
+		}
+	scan:
+		for _, later := range block.List[i+1:] {
+			switch s := later.(type) {
+			case *ast.AssignStmt:
+				if usesObject(pass, s.Rhs, obj) {
+					break scan
+				}
+				overwrites := false
+				for _, lhs := range s.Lhs {
+					if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						who := pass.Info.Uses[lid]
+						if who == nil {
+							who = pass.Info.Defs[lid]
+						}
+						if who == obj && s.Tok == token.ASSIGN {
+							overwrites = true
+						} else if who == obj {
+							break scan // += etc. reads first
+						}
+					} else if usesObject(pass, lhs, obj) {
+						break scan
+					}
+				}
+				if overwrites {
+					line := pass.Fset.Position(s.Pos()).Line
+					pass.Reportf(id.Pos(), "value written to %s is never read (overwritten at line %d)", id.Name, line)
+					break scan
+				}
+			case *ast.ReturnStmt:
+				if !usesObject(pass, s, obj) {
+					line := pass.Fset.Position(s.Pos()).Line
+					pass.Reportf(id.Pos(), "value written to %s is never read (function returns at line %d)", id.Name, line)
+				}
+				break scan
+			case *ast.ExprStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt, *ast.DeclStmt:
+				if usesObject(pass, s, obj) {
+					break scan
+				}
+			default:
+				break scan // control flow: the scan cannot follow
+			}
+		}
+	}
+}
+
+// simpleWrite recognizes `x = expr` / `x := expr` with a single plain
+// identifier target naming a checkable local, returning its object.
+func simpleWrite(pass *Pass, stmt ast.Stmt) (types.Object, *ast.Ident) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return nil, nil
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Parent() == nil || v.Parent() == pass.Pkg.Scope() {
+		return nil, nil // fields, package-level vars: other goroutines may read
+	}
+	return v, id
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pass *Pass, n any, obj types.Object) bool {
+	found := false
+	visit := func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	}
+	switch n := n.(type) {
+	case ast.Node:
+		ast.Inspect(n, visit)
+	case []ast.Expr:
+		for _, e := range n {
+			ast.Inspect(e, visit)
+		}
+	}
+	return found
+}

@@ -50,6 +50,7 @@ func TestRegisterRejectsDuplicateIDs(t *testing.T) {
 			t.Fatalf("failed register mutated the registry: %d -> %d", before, len(registry))
 		}
 	}()
+	//contlint:allow benchregistry the duplicate id is the point: this test asserts register panics on it
 	register(Experiment{ID: "E1", Title: "imposter", Claim: "none", Run: nil})
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/queue"
@@ -107,20 +108,23 @@ func runE15Contended(cfg Config, steps []int, w io.Writer) error {
 			push := func(pid int, v uint64) error {
 				lk.Acquire(pid)
 				defer lk.Release(pid)
-				for {
-					if err := weak.TryPush(v); err != stack.ErrAborted {
-						return err
-					}
-				}
+				return core.Retry(nil, func() (error, bool) {
+					err := weak.TryPush(v)
+					return err, err != stack.ErrAborted
+				})
 			}
 			pop := func(pid int) (uint64, error) {
 				lk.Acquire(pid)
 				defer lk.Release(pid)
-				for {
-					if v, err := weak.TryPop(); err != stack.ErrAborted {
-						return v, err
-					}
+				type res struct {
+					v   uint64
+					err error
 				}
+				r := core.Retry(nil, func() (res, bool) {
+					v, err := weak.TryPop()
+					return res{v, err}, err != stack.ErrAborted
+				})
+				return r.v, r.err
 			}
 			return push, pop
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/deque"
 	lin "repro/internal/linearizability"
 	"repro/internal/metrics"
@@ -118,12 +119,11 @@ func runE14(cfg Config, w io.Writer) error {
 				continue
 			}
 			done++
-			for {
-				if _, err := d.TryPopRight(); !errors.Is(err, deque.ErrAborted) {
-					break
-				}
-				aborts.Add(1)
-			}
+			_, n := core.RetryCounted(nil, func() (error, bool) {
+				_, err := d.TryPopRight()
+				return err, !errors.Is(err, deque.ErrAborted)
+			})
+			aborts.Add(uint64(n))
 		}
 	}()
 	go func() {
@@ -139,12 +139,11 @@ func runE14(cfg Config, w io.Writer) error {
 				continue
 			}
 			done++
-			for {
-				if err := d.TryPushLeft(v); !errors.Is(err, deque.ErrAborted) {
-					break
-				}
-				aborts.Add(1)
-			}
+			_, n := core.RetryCounted(nil, func() (error, bool) {
+				err := d.TryPushLeft(v)
+				return err, !errors.Is(err, deque.ErrAborted)
+			})
+			aborts.Add(uint64(n))
 		}
 	}()
 	wg.Wait()

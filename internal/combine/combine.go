@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/memory"
 )
 
@@ -381,12 +382,7 @@ func (c *Core[A, R]) combine(pid int, epoch uint32) {
 		c.contention.Write(false)
 	}
 	c.served.Add(batch)
-	for {
-		cur := c.maxBatch.Load()
-		if batch <= cur || c.maxBatch.CompareAndSwap(cur, batch) {
-			break
-		}
-	}
+	core.StoreMax(&c.maxBatch, batch)
 }
 
 // apply retries the weak operation until it takes effect, on behalf of

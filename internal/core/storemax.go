@@ -1,0 +1,31 @@
+package core
+
+import "sync/atomic"
+
+// StoreMax atomically raises a to at least v, the lock-free running-
+// maximum idiom. The CAS loop converges: a failure means another
+// writer published a larger (or equal) maximum, which is progress for
+// the aggregate, so the loop is bounded by contention on strictly
+// increasing values — not a retry of a failed operation. It lives here
+// so the hand-rolled spin exists once, in the one package allowed to
+// hand-roll them (see internal/analysis, pass retryloop); callers
+// (histogram maxima, combiner batch high-water marks, recovery-latency
+// worst cases) stay loop-free.
+func StoreMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StoreMaxInt64 is StoreMax for signed words.
+func StoreMaxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // dconserved drives mixed both-end traffic and verifies multiset
@@ -151,12 +153,11 @@ func TestOppositeEndsRarelyInterfere(t *testing.T) {
 				continue
 			}
 			done++
-			for {
-				if _, err := d.TryPopRight(); !errors.Is(err, ErrAborted) {
-					break
-				}
-				rightAborts.Add(1)
-			}
+			_, n := core.RetryCounted(nil, func() (struct{}, bool) {
+				_, err := d.TryPopRight()
+				return struct{}{}, !errors.Is(err, ErrAborted)
+			})
+			rightAborts.Add(int64(n))
 		}
 	}()
 	go func() { // left side: pop/push pairs (window stays put)
@@ -172,12 +173,11 @@ func TestOppositeEndsRarelyInterfere(t *testing.T) {
 				continue
 			}
 			done++
-			for {
-				if err := d.TryPushLeft(v); !errors.Is(err, ErrAborted) {
-					break
-				}
-				leftAborts.Add(1)
-			}
+			_, n := core.RetryCounted(nil, func() (struct{}, bool) {
+				err := d.TryPushLeft(v)
+				return struct{}{}, !errors.Is(err, ErrAborted)
+			})
+			leftAborts.Add(int64(n))
 		}
 	}()
 	wg.Wait()

@@ -81,6 +81,7 @@ func (l *Tournament) N() int { return l.n }
 func (l *Tournament) Acquire(pid int) {
 	l.checkPid(pid)
 	for node := l.leaf + pid; node > 1; node >>= 1 {
+		//contlint:allow pidflow the tournament translates pid into a per-node side (0/1); this is the identity boundary where the global pid becomes a local one
 		l.nodes[node>>1].Acquire(node & 1)
 	}
 }
@@ -97,6 +98,7 @@ func (l *Tournament) Release(pid int) {
 	}
 	for i := depth - 1; i >= 0; i-- {
 		node := path[i]
+		//contlint:allow pidflow the tournament translates pid into a per-node side (0/1); this is the identity boundary where the global pid becomes a local one
 		l.nodes[node>>1].Release(node & 1)
 	}
 }

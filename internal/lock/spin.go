@@ -54,6 +54,7 @@ func NewTTAS() *TTAS { return &TTAS{} }
 
 // Lock acquires the lock.
 func (l *TTAS) Lock() {
+	//contlint:allow retryloop spinning until the CAS wins is the lock algorithm itself (E4's lock tier blocks by design); retry policies apply to weak objects, not locks
 	for {
 		spins := 0
 		for l.state.Load() != 0 {
@@ -94,6 +95,7 @@ func (l *Backoff) Lock() {
 		max = 1024
 	}
 	backoff := 1
+	//contlint:allow retryloop spinning until the CAS wins is the lock algorithm itself; the backoff schedule below is this loop's contention policy
 	for {
 		spins := 0
 		for l.state.Load() != 0 {

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i
@@ -33,12 +35,7 @@ func (h *Histogram) Record(d time.Duration) {
 	h.count.Add(1)
 	h.sum.Add(ns)
 	h.buckets[bits.Len64(ns)-1].Add(1)
-	for {
-		cur := h.max.Load()
-		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
+	core.StoreMax(&h.max, ns)
 }
 
 // Count returns the number of recorded samples.
@@ -93,13 +90,7 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.count.Add(o.count.Load())
 	h.sum.Add(o.sum.Load())
-	om := o.max.Load()
-	for {
-		cur := h.max.Load()
-		if om <= cur || h.max.CompareAndSwap(cur, om) {
-			break
-		}
-	}
+	core.StoreMax(&h.max, o.max.Load())
 }
 
 // Snapshot returns a copy of the histogram for live scraping: a soak

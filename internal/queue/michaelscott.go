@@ -42,43 +42,49 @@ func NewMichaelScottObserved[T any](obs memory.Observer) *MichaelScott[T] {
 // is lock-free: a failed CAS implies another enqueue succeeded.
 func (q *MichaelScott[T]) Enqueue(v T) {
 	n := &msNode[T]{value: v, next: memory.NewRef[msNode[T]](nil)}
-	for {
+	core.Retry(nil, func() (struct{}, bool) {
 		t := q.tail.Read()
 		next := t.next.Read()
-		if next == nil {
-			if t.next.CAS(nil, n) {
-				q.tail.CAS(t, n) // swing tail; failure means someone helped
-				return
-			}
-		} else {
+		if next != nil {
 			q.tail.CAS(t, next) // help a lagging enqueue
+			return struct{}{}, false
 		}
-	}
+		if t.next.CAS(nil, n) {
+			q.tail.CAS(t, n) // swing tail; failure means someone helped
+			return struct{}{}, true
+		}
+		return struct{}{}, false
+	})
 }
 
 // Dequeue removes the oldest value; it returns the value or ErrEmpty.
 func (q *MichaelScott[T]) Dequeue() (T, error) {
-	var zero T
-	for {
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Retry(nil, func() (res, bool) {
 		h := q.head.Read()
 		t := q.tail.Read()
 		next := h.next.Read()
 		if h == t {
 			if next == nil {
-				return zero, ErrEmpty
+				return res{err: ErrEmpty}, true
 			}
 			q.tail.CAS(t, next) // help a lagging enqueue
-			continue
+			return res{}, false
 		}
 		if next == nil {
 			// head moved between the reads; retry
-			continue
+			return res{}, false
 		}
 		v := next.value
 		if q.head.CAS(h, next) {
-			return v, nil
+			return res{v: v}, true
 		}
-	}
+		return res{}, false
+	})
+	return r.v, r.err
 }
 
 // Len counts the elements; quiescent states only (O(n) walk).

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/spec"
 )
 
@@ -119,20 +120,21 @@ func TestAbortablePooledConserves(t *testing.T) {
 	q := NewAbortablePooled(32)
 	qconserved(t, 4, 4, stressN(2000),
 		func(_ int, v uint64) error {
-			for {
+			return core.Retry(nil, func() (error, bool) {
 				err := q.TryEnqueue(v)
-				if !errors.Is(err, ErrAborted) {
-					return err
-				}
-			}
+				return err, !errors.Is(err, ErrAborted)
+			})
 		},
 		func(_ int) (uint64, error) {
-			for {
-				v, err := q.TryDequeue()
-				if !errors.Is(err, ErrAborted) {
-					return v, err
-				}
+			type res struct {
+				v   uint64
+				err error
 			}
+			r := core.Retry(nil, func() (res, bool) {
+				v, err := q.TryDequeue()
+				return res{v, err}, !errors.Is(err, ErrAborted)
+			})
+			return r.v, r.err
 		},
 	)
 }

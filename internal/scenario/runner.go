@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -326,12 +327,7 @@ func Run(b repro.Backend, sc Scenario, opt Options) Result {
 									if d < 1 {
 										d = 1
 									}
-									for {
-										cur := recoveryNS.Load()
-										if d <= cur || recoveryNS.CompareAndSwap(cur, d) {
-											break
-										}
-									}
+									core.StoreMaxInt64(&recoveryNS, d)
 								}
 							}
 						}

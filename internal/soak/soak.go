@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/workload"
@@ -442,12 +443,7 @@ func (e *engine) doOp(pid int, rng *workload.RNG, i *int, record bool) {
 			rec = 1
 		}
 		e.faultsRecovered.Add(1)
-		for {
-			cur := e.worstRecoveryNS.Load()
-			if rec <= cur || e.worstRecoveryNS.CompareAndSwap(cur, rec) {
-				break
-			}
-		}
+		core.StoreMaxInt64(&e.worstRecoveryNS, rec)
 	}
 }
 

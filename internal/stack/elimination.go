@@ -99,27 +99,33 @@ func (s *Elimination[T]) tryEliminatePop() (T, bool) {
 
 // Push pushes v; it always succeeds (unbounded) and is lock-free.
 func (s *Elimination[T]) Push(v T) error {
-	for {
+	return core.Retry(nil, func() (error, bool) {
 		if err := s.inner.TryPush(v); err != ErrAborted {
-			return err
+			return err, true
 		}
 		if s.tryEliminatePush(v) {
-			return nil
+			return nil, true
 		}
-	}
+		return nil, false
+	})
 }
 
 // Pop pops the top value or returns ErrEmpty; lock-free.
 func (s *Elimination[T]) Pop() (T, error) {
-	for {
-		v, err := s.inner.TryPop()
-		if err != ErrAborted {
-			return v, err
+	type res struct {
+		v   T
+		err error
+	}
+	r := core.Retry(nil, func() (res, bool) {
+		if v, err := s.inner.TryPop(); err != ErrAborted {
+			return res{v, err}, true
 		}
 		if v, ok := s.tryEliminatePop(); ok {
-			return v, nil
+			return res{v: v}, true
 		}
-	}
+		return res{}, false
+	})
+	return r.v, r.err
 }
 
 // EliminationStats reports how many operations were served by the

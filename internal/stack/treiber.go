@@ -56,22 +56,24 @@ func (s *Treiber[T]) TryPop() (T, error) {
 // Push pushes v, retrying until success (never returns an error; the
 // signature keeps the weak/strong symmetry).
 func (s *Treiber[T]) Push(v T) error {
-	for {
-		if err := s.TryPush(v); err != ErrAborted {
-			return err
-		}
-	}
+	return core.Retry(nil, func() (error, bool) {
+		err := s.TryPush(v)
+		return err, err != ErrAborted
+	})
 }
 
 // Pop pops the top value, retrying aborted attempts; it returns the
 // value or ErrEmpty.
 func (s *Treiber[T]) Pop() (T, error) {
-	for {
-		v, err := s.TryPop()
-		if err != ErrAborted {
-			return v, err
-		}
+	type res struct {
+		v   T
+		err error
 	}
+	r := core.Retry(nil, func() (res, bool) {
+		v, err := s.TryPop()
+		return res{v, err}, err != ErrAborted
+	})
+	return r.v, r.err
 }
 
 // Len counts the elements; quiescent states only (O(n) walk).

@@ -90,6 +90,7 @@ func (s *TreiberPooled) TryPop(pid int) (uint64, error) {
 // Push pushes v on behalf of pid, retrying aborted attempts (never
 // returns an error; the stack is unbounded).
 func (s *TreiberPooled) Push(pid int, v uint64) error {
+	//contlint:allow retryloop E17 zero-alloc hot path: core.Retry's closure would escape per call; the bare loop keeps Push allocation-free
 	for {
 		if err := s.TryPush(pid, v); err != ErrAborted {
 			return err
@@ -100,6 +101,7 @@ func (s *TreiberPooled) Push(pid int, v uint64) error {
 // Pop pops the top value on behalf of pid, retrying aborted attempts;
 // it returns the value or ErrEmpty.
 func (s *TreiberPooled) Pop(pid int) (uint64, error) {
+	//contlint:allow retryloop E17 zero-alloc hot path: core.Retry's closure would escape per call; the bare loop keeps Pop allocation-free
 	for {
 		v, err := s.TryPop(pid)
 		if err != ErrAborted {
